@@ -1,0 +1,47 @@
+"""Benchmark harness configuration.
+
+Every paper table/figure has one bench module.  Each bench
+
+* times the experiment via pytest-benchmark (one round -- these are
+  campaign workloads, not microbenchmarks),
+* writes the rendered paper-vs-measured report to
+  ``benchmarks/results/<experiment>.txt``, and
+* asserts the qualitative shape so a regression in the reproduction
+  fails the bench rather than silently producing different science.
+
+Campaign sizes follow ``REPRO_FI_RUNS`` (default 150 per cell here;
+``REPRO_FI_RUNS=1000`` reproduces the paper's statistics).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir):
+    """Write (and echo) an experiment's rendered report."""
+
+    def _save(name: str, text: str) -> None:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"\n===== {name} =====\n{text}")
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time *fn* exactly once (campaigns are their own repetition)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

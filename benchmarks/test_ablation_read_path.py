@@ -1,0 +1,48 @@
+"""Ablation bench: write-path (FFIS) vs read-path (CORDS-style) injection.
+
+The paper's Related Work contrasts FFIS with CORDS, which "randomly
+modifies the content of a read buffer".  The methodological difference is
+persistence: a write-path fault stays on the device and poisons every
+later consumer, while a read-path fault corrupts one read and vanishes.
+On Montage (whose stages re-read intermediates repeatedly) that
+difference is directly measurable.
+"""
+
+from conftest import run_once
+
+from repro.core.campaign import Campaign
+from repro.core.config import CampaignConfig
+from repro.core.outcomes import Outcome
+from repro.experiments.params import default_runs, montage_default, qmcpack_default
+
+RUNS = default_runs(120)
+
+
+def test_ablation_read_vs_write_path(benchmark, save_report):
+    montage = montage_default()
+    qmc = qmcpack_default()
+
+    def run():
+        mt_write = Campaign(montage, CampaignConfig(
+            fault_model="BF", n_runs=RUNS, seed=41)).run()
+        mt_read = Campaign(montage, CampaignConfig(
+            fault_model="RC", n_runs=RUNS, seed=41)).run()
+        qmc_read = Campaign(qmc, CampaignConfig(
+            fault_model="RC", n_runs=max(RUNS // 3, 20), seed=41)).run()
+        return mt_write, mt_read, qmc_read
+
+    mt_write, mt_read, qmc_read = run_once(benchmark, run)
+    save_report("ablation_read_path", "\n".join([
+        f"montage write-path BF : {mt_write.tally}",
+        f"montage read-path  RC : {mt_read.tally}",
+        f"qmcpack read-path  RC : {qmc_read.tally}",
+    ]) + "\n")
+
+    # A transient read corruption can still reach the mosaic (whichever
+    # consumer read the poisoned bytes keeps its products), so RC is not
+    # harmless -- but it is never *less* benign than the persistent flip.
+    assert mt_read.rate(Outcome.BENIGN) >= mt_write.rate(Outcome.BENIGN) - 0.05
+    assert mt_read.tally.total == RUNS
+    # QMCPACK's only run-time read is the DMC restart: read corruption
+    # there behaves like corrupting the walker file itself.
+    assert qmc_read.rate(Outcome.SDC) > 0.2

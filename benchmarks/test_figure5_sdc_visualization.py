@@ -1,0 +1,24 @@
+"""Bench for Figure 5: the scale/shift signatures of typical SDC cases."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_figure5
+
+
+def test_figure5_sdc_visualization(benchmark, save_report):
+    result = run_once(benchmark, run_figure5)
+    save_report("figure5", result.render())
+
+    # (b) a faulty Exponent Bias scales the decoded field by an exact
+    # power of two.
+    assert result.scale_factor == 2.0 ** round(np.log2(result.scale_factor))
+    assert result.scale_factor != 1.0
+
+    # The scaled trace really is the original trace times the factor.
+    assert np.allclose(result.bias_trace,
+                       result.original_trace * result.scale_factor,
+                       rtol=1e-6)
+
+    # (c) a faulty ARD shifts the field by a whole number of cells.
+    assert result.shift_cells > 0

@@ -1,0 +1,16 @@
+"""Bench for Figure 6: candidate loss under a faulty Mantissa Size."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure6
+
+
+def test_figure6_halo_candidates(benchmark, save_report):
+    result = run_once(benchmark, run_figure6)
+    save_report("figure6", result.render())
+
+    # The candidate population shrinks...
+    assert result.faulty_candidates < result.golden_candidates
+    # ...and at least one halo no longer gathers enough candidates to
+    # form (the paper's visualized case).
+    assert result.faulty_halos < result.golden_halos

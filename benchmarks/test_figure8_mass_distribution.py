@@ -1,0 +1,18 @@
+"""Bench for Figure 8: halo-mass distribution under DROPPED_WRITE."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_figure8
+
+
+def test_figure8_mass_distribution(benchmark, save_report):
+    result = run_once(benchmark, run_figure8)
+    save_report("figure8", result.render())
+
+    assert result.golden.n_halos > 0
+    assert np.array_equal(result.golden.bin_edges, result.faulty.bin_edges)
+    # The distributions differ: some halo moved bins (mass changed) or
+    # dissolved -- the paper's "SDC curve differs from the original".
+    assert not np.array_equal(result.golden.counts, result.faulty.counts) \
+        or result.faulty_halos != result.golden_halos

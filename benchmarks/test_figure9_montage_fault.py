@@ -1,0 +1,19 @@
+"""Bench for Figure 9: the dropped-write black-stripe mosaic artifact."""
+
+from conftest import run_once
+
+from repro.core.outcomes import Outcome
+from repro.experiments import run_figure9
+
+
+def test_figure9_montage_fault(benchmark, save_report):
+    result = run_once(benchmark, run_figure9)
+    save_report("figure9", result.render())
+
+    # The paper's classification bound: golden min near 82.82...
+    assert abs(result.golden_min - 82.82) < 1.0
+    # ...and the faulty mosaic leaves the plausible range (detected).
+    assert result.outcome is Outcome.DETECTED
+    assert abs(result.faulty_min - result.golden_min) > 0.01
+    # The visible artifact: a stripe of lost (zero) pixels.
+    assert result.dark_pixels >= 100

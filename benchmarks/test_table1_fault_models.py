@@ -1,0 +1,17 @@
+"""Bench for Table I: fault-model conformance on 4 KiB writes."""
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+
+
+def test_table1_fault_models(benchmark, save_report):
+    result = run_once(benchmark, run_table1)
+    save_report("table1", result.render())
+
+    rows = {r.model: r for r in result.rows}
+    assert "2 bits flipped" in rows["Bitflip"].measured
+    assert rows["Dropped write"].measured.startswith("decision=SUPPRESS")
+    shorn = [r for r in result.rows if r.model == "Shorn write"]
+    assert {"first 1536 B intact (True)" in r.measured or
+            "first 3584 B intact (True)" in r.measured for r in shorn} == {True}

@@ -1,0 +1,20 @@
+"""Bench for Table II: the tested applications' measured I/O inventory."""
+
+from conftest import run_once
+
+from repro.experiments import run_table2
+
+
+def test_table2_applications(benchmark, save_report):
+    result = run_once(benchmark, run_table2)
+    save_report("table2", result.render())
+
+    rows = {r.benchmark: r for r in result.rows}
+    assert set(rows) == {"nyx", "qmcpack", "montage"}
+    # Every app performs substantial instrumentable write traffic.
+    for row in rows.values():
+        assert row.writes > 5
+        assert row.written_bytes > 10_000
+        assert row.loc > 200
+    # Nyx's snapshot dominates its write volume, like the real plotfiles.
+    assert rows["nyx"].written_bytes > rows["qmcpack"].written_bytes

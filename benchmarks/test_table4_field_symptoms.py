@@ -1,0 +1,38 @@
+"""Bench for Table IV: per-field SDC symptoms at the full workload scale."""
+
+from conftest import run_once
+
+from repro.experiments import run_table4
+
+
+def test_table4_field_symptoms(benchmark, save_report):
+    result = run_once(benchmark, run_table4)
+    save_report("table4", result.render())
+
+    # Exponent Bias: everything scales, nothing moves (paper Fig. 5b).
+    bias = result.row("Exponent Bias")
+    assert bias.mass_symptom.startswith("scaled")
+    assert bias.location_symptom == "unchanged"
+    assert bias.halo_number == "unchanged"
+    assert bias.average_value.startswith("scaled by 2^")
+
+    # ARD: everything moves, nothing scales (paper Fig. 5c) -- and the
+    # average stays at 1, which is why the paper calls it the severe case.
+    ard = result.row("ARD")
+    assert ard.mass_symptom == "unchanged"
+    assert "shifted" in ard.location_symptom
+    assert ard.average_value == "unchanged"
+
+    # Mantissa geometry faults: masses and locations change, average lands
+    # in the paper's 1.04-1.55 band.
+    msize = result.row("Mantissa Size")
+    assert msize.mass_symptom == "changed"
+    assert "changed to 1." in msize.average_value
+
+    mloc = result.row("Mantissa Location")
+    assert mloc.mass_symptom in ("changed", "no halos")
+
+    # Mantissa Normalization bit-5: average collapses below 1 (implied
+    # leading bit dropped; paper reports 0.55 on Nyx data).
+    norm = result.row("Mantissa Normalization")
+    assert norm.average_value.startswith("changed to 0.")

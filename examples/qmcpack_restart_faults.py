@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""QMCPACK under storage faults: the restart-file propagation channel.
+
+The paper finds QMCPACK the least resilient of the three applications
+(~50-60 % SDC).  The mechanism is visible here: the DMC series *reads
+back* the walker configuration VMC wrote, so corrupted bytes silently
+steer the projector and the final energy.
+"""
+
+import numpy as np
+
+from repro import Campaign, CampaignConfig, FFISFileSystem, Outcome, mount
+from repro.apps.qmcpack import (
+    CONFIG_FILE,
+    HE_EXACT_ENERGY,
+    QmcpackApplication,
+    S001_SCALARS,
+    SDC_WINDOW,
+)
+from repro.fusefs.interposer import PrimitiveCall
+
+N_RUNS = 60
+
+
+def show_golden(app: QmcpackApplication) -> None:
+    fs = FFISFileSystem()
+    with mount(fs) as mp:
+        golden = app.capture_golden(mp)
+    print(f"golden DMC energy : {golden.analysis['energy']:.5f} "
+          f"+/- {golden.analysis['error']:.5f} Ha")
+    print(f"exact (paper)     : {HE_EXACT_ENERGY} Ha")
+    print(f"SDC window        : {SDC_WINDOW}  (inside = silent)\n")
+
+
+def demonstrate_propagation(app: QmcpackApplication) -> None:
+    """One flipped bit in one walker coordinate changes the DMC output."""
+    fs = FFISFileSystem()
+    with mount(fs) as mp:
+        app.execute(mp)
+        golden_s001 = mp.read_file(S001_SCALARS)
+
+    fs = FFISFileSystem()
+
+    fired = []
+
+    def flip_one_walker_bit(call: PrimitiveCall):
+        if (call.primitive == "ffis_write" and not fired
+                and call.args["offset"] > 0 and call.args["size"] >= 4096):
+            buf = bytearray(call.args["buf"])
+            # A mid-mantissa bit of one float64 coordinate: perturbs that
+            # walker by ~1e-6 bohr -- far below any physical scale, yet
+            # enough to steer the stochastic trajectory.
+            buf[68] ^= 0x10
+            call.args["buf"] = bytes(buf)
+            fired.append(call.seqno)
+        return None
+
+    fs.interposer.add_hook("ffis_write", flip_one_walker_bit)
+    with mount(fs) as mp:
+        app.execute(mp)
+        faulty_s001 = mp.read_file(S001_SCALARS)
+        energy = app.energy(mp)
+
+    changed = sum(a != b for a, b in zip(golden_s001, faulty_s001))
+    print("one bit flipped in the walker file ->")
+    print(f"  He.s001.scalar.dat bytes changed : {changed}")
+    print(f"  reanalysed energy                : {energy.mean:.5f} Ha")
+    lo, hi = SDC_WINDOW
+    verdict = "SDC (silent!)" if lo <= energy.mean <= hi else "detected"
+    print(f"  verdict                          : {verdict}\n")
+
+
+def campaign(app: QmcpackApplication) -> None:
+    print(f"campaigns ({N_RUNS} runs per fault model):")
+    for fault_model in ("BF", "SW", "DW"):
+        config = CampaignConfig(fault_model=fault_model, n_runs=N_RUNS, seed=7)
+        result = Campaign(app, config).run()
+        print(f"  {result.summary()}")
+
+
+if __name__ == "__main__":
+    app = QmcpackApplication(seed=2021)
+    show_golden(app)
+    demonstrate_propagation(app)
+    campaign(app)

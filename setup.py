@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package and no
+network, so PEP 517 editable installs (which build an editable wheel)
+fail.  This shim lets ``pip install -e . --no-use-pep517`` (and plain
+``python setup.py develop``) work offline; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

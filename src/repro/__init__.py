@@ -1,0 +1,69 @@
+"""FFIS reproduction: characterizing storage-fault impacts on HPC applications.
+
+Reproduces Fang et al., "Characterizing Impacts of Storage Faults on HPC
+Applications: A Methodology and Insights" (CLUSTER 2021).
+
+Public surface:
+
+* :mod:`repro.core`   -- the FFIS fault-injection framework (fault models,
+  profiler, injector, campaigns).
+* :mod:`repro.fusefs` -- the instrumentable FUSE-substitute file system.
+* :mod:`repro.mhdf5`  -- the from-scratch mini-HDF5 format with the
+  metadata fields and repair methodology the paper studies.
+* :mod:`repro.mfits`  -- the mini-FITS format for the Montage workload.
+* :mod:`repro.apps`   -- Nyx, QMCPACK, and Montage applications-under-test.
+* :mod:`repro.analysis` / :mod:`repro.experiments` -- statistics, table
+  rendering, and one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import Campaign, CampaignConfig
+    from repro.apps.nyx import NyxApplication, FieldConfig
+
+    app = NyxApplication(field_config=FieldConfig(shape=(32, 32, 32)))
+    result = Campaign(app, CampaignConfig(fault_model="BF", n_runs=100)).run()
+    print(result.summary())
+"""
+
+from repro.core import (
+    BitFlipFault,
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    DroppedWriteFault,
+    FaultGenerator,
+    FaultInjector,
+    FaultSignature,
+    IOProfiler,
+    MetadataCampaign,
+    Outcome,
+    OutcomeTally,
+    ReadCorruptionFault,
+    ShornWriteFault,
+    make_fault_model,
+)
+from repro.fusefs import FFISFileSystem, MountPoint, mount
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitFlipFault",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "DroppedWriteFault",
+    "FaultGenerator",
+    "FaultInjector",
+    "FaultSignature",
+    "IOProfiler",
+    "MetadataCampaign",
+    "ReadCorruptionFault",
+    "Outcome",
+    "OutcomeTally",
+    "ShornWriteFault",
+    "make_fault_model",
+    "FFISFileSystem",
+    "MountPoint",
+    "mount",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Statistics, table rendering, and distribution comparison utilities."""
+
+from repro.analysis.stats import (
+    RateEstimate,
+    campaign_error_bars,
+    normal_interval,
+    rate_estimate,
+    wilson_interval,
+)
+from repro.analysis.tables import (
+    format_percent,
+    render_outcome_grid,
+    render_table,
+)
+from repro.analysis.distributions import (
+    MassHistogram,
+    histogram_distance,
+    mass_histogram,
+)
+from repro.analysis.projection import (
+    DeviceModel,
+    FIELD_STUDY_UBER_RANGE,
+    JEDEC_ENTERPRISE_UBER,
+    RunProjection,
+    effective_uber_budget,
+    project_run,
+    system_sdc_rate,
+)
+
+__all__ = [
+    "RateEstimate",
+    "campaign_error_bars",
+    "normal_interval",
+    "rate_estimate",
+    "wilson_interval",
+    "format_percent",
+    "render_outcome_grid",
+    "render_table",
+    "MassHistogram",
+    "histogram_distance",
+    "mass_histogram",
+    "DeviceModel",
+    "FIELD_STUDY_UBER_RANGE",
+    "JEDEC_ENTERPRISE_UBER",
+    "RunProjection",
+    "effective_uber_budget",
+    "project_run",
+    "system_sdc_rate",
+]

@@ -1,0 +1,88 @@
+"""Confidence intervals for campaign outcome rates.
+
+The paper runs 1,000 injections per cell "to obtain a statistically
+significant estimate, which leaves a 1%~2% error bar on average for 95%
+confidence interval".  These helpers compute the same quantities so
+results at any campaign size report their own uncertainty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.core.outcomes import Outcome, OutcomeTally
+
+#: Two-sided z value for 95 % confidence.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A proportion with its confidence interval."""
+
+    rate: float
+    low: float
+    high: float
+    n: int
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def __str__(self) -> str:
+        return (f"{100 * self.rate:.1f}% "
+                f"[{100 * self.low:.1f}, {100 * self.high:.1f}] (n={self.n})")
+
+
+def normal_interval(successes: int, n: int, z: float = Z_95) -> RateEstimate:
+    """Wald (normal-approximation) interval -- what the paper quotes."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 <= successes <= n:
+        raise ValueError(f"successes {successes} outside [0, {n}]")
+    p = successes / n
+    half = z * math.sqrt(p * (1.0 - p) / n)
+    return RateEstimate(rate=p, low=max(0.0, p - half),
+                        high=min(1.0, p + half), n=n)
+
+
+def wilson_interval(successes: int, n: int, z: float = Z_95) -> RateEstimate:
+    """Wilson score interval -- better behaved near 0 %/100 %."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 <= successes <= n:
+        raise ValueError(f"successes {successes} outside [0, {n}]")
+    p = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / n + z2 / (4 * n * n))
+    # Clamp against floating-point slop so p always lies inside the CI.
+    low = min(max(0.0, center - half), p)
+    high = max(min(1.0, center + half), p)
+    return RateEstimate(rate=p, low=low, high=high, n=n)
+
+
+def rate_estimate(successes: int, n: int, method: str = "wilson") -> RateEstimate:
+    if method == "wilson":
+        return wilson_interval(successes, n)
+    if method == "normal":
+        return normal_interval(successes, n)
+    raise ValueError(f"unknown interval method {method!r}")
+
+
+def campaign_error_bars(tally: OutcomeTally,
+                        method: str = "wilson") -> Dict[Outcome, RateEstimate]:
+    """Per-outcome rate estimates for one campaign tally."""
+    n = tally.total
+    if n == 0:
+        raise ValueError("empty tally")
+    return {o: rate_estimate(tally.counts[o], n, method) for o in Outcome}
+
+
+def mean_half_width(estimates: Mapping[Outcome, RateEstimate]) -> float:
+    """Average CI half-width across outcomes (the paper's "error bar")."""
+    values = list(estimates.values())
+    return sum(e.half_width for e in values) / len(values)

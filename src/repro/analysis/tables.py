@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.campaign import CampaignResult
+from repro.core.outcomes import Outcome
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    return f"{100 * value:.{digits}f}%"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: Optional[str] = None) -> str:
+    """Monospace table with column auto-sizing."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {columns}")
+    widths = [max(len(str(headers[c])),
+                  *(len(str(row[c])) for row in rows)) if rows else len(str(headers[c]))
+              for c in range(columns)]
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(sep)
+    out.extend(line(row) for row in rows)
+    return "\n".join(out) + "\n"
+
+
+def render_outcome_grid(results: Mapping[str, CampaignResult],
+                        title: Optional[str] = None) -> str:
+    """One row per campaign cell, columns per outcome (Fig. 7 layout)."""
+    headers = ["cell", "runs"] + [o.value for o in Outcome]
+    rows: List[List[str]] = []
+    for label, result in results.items():
+        tally = result.tally
+        rows.append([label, str(tally.total)]
+                    + [format_percent(tally.rate(o)) for o in Outcome])
+    return render_table(headers, rows, title=title)
+
+
+def render_comparison(headers: Sequence[str],
+                      paper_row: Sequence[str],
+                      measured_row: Sequence[str],
+                      title: Optional[str] = None) -> str:
+    """Two-row paper-vs-measured table used throughout EXPERIMENTS.md."""
+    rows = [["paper"] + list(paper_row), ["measured"] + list(measured_row)]
+    return render_table(["source"] + list(headers), rows, title=title)

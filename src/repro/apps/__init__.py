@@ -1,0 +1,5 @@
+"""The three HPC applications characterized by the FFIS campaigns."""
+
+from repro.apps.base import GoldenRecord, HpcApplication, PhaseSpan
+
+__all__ = ["GoldenRecord", "HpcApplication", "PhaseSpan"]

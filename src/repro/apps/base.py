@@ -1,0 +1,153 @@
+"""The application-under-test protocol shared by Nyx, QMCPACK, Montage.
+
+An :class:`HpcApplication` is a deterministic callable world: given the
+same construction parameters and seed, :meth:`run` performs the same I/O
+through the mount it is handed (the only nondeterminism a campaign sees
+is the injected fault).  ``run`` is split into named **phases** so
+stage-targeted campaigns (Montage MT1..MT4) can restrict the injector to
+the dynamic write-instance window of one phase -- the application itself
+stays oblivious to fault injection (paper requirement R1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.outcomes import Outcome
+from repro.fusefs.mount import MountPoint
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """Dynamic ``ffis_write`` sequence-number window [start, end) of a phase."""
+
+    name: str
+    start: int
+    end: int
+
+    @property
+    def count(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class GoldenRecord:
+    """Fault-free reference captured once per campaign.
+
+    ``outputs`` maps output paths to their exact bytes; ``analysis`` holds
+    the application's post-analysis product in a bit-comparable form
+    (e.g. the rendered halo catalog); ``phases`` records the write windows
+    of each run phase.
+    """
+
+    outputs: Dict[str, bytes] = field(default_factory=dict)
+    analysis: Dict[str, object] = field(default_factory=dict)
+    phases: List[PhaseSpan] = field(default_factory=list)
+    total_writes: int = 0
+
+    def phase(self, name: str) -> PhaseSpan:
+        for span in self.phases:
+            if span.name == name:
+                return span
+        raise KeyError(f"no phase named {name!r}")
+
+    def phase_names(self) -> List[str]:
+        return [span.name for span in self.phases]
+
+
+class HpcApplication(ABC):
+    """Base class for applications characterized by FFIS campaigns."""
+
+    #: Short identifier used in reports ("nyx", "qmcpack", "montage").
+    name: str = "app"
+
+    def __init__(self) -> None:
+        self._phase_log: List[PhaseSpan] = []
+        self._active_mp: Optional[MountPoint] = None
+
+    # -- phases ---------------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Mark a named phase of :meth:`run` (for stage-targeted injection)."""
+        if self._active_mp is None:
+            raise RuntimeError("phase() may only be used inside run()")
+        interposer = self._active_mp.fs.interposer
+        start = interposer.count("ffis_write")
+        try:
+            yield
+        finally:
+            end = interposer.count("ffis_write")
+            self._phase_log.append(PhaseSpan(name, start, end))
+
+    @property
+    def recorded_phases(self) -> List[PhaseSpan]:
+        return list(self._phase_log)
+
+    # -- the application lifecycle ----------------------------------------------
+
+    def execute(self, mp: MountPoint) -> None:
+        """Run the application, recording phase windows."""
+        self._phase_log = []
+        self._active_mp = mp
+        try:
+            self.run(mp)
+        finally:
+            self._active_mp = None
+
+    @abstractmethod
+    def run(self, mp: MountPoint) -> None:
+        """Perform the workload's I/O through *mp* (deterministically)."""
+
+    @abstractmethod
+    def output_paths(self) -> List[str]:
+        """Paths of the outputs that define bit-wise 'benign'."""
+
+    @abstractmethod
+    def analyze(self, mp: MountPoint) -> Dict[str, object]:
+        """Run the post-analysis, returning bit-comparable products.
+
+        May raise (e.g. :class:`repro.errors.FormatError`); the campaign
+        classifies an unhandled exception as CRASH.
+        """
+
+    @abstractmethod
+    def classify(self, golden: GoldenRecord, mp: MountPoint) -> Tuple[Outcome, str]:
+        """Classify a completed faulty run against the golden record.
+
+        Returns the outcome and a human-readable detail string.  Must not
+        raise for corrupted-but-readable outputs; exceptions escaping here
+        are classified as CRASH by the campaign (covering the library-
+        level aborts the paper counts as crashes).
+        """
+
+    # -- golden capture -------------------------------------------------------------
+
+    def capture_golden(self, mp: MountPoint) -> GoldenRecord:
+        """Run fault-free and capture outputs + analysis + phase windows."""
+        self.execute(mp)
+        golden = GoldenRecord()
+        golden.phases = self.recorded_phases
+        golden.total_writes = mp.fs.interposer.count("ffis_write")
+        for path in self.output_paths():
+            golden.outputs[path] = mp.read_file(path)
+        golden.analysis = self.analyze(mp)
+        return golden
+
+    # -- helpers -------------------------------------------------------------------
+
+    @staticmethod
+    def outputs_identical(golden: GoldenRecord, mp: MountPoint,
+                          paths: Optional[List[str]] = None) -> bool:
+        """Bit-wise comparison of faulty outputs against the golden ones."""
+        for path, expected in golden.outputs.items():
+            if paths is not None and path not in paths:
+                continue
+            if not mp.exists(path):
+                return False
+            if mp.read_file(path) != expected:
+                return False
+        return True

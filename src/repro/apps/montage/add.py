@@ -1,0 +1,147 @@
+"""Stage 4 -- ``mAdd``: co-add corrected images into the final mosaic.
+
+Area-weighted average over every covered mosaic pixel, producing the
+mosaic, its area image, the statistics summary whose **min** value is the
+paper's outcome-classification metric (Sec. IV-C.3), and the quantized
+8-bit rendering (``mJPEG``'s role).  The paper compares
+``m101_mosaic.jpg`` bit-wise to define benign: 8-bit quantization over a
+fixed stretch absorbs sub-step pixel perturbations, which is where the
+large benign fractions of BIT_FLIP and SHORN_WRITE come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.apps.montage.diff import placement_of
+from repro.errors import FormatError
+from repro.fusefs.mount import MountPoint
+from repro.mfits.hdu import ImageHDU
+from repro.mfits.io import read_fits, write_fits
+
+
+#: Fixed linear stretch of the 8-bit rendering (like mJPEG's explicit
+#: ``-stretch`` bounds).  One grey level spans ~0.5 DN: perturbations
+#: below half a level quantize away.
+JPEG_STRETCH = (82.0, 212.0)
+
+
+def quantize_mosaic(mosaic: np.ndarray, stretch: Tuple[float, float] = JPEG_STRETCH) -> bytes:
+    """Render the mosaic to an 8-bit binary PGM (the mJPEG substitute).
+
+    Non-finite pixels clamp to black, as image encoders do.
+    """
+    lo, hi = stretch
+    with np.errstate(invalid="ignore"):
+        scaled = (np.nan_to_num(mosaic, nan=lo, posinf=hi, neginf=lo) - lo) / (hi - lo)
+    levels = np.clip(np.rint(scaled * 255.0), 0, 255).astype(np.uint8)
+    ny, nx = levels.shape
+    header = f"P5\n{nx} {ny}\n255\n".encode("ascii")
+    return header + levels.tobytes()
+
+
+#: Interior margin cropped off the mosaic so every retained pixel is
+#: covered by at least one tile (projection trims one row/column per
+#: fractional dither, so the outermost ring can be coverage holes even in
+#: a fault-free run).
+COVERAGE_MARGIN = 4
+
+
+@dataclass(frozen=True)
+class MosaicStats:
+    """Statistics of the mosaic image (what mJPEG reports while rendering).
+
+    Computed from the mosaic FITS alone -- zeros from dropped-write holes
+    *count*, which is exactly how the paper's "min" check catches them.
+    """
+
+    min: float
+    max: float
+    mean: float
+    covered_pixels: int
+
+    def render(self) -> str:
+        return ("[struct stat=\"OK\", "
+                f"min={self.min:.6f}, max={self.max:.6f}, "
+                f"mean={self.mean:.6f}, count={self.covered_pixels}]\n")
+
+
+def mosaic_stats(mosaic: np.ndarray) -> MosaicStats:
+    values = mosaic.astype(np.float64).ravel()
+    finite = np.isfinite(values)
+    if not finite.any():
+        raise FormatError("mosaic has no finite pixels")
+    values = values[finite]
+    return MosaicStats(min=float(values.min()), max=float(values.max()),
+                       mean=float(values.mean()), covered_pixels=int(values.size))
+
+
+def run_madd(mp: MountPoint, image_paths: List[str], area_paths: List[str],
+             mosaic_shape: Tuple[int, int], out_dir: str) -> Tuple[str, str, str]:
+    """Co-add; returns (mosaic path, area path, stats path)."""
+    if len(image_paths) != len(area_paths):
+        raise ValueError("need one area image per input image")
+    mp.makedirs(out_dir)
+    acc = np.zeros(mosaic_shape, dtype=np.float64)
+    weight = np.zeros(mosaic_shape, dtype=np.float64)
+    n_added = 0
+    for image_path, area_path in zip(image_paths, area_paths):
+        # Executor semantics: skip image/area pairs that fail to load or
+        # validate; a mosaic can still be formed from the remainder.
+        try:
+            img = read_fits(mp, image_path)
+            area = read_fits(mp, area_path)
+            if img.data.shape != area.data.shape:
+                raise FormatError(
+                    f"{image_path}: image/area shape mismatch "
+                    f"{img.data.shape} vs {area.data.shape}")
+            pl = placement_of(img)
+            if (pl.y1 > mosaic_shape[0] or pl.x1 > mosaic_shape[1]
+                    or pl.y0 < 0 or pl.x0 < 0):
+                raise FormatError(f"{image_path}: placement {pl} outside mosaic")
+        except (FormatError, KeyError, TypeError, ValueError):
+            continue
+        w = np.clip(area.data.astype(np.float64), 0.0, None)
+        contrib = img.data.astype(np.float64) * w
+        ok = np.isfinite(contrib)
+        view_acc = acc[pl.y0 : pl.y1, pl.x0 : pl.x1]
+        view_wgt = weight[pl.y0 : pl.y1, pl.x0 : pl.x1]
+        view_acc[ok] += contrib[ok]
+        view_wgt[ok] += w[ok]
+        n_added += 1
+    if n_added == 0:
+        raise FormatError("mAdd: no usable image/area pairs")
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mosaic = np.where(weight > 0, acc / weight, 0.0)
+    m = COVERAGE_MARGIN
+    mosaic = mosaic[m:-m, m:-m]
+    weight = weight[m:-m, m:-m]
+    stats = mosaic_stats(mosaic)
+
+    mosaic_path = f"{out_dir}/m101_mosaic.fits"
+    area_path = f"{out_dir}/m101_mosaic_area.fits"
+    stats_path = f"{out_dir}/m101_stats.txt"
+    write_fits(mp, mosaic_path, ImageHDU(mosaic.astype(np.float32),
+                                         header={"CRPIX1": 0.0, "CRPIX2": 0.0}))
+    write_fits(mp, area_path, ImageHDU(weight.astype(np.float32),
+                                       header={"CRPIX1": 0.0, "CRPIX2": 0.0}))
+    mp.write_file(stats_path, stats.render().encode("ascii"))
+    return mosaic_path, area_path, stats_path
+
+
+def run_mjpeg(mp: MountPoint, mosaic_path: str, jpeg_path: str,
+              stretch: Tuple[float, float] = JPEG_STRETCH) -> str:
+    """The mJPEG step: read the mosaic FITS back *from disk* and render.
+
+    Reading from disk (not memory) is what lets faults on the mosaic's
+    own writes propagate into the comparison image, as in the paper's
+    pipeline where mJPEG is a separate process.
+    """
+    hdu = read_fits(mp, mosaic_path)
+    mp.write_file(jpeg_path, quantize_mosaic(hdu.data.astype(np.float64), stretch),
+                  block_size=4096)
+    return jpeg_path

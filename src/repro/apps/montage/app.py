@@ -1,0 +1,126 @@
+"""The Montage application-under-test: 4-stage mosaic of synthetic m101.
+
+Stages (the paper's four most I/O-intensive, injected as MT1..MT4):
+
+1. ``mProjExec`` -- reproject each raw image (+ area images),
+2. ``mDiffExec`` -- difference every overlapping pair,
+3. ``mBgExec``   -- plane-fit differences, solve and apply background
+   corrections,
+4. ``mAdd``      -- co-add into the mosaic + statistics summary.
+
+Raw-image staging happens in a separate ``stage_raw`` phase so campaigns
+can exclude it (the paper injects into the pipeline stages, not into the
+2MASS inputs).
+
+Outcome classification (Sec. IV-C.3): mosaic bit-wise identical →
+benign; else the "min" statistic within 10^-2 of golden → SDC, outside →
+detected; missing/unreadable mosaic → crash.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.base import GoldenRecord, HpcApplication
+from repro.apps.montage.add import MosaicStats, mosaic_stats, run_madd, run_mjpeg
+from repro.apps.montage.background import run_mbg
+from repro.apps.montage.diff import run_mdiff
+from repro.apps.montage.image import RawTile, SkyConfig, make_raw_tiles
+from repro.apps.montage.project import run_mproj
+from repro.core.outcomes import Outcome
+from repro.fusefs.mount import MountPoint
+from repro.mfits.io import read_fits, write_fits
+
+RAW_DIR = "/montage/raw"
+PROJ_DIR = "/montage/projdir"
+DIFF_DIR = "/montage/diffdir"
+CORR_DIR = "/montage/corrdir"
+OUT_DIR = "/montage/out"
+MOSAIC_PATH = f"{OUT_DIR}/m101_mosaic.fits"
+STATS_PATH = f"{OUT_DIR}/m101_stats.txt"
+JPEG_PATH = f"{OUT_DIR}/m101_mosaic.jpg"
+
+#: The paper accepts a 10^-2 window on the final "min" statistic.
+MIN_TOLERANCE = 1e-2
+
+#: Stage names in paper order (MT1..MT4).
+STAGES = ("mProjExec", "mDiffExec", "mBgExec", "mAdd")
+
+
+class MontageApplication(HpcApplication):
+    """Synthetic m101 mosaic pipeline."""
+
+    name = "montage"
+
+    def __init__(self, seed: int = 2021,
+                 sky_config: SkyConfig = SkyConfig()) -> None:
+        super().__init__()
+        self.seed = seed
+        self.sky_config = sky_config
+        self._tiles: List[RawTile] = make_raw_tiles(sky_config, seed)
+
+    @property
+    def tiles(self) -> List[RawTile]:
+        return self._tiles
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def run(self, mp: MountPoint) -> None:
+        mp.makedirs("/montage")
+        with self.phase("stage_raw"):
+            mp.makedirs(RAW_DIR)
+            raw_paths = []
+            for tile in self._tiles:
+                path = f"{RAW_DIR}/2mass_{tile.name}.fits"
+                write_fits(mp, path, tile.hdu)
+                raw_paths.append(path)
+        with self.phase("mProjExec"):
+            projected = run_mproj(mp, raw_paths, PROJ_DIR)
+        with self.phase("mDiffExec"):
+            diffs = run_mdiff(mp, [p.image for p in projected], DIFF_DIR)
+        with self.phase("mBgExec"):
+            corrected = run_mbg(mp, [p.image for p in projected], diffs, CORR_DIR)
+        with self.phase("mAdd"):
+            mosaic_path, _, _ = run_madd(mp, corrected, [p.area for p in projected],
+                                         self.sky_config.canvas_shape, OUT_DIR)
+            run_mjpeg(mp, mosaic_path, JPEG_PATH)
+
+    def output_paths(self) -> List[str]:
+        return [MOSAIC_PATH, STATS_PATH, JPEG_PATH]
+
+    # -- post-analysis ---------------------------------------------------------------
+
+    def mosaic_statistics(self, mp: MountPoint) -> MosaicStats:
+        mosaic = read_fits(mp, MOSAIC_PATH)
+        return mosaic_stats(mosaic.data)
+
+    def analyze(self, mp: MountPoint) -> Dict[str, object]:
+        stats = self.mosaic_statistics(mp)
+        return {
+            "min": stats.min,
+            "max": stats.max,
+            "mean": stats.mean,
+            "jpeg_bytes": mp.read_file(JPEG_PATH),
+        }
+
+    # -- classification ---------------------------------------------------------------
+
+    def classify(self, golden: GoldenRecord, mp: MountPoint) -> Tuple[Outcome, str]:
+        """The paper's rule: compare ``m101_mosaic.jpg`` bit-wise; if it
+        differs, the "min" statistic of the last step decides SDC vs
+        detected; a missing output is a crash."""
+        if not mp.exists(JPEG_PATH) or not mp.exists(MOSAIC_PATH):
+            return Outcome.CRASH, "mosaic output was not created"
+        faulty = mp.read_file(JPEG_PATH)
+        if faulty == golden.analysis["jpeg_bytes"]:
+            return Outcome.BENIGN, "m101_mosaic.jpg bit-wise identical"
+        stats = self.mosaic_statistics(mp)
+        golden_min = golden.analysis["min"]
+        if np.isfinite(stats.min) and abs(stats.min - golden_min) <= MIN_TOLERANCE:
+            return Outcome.SDC, (
+                f"image differs but min {stats.min:.4f} within "
+                f"{MIN_TOLERANCE} of golden {golden_min:.4f}")
+        return Outcome.DETECTED, (
+            f"min {stats.min:.4f} deviates from golden {golden_min:.4f}")

@@ -1,0 +1,157 @@
+"""Synthetic 2MASS-like sky and raw dithered tiles for the Montage workload.
+
+The paper mosaics ten 2MASS Atlas images of a 0.2-degree field around
+m101 in the J band.  We synthesize the decision-relevant equivalent: a
+global "truth" canvas containing a bright extended galaxy and a star
+field on a sky background near the paper's reported mosaic minimum
+(~82.8 DN), then cut ten overlapping, dithered tiles, each with its own
+additive background plane (what ``mBgExec`` exists to remove) and pixel
+noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.mfits.hdu import ImageHDU
+from repro.util.rngstream import RngStream
+
+#: Sky level chosen so the mosaic minimum lands near the paper's 82.82 DN.
+SKY_LEVEL = 82.9
+
+
+@dataclass(frozen=True)
+class SkyConfig:
+    canvas_shape: Tuple[int, int] = (112, 112)
+    tile_shape: Tuple[int, int] = (64, 64)
+    n_tiles: int = 10
+    n_stars: int = 200
+    star_flux: Tuple[float, float] = (5.0, 250.0)   # power-law-ish range
+    psf_sigma: float = 1.8
+    galaxy_flux: float = 8000.0
+    galaxy_radius: float = 10.0
+    noise_sigma: float = 0.02
+    background_plane_scale: float = 0.8   # per-tile additive plane magnitude
+
+
+def generate_sky(config: SkyConfig, seed: int) -> np.ndarray:
+    """The noiseless truth canvas (float64): sky + stars + galaxy."""
+    stream = RngStream(seed, "montage", "sky")
+    rng = stream.generator()
+    ny, nx = config.canvas_shape
+    yy, xx = np.mgrid[0:ny, 0:nx]
+    canvas = np.full((ny, nx), SKY_LEVEL, dtype=np.float64)
+    # Gentle large-scale sky gradient.
+    canvas += 0.05 * (xx / nx) - 0.08 * (yy / ny)
+
+    sig2 = config.psf_sigma ** 2
+    for _ in range(config.n_stars):
+        cy, cx = rng.uniform(0, ny), rng.uniform(0, nx)
+        # Heavy-tailed flux distribution like a real luminosity function.
+        flux = config.star_flux[0] * (config.star_flux[1]
+                                      / config.star_flux[0]) ** rng.random()
+        r2 = (yy - cy) ** 2 + (xx - cx) ** 2
+        canvas += flux / (2 * np.pi * sig2) * np.exp(-0.5 * r2 / sig2)
+
+    # The m101-like extended source at the field centre: exponential disk
+    # with a mild spiral modulation.
+    cy, cx = ny / 2.0, nx / 2.0
+    r = np.sqrt((yy - cy) ** 2 + (xx - cx) ** 2)
+    theta = np.arctan2(yy - cy, xx - cx)
+    disk = np.exp(-r / config.galaxy_radius)
+    spiral = 1.0 + 0.3 * np.cos(2 * theta - 0.8 * r)
+    galaxy = disk * spiral
+    canvas += config.galaxy_flux * galaxy / galaxy.sum()
+    return canvas
+
+
+@dataclass
+class RawTile:
+    """One dithered raw image plus its WCS placement on the canvas."""
+
+    hdu: ImageHDU
+    y0: int
+    x0: int
+    dy: float           # subpixel dither in [0, 1)
+    dx: float
+    background: Tuple[float, float, float]   # (c0, cy, cx) additive plane
+
+    @property
+    def name(self) -> str:
+        return str(self.hdu.header.get("TILE", "?"))
+
+
+def _bilinear_crop(canvas: np.ndarray, y0: int, x0: int, dy: float, dx: float,
+                   shape: Tuple[int, int]) -> np.ndarray:
+    """Sample ``canvas[y0+i+dy, x0+j+dx]`` bilinearly for a tile crop."""
+    h, w = shape
+    ys = y0 + np.arange(h)[:, None] + dy
+    xs = x0 + np.arange(w)[None, :] + dx
+    y_lo = np.floor(ys).astype(int)
+    x_lo = np.floor(xs).astype(int)
+    fy = ys - y_lo
+    fx = xs - x_lo
+    y_lo = np.clip(y_lo, 0, canvas.shape[0] - 2)
+    x_lo = np.clip(x_lo, 0, canvas.shape[1] - 2)
+    c00 = canvas[y_lo, x_lo]
+    c01 = canvas[y_lo, x_lo + 1]
+    c10 = canvas[y_lo + 1, x_lo]
+    c11 = canvas[y_lo + 1, x_lo + 1]
+    return ((1 - fy) * (1 - fx) * c00 + (1 - fy) * fx * c01
+            + fy * (1 - fx) * c10 + fy * fx * c11)
+
+
+def make_raw_tiles(config: SkyConfig, seed: int) -> List[RawTile]:
+    """Cut dithered raw tiles with per-tile background planes and noise.
+
+    Tile placement covers the canvas in an overlapping grid with random
+    jitter so every adjacent pair shares a usable overlap region (what
+    ``mDiffExec`` differences).
+    """
+    canvas = generate_sky(config, seed)
+    stream = RngStream(seed, "montage", "tiles")
+    rng = stream.generator()
+    ny, nx = config.canvas_shape
+    th, tw = config.tile_shape
+
+    # Grid positions: 2 rows x ceil(n/2) columns with ~40 % overlap.  The
+    # first/last grid lines pin to the canvas edges (with only inward
+    # jitter) so the mosaic's coverage-cropped interior is fully covered
+    # in every fault-free run regardless of the seed.
+    n = config.n_tiles
+    cols = (n + 1) // 2
+    n_rows = (n + cols - 1) // cols
+    y_span = max(ny - th - 2, 0)
+    x_span = max(nx - tw - 2, 0)
+    row_bases = np.linspace(0, y_span, max(n_rows, 1)).round().astype(int)
+    col_bases = np.linspace(0, x_span, max(cols, 1)).round().astype(int)
+    tiles: List[RawTile] = []
+    yy, xx = np.mgrid[0:th, 0:tw]
+    for k in range(n):
+        row, col = divmod(k, cols)
+        y0 = int(row_bases[row] + rng.integers(0, 3))
+        x0 = int(col_bases[col] + rng.integers(0, 3))
+        y0 = min(y0, max(ny - th, 0))
+        x0 = min(x0, max(nx - tw, 0))
+        dy, dx = rng.random(), rng.random()
+
+        pixels = _bilinear_crop(canvas, y0, x0, dy, dx, (th, tw))
+        c0 = rng.uniform(-1.0, 1.0) * config.background_plane_scale
+        cy = rng.uniform(-1.0, 1.0) * config.background_plane_scale / th
+        cx = rng.uniform(-1.0, 1.0) * config.background_plane_scale / tw
+        pixels = pixels + c0 + cy * yy + cx * xx
+        pixels = pixels + rng.normal(scale=config.noise_sigma, size=pixels.shape)
+
+        hdu = ImageHDU(pixels.astype(np.float32), header={
+            "TILE": k,
+            "CRPIX1": float(x0),
+            "CRPIX2": float(y0),
+            "CDELT1": float(dx),
+            "CDELT2": float(dy),
+        })
+        tiles.append(RawTile(hdu=hdu, y0=y0, x0=x0, dy=dy, dx=dx,
+                             background=(c0, cy, cx)))
+    return tiles

@@ -1,0 +1,31 @@
+"""Mini-Nyx: cosmological density snapshot + halo-finder post-analysis."""
+
+from repro.apps.nyx.field import FieldConfig, generate_baryon_density
+from repro.apps.nyx.labeling import DisjointSet, label_components
+from repro.apps.nyx.halo_finder import (
+    Halo,
+    HaloCatalog,
+    average_value_check,
+    candidate_count,
+    find_halos,
+)
+from repro.apps.nyx.fof import FofGroup, friends_of_friends, mean_interparticle_separation
+from repro.apps.nyx.app import DATASET, PLOTFILE, NyxApplication
+
+__all__ = [
+    "FieldConfig",
+    "generate_baryon_density",
+    "DisjointSet",
+    "label_components",
+    "Halo",
+    "HaloCatalog",
+    "average_value_check",
+    "candidate_count",
+    "find_halos",
+    "FofGroup",
+    "friends_of_friends",
+    "mean_interparticle_separation",
+    "DATASET",
+    "PLOTFILE",
+    "NyxApplication",
+]

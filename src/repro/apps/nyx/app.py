@@ -1,0 +1,122 @@
+"""The Nyx application-under-test: write a plotfile, find halos.
+
+The run writes the baryon-density snapshot through mini-HDF5 (that write
+traffic is the fault surface); the post-analysis reads it back and runs
+the halo finder.  Outcome classification follows Sec. IV-C.1 verbatim:
+
+* halo-finder output bit-wise identical to golden → **BENIGN**
+* output differs and *no halo found* → **DETECTED**
+* output differs otherwise → **SDC**
+* unhandled exception (e.g. :class:`FormatError` from the reader) →
+  **CRASH** (recorded by the campaign runner)
+
+The optional average-value detector (``use_average_detector=True``)
+upgrades mean-shifting SDCs to DETECTED, reproducing the paper's Fig. 7
+note that "all SDC cases with Nyx will be changed to detected cases
+after using the average-value-based method".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.base import GoldenRecord, HpcApplication
+from repro.apps.nyx.field import FieldConfig, generate_baryon_density
+from repro.apps.nyx.halo_finder import (
+    DEFAULT_MIN_CELLS,
+    DEFAULT_THRESHOLD_FACTOR,
+    HaloCatalog,
+    average_value_check,
+    find_halos,
+)
+from repro.core.outcomes import Outcome
+from repro.fusefs.mount import MountPoint
+from repro.mhdf5.api import File
+from repro.mhdf5.reader import Hdf5Reader
+
+PLOTFILE = "/nyx/plt00000.h5"
+DATASET = "baryon_density"
+
+
+class NyxApplication(HpcApplication):
+    """Nyx cosmological snapshot + halo-finder post-analysis."""
+
+    name = "nyx"
+
+    def __init__(self, seed: int = 2021,
+                 field_config: FieldConfig = FieldConfig(),
+                 threshold_factor: float = DEFAULT_THRESHOLD_FACTOR,
+                 min_cells: int = DEFAULT_MIN_CELLS,
+                 use_average_detector: bool = False,
+                 average_rel_tol: float = 1e-3,
+                 chunks=None, compression=None) -> None:
+        super().__init__()
+        self.seed = seed
+        self.field_config = field_config
+        self.threshold_factor = threshold_factor
+        self.min_cells = min_cells
+        self.use_average_detector = use_average_detector
+        self.average_rel_tol = average_rel_tol
+        # Storage layout of the snapshot: contiguous by default; pass
+        # chunks/compression for the Sec. V-A compressed-data scenario.
+        self.chunks = tuple(chunks) if chunks else None
+        self.compression = compression
+        # The simulation product is deterministic; generate once.
+        self._rho = generate_baryon_density(field_config, seed)
+
+    @property
+    def rho(self) -> np.ndarray:
+        """The fault-free density field (for experiments and tests)."""
+        return self._rho
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def run(self, mp: MountPoint) -> None:
+        mp.makedirs("/nyx")
+        with self.phase("checkpoint"):
+            with File(mp, PLOTFILE, "w") as f:
+                f.create_dataset(DATASET, self._rho,
+                                 chunks=self.chunks,
+                                 compression=self.compression)
+            self.last_write_result = f.write_result
+
+    def output_paths(self) -> List[str]:
+        return [PLOTFILE]
+
+    # -- post-analysis ---------------------------------------------------------------
+
+    def read_density(self, mp: MountPoint) -> np.ndarray:
+        return Hdf5Reader(mp, PLOTFILE).read(DATASET)
+
+    def find_halos(self, rho: np.ndarray) -> HaloCatalog:
+        return find_halos(rho, threshold_factor=self.threshold_factor,
+                          min_cells=self.min_cells)
+
+    def analyze(self, mp: MountPoint) -> Dict[str, object]:
+        rho = self.read_density(mp)
+        catalog = self.find_halos(rho)
+        return {
+            "catalog_text": catalog.to_text(),
+            "n_halos": len(catalog),
+            "average_value": catalog.average_value,
+        }
+
+    # -- classification ---------------------------------------------------------------
+
+    def classify(self, golden: GoldenRecord, mp: MountPoint) -> Tuple[Outcome, str]:
+        rho = self.read_density(mp)          # FormatError here → CRASH upstream
+        catalog = self.find_halos(rho)
+        text = catalog.to_text()
+        if text == golden.analysis["catalog_text"]:
+            return Outcome.BENIGN, "halo catalog bit-wise identical"
+        if self.use_average_detector and not average_value_check(
+                rho, expected_mean=1.0, rel_tol=self.average_rel_tol):
+            return Outcome.DETECTED, (
+                f"average-value detector fired (mean={catalog.average_value:.6f})")
+        if len(catalog) == 0:
+            return Outcome.DETECTED, "no halo found"
+        return Outcome.SDC, (
+            f"catalog differs: {len(catalog)} halos vs "
+            f"{golden.analysis['n_halos']} golden")

@@ -1,0 +1,106 @@
+"""Friends-of-Friends clustering on particle positions.
+
+The paper notes Nyx's halo finder is "based on the Friends-of-Friends
+algorithm" [Davis et al. 1985]: particles closer than a linking length
+``b`` times the mean inter-particle separation belong to the same group.
+The campaign classification uses the grid finder (the baryon-density
+post-analysis the paper actually runs); this particle-space FoF is part
+of the library surface and is exercised by the cosmology example and the
+cross-validation tests (dense grid peaks and particle groups agree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.apps.nyx.labeling import DisjointSet
+
+
+@dataclass
+class FofGroup:
+    """One FoF group: member indices, centre of mass, total mass."""
+
+    members: np.ndarray
+    center: np.ndarray
+    mass: float
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+def friends_of_friends(positions: np.ndarray,
+                       linking_length: float,
+                       masses: Optional[np.ndarray] = None,
+                       min_members: int = 8,
+                       box_size: Optional[float] = None) -> List[FofGroup]:
+    """Group particles with the Friends-of-Friends percolation criterion.
+
+    Parameters
+    ----------
+    positions:
+        (N, 3) particle coordinates.
+    linking_length:
+        Absolute linking length (callers multiply ``b`` by the mean
+        inter-particle separation).
+    masses:
+        Optional per-particle masses (default: unit masses).
+    min_members:
+        Minimum group multiplicity to report (conventionally ≥ 8-32).
+    box_size:
+        If given, positions live in a periodic box of this side length.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError("positions must have shape (N, 3)")
+    n = len(positions)
+    if masses is None:
+        masses = np.ones(n, dtype=np.float64)
+    masses = np.asarray(masses, dtype=np.float64)
+    if masses.shape != (n,):
+        raise ValueError("masses must have shape (N,)")
+    if linking_length <= 0:
+        raise ValueError("linking length must be positive")
+    if n == 0:
+        return []
+
+    tree = cKDTree(positions, boxsize=box_size)
+    pairs = tree.query_pairs(r=linking_length, output_type="ndarray")
+
+    dsu = DisjointSet(n)
+    for a, b in pairs.tolist():
+        dsu.union(a, b)
+    roots = dsu.roots()
+
+    groups: List[FofGroup] = []
+    order = np.argsort(roots, kind="stable")
+    sorted_roots = roots[order]
+    boundaries = np.flatnonzero(np.diff(sorted_roots)) + 1
+    for chunk in np.split(order, boundaries):
+        if len(chunk) < min_members:
+            continue
+        member_masses = masses[chunk]
+        total = float(member_masses.sum())
+        if box_size is None:
+            center = (positions[chunk] * member_masses[:, None]).sum(axis=0) / total
+        else:
+            # Periodic centre of mass via the circular-mean trick.
+            angles = positions[chunk] * (2 * np.pi / box_size)
+            sin = (np.sin(angles) * member_masses[:, None]).sum(axis=0)
+            cos = (np.cos(angles) * member_masses[:, None]).sum(axis=0)
+            center = (np.arctan2(-sin, -cos) + np.pi) * (box_size / (2 * np.pi))
+        groups.append(FofGroup(members=np.sort(chunk), center=center, mass=total))
+
+    groups.sort(key=lambda g: (-g.mass, g.center[0]))
+    return groups
+
+
+def mean_interparticle_separation(n_particles: int, box_size: float) -> float:
+    """The ``n^(-1/3)`` scale FoF linking lengths are quoted against."""
+    if n_particles <= 0 or box_size <= 0:
+        raise ValueError("need a positive particle count and box size")
+    return box_size / n_particles ** (1.0 / 3.0)

@@ -1,0 +1,141 @@
+"""The QMCPACK application-under-test: He-atom VMC → DMC with restart I/O.
+
+Workload structure (mirrors the paper's description in Sec. IV-C.2):
+
+1. **VMC series (s000)** equilibrates a walker population, writes
+   ``He.s000.scalar.dat`` and -- crucially -- the walker configuration
+   file ``He.s000.config.h5`` (mini-HDF5).
+2. **DMC series (s001)** *reads the walker file back from the file
+   system* and projects toward the ground state, writing
+   ``He.s001.scalar.dat``.
+
+The restart read is the fault-propagation channel: corrupted walker bytes
+silently perturb the DMC trajectory, which is why QMCPACK shows the
+highest SDC rates in the paper's Fig. 7.
+
+Outcome classification follows the paper: compare ``He.s001.scalar.dat``
+bit-wise (benign); otherwise run the qmca reanalysis and call the run SDC
+if the energy still lands in the plausible window [-2.91, -2.90] Ha,
+detected otherwise; analysis failures and library errors are crashes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.base import GoldenRecord, HpcApplication
+from repro.apps.qmcpack.dmc import DmcParams, run_dmc
+from repro.apps.qmcpack.qmca import AnalysisError, EnergyEstimate, analyze_file
+from repro.apps.qmcpack.scalars import render_scalars, write_scalars
+from repro.apps.qmcpack.vmc import VmcParams, run_vmc
+from repro.apps.qmcpack.wavefunction import HeliumWavefunction
+from repro.core.outcomes import Outcome
+from repro.fusefs.mount import MountPoint
+from repro.mhdf5.api import File
+from repro.mhdf5.reader import Hdf5Reader
+from repro.util.rngstream import RngStream
+
+RUN_DIR = "/qmc"
+S000_SCALARS = f"{RUN_DIR}/He.s000.scalar.dat"
+CONFIG_FILE = f"{RUN_DIR}/He.s000.config.h5"
+LOG_FILE = f"{RUN_DIR}/He.out"
+S001_SCALARS = f"{RUN_DIR}/He.s001.scalar.dat"
+WALKER_DATASET = "walkers"
+
+#: The exact non-relativistic He ground-state energy the paper quotes.
+HE_EXACT_ENERGY = -2.90372
+
+#: The paper's SDC window: an energy inside it is physically plausible,
+#: so a differing file whose reanalysis stays inside is *silent*.
+SDC_WINDOW = (-2.91, -2.90)
+
+#: Text files are flushed in stdio-sized chunks.
+TEXT_BLOCK = 2048
+
+
+class QmcpackApplication(HpcApplication):
+    """He-atom VMC+DMC with restart-file fault propagation."""
+
+    name = "qmcpack"
+
+    def __init__(self, seed: int = 2021,
+                 wavefunction: HeliumWavefunction = HeliumWavefunction(),
+                 vmc_params: VmcParams = VmcParams(),
+                 dmc_params: DmcParams = DmcParams(),
+                 equilibration: int = 20) -> None:
+        super().__init__()
+        self.seed = seed
+        self.wf = wavefunction
+        self.vmc_params = vmc_params
+        self.dmc_params = dmc_params
+        self.equilibration = equilibration
+
+        # VMC has no file inputs, so its products are deterministic and
+        # computed once (the per-run cost is DMC only).
+        vmc_rng = RngStream(seed, "qmcpack", "vmc").generator()
+        self._vmc_walkers, self._vmc_rows = run_vmc(self.wf, vmc_params, vmc_rng)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def run(self, mp: MountPoint) -> None:
+        mp.makedirs(RUN_DIR)
+        with self.phase("vmc"):
+            write_scalars(mp, S000_SCALARS, self._vmc_rows, block_size=TEXT_BLOCK)
+            with File(mp, CONFIG_FILE, "w") as f:
+                f.create_dataset(WALKER_DATASET, self._vmc_walkers)
+            log = self._render_log()
+            mp.write_file(LOG_FILE, log.encode("ascii"), block_size=TEXT_BLOCK)
+        with self.phase("dmc"):
+            walkers = Hdf5Reader(mp, CONFIG_FILE).read(WALKER_DATASET)
+            dmc_rng = RngStream(self.seed, "qmcpack", "dmc").generator()
+            _, rows = run_dmc(self.wf, walkers, self.dmc_params, dmc_rng)
+            write_scalars(mp, S001_SCALARS, rows, block_size=TEXT_BLOCK)
+
+    def _render_log(self) -> str:
+        lines = [
+            "  Entering He run",
+            f"  seed            = {self.seed}",
+            f"  trial function  = Slater-Jastrow (a={self.wf.jastrow_a}, "
+            f"b={self.wf.jastrow_b}, zeta={self.wf.zeta})",
+            f"  VMC walkers     = {self.vmc_params.n_walkers}",
+            f"  VMC blocks      = {self.vmc_params.n_blocks}",
+            f"  DMC target pop  = {self.dmc_params.target_walkers}",
+            f"  DMC blocks      = {self.dmc_params.n_blocks}",
+            f"  DMC tau         = {self.dmc_params.tau}",
+            "  ========================================",
+        ]
+        # Pad the log so it presents a realistic write surface.
+        lines += [f"  status block {i:03d}: ok" for i in range(40)]
+        return "\n".join(lines) + "\n"
+
+    def output_paths(self) -> List[str]:
+        return [S000_SCALARS, CONFIG_FILE, LOG_FILE, S001_SCALARS]
+
+    # -- post-analysis ---------------------------------------------------------------
+
+    def analyze(self, mp: MountPoint) -> Dict[str, object]:
+        estimate = analyze_file(mp, S001_SCALARS, equilibration=self.equilibration)
+        return {
+            "energy": estimate.mean,
+            "error": estimate.error,
+            "s001_text": mp.read_file(S001_SCALARS),
+        }
+
+    def energy(self, mp: MountPoint) -> EnergyEstimate:
+        return analyze_file(mp, S001_SCALARS, equilibration=self.equilibration)
+
+    # -- classification ---------------------------------------------------------------
+
+    def classify(self, golden: GoldenRecord, mp: MountPoint) -> Tuple[Outcome, str]:
+        if not mp.exists(S001_SCALARS):
+            return Outcome.CRASH, "He.s001.scalar.dat was not created"
+        faulty = mp.read_file(S001_SCALARS)
+        if faulty == golden.analysis["s001_text"]:
+            return Outcome.BENIGN, "He.s001.scalar.dat bit-wise identical"
+        estimate = self.energy(mp)           # AnalysisError → CRASH upstream
+        lo, hi = SDC_WINDOW
+        if lo <= estimate.mean <= hi:
+            return Outcome.SDC, f"energy {estimate.mean:.5f} inside plausible window"
+        return Outcome.DETECTED, f"energy {estimate.mean:.5f} outside [{lo}, {hi}]"

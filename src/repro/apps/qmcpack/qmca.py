@@ -1,0 +1,78 @@
+"""QMCA-style reanalysis: total energy with error bar from scalar files.
+
+Mirrors the ``qmca`` tool's role in the paper: read a ``.scalar.dat``,
+drop the equilibration blocks, and estimate the total energy and its
+statistical error (via blocking).  The parser is tolerant of corrupted
+rows (they are skipped), but too few surviving rows -- or a missing
+file -- is an analysis failure, which campaigns classify as CRASH, the
+way the paper's crash class covers "the target file cannot be created".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.apps.qmcpack.scalars import ScalarRow, parse_scalars
+from repro.errors import ApplicationCrash
+from repro.fusefs.mount import MountPoint
+
+
+class AnalysisError(ApplicationCrash):
+    """qmca could not produce an energy estimate."""
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    mean: float
+    error: float
+    n_blocks: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.5f} +/- {self.error:.5f} ({self.n_blocks} blocks)"
+
+
+def blocking_error(values: np.ndarray, block: int = 4) -> float:
+    """One level of reblocking to tame serial correlation."""
+    n = (len(values) // block) * block
+    if n < 2 * block:
+        return float(values.std(ddof=1) / np.sqrt(max(len(values), 2)))
+    blocked = values[:n].reshape(-1, block).mean(axis=1)
+    return float(blocked.std(ddof=1) / np.sqrt(len(blocked)))
+
+
+def analyze_rows(rows: List[ScalarRow], equilibration: int = 20,
+                 min_rows: int = 10) -> EnergyEstimate:
+    """Energy estimate from parsed scalar rows.
+
+    ``equilibration`` rows are discarded from the front (qmca's ``-e``);
+    fewer than ``min_rows`` usable rows raises :class:`AnalysisError`.
+    """
+    usable = [r for r in rows if r.index >= equilibration]
+    if len(usable) < min_rows:
+        raise AnalysisError(
+            f"only {len(usable)} usable blocks after equilibration cut "
+            f"(need {min_rows})")
+    energies = np.array([r.local_energy for r in usable], dtype=np.float64)
+    weights = np.array([r.weight for r in usable], dtype=np.float64)
+    if not np.all(np.isfinite(energies)) or not np.all(np.isfinite(weights)):
+        # Non-finite scalars are a visible analysis failure, not silence.
+        raise AnalysisError("non-finite block energies in scalar file")
+    if weights.sum() <= 0:
+        raise AnalysisError("non-positive total weight in scalar file")
+    mean = float(np.average(energies, weights=weights))
+    error = blocking_error(energies)
+    return EnergyEstimate(mean=mean, error=error, n_blocks=len(usable))
+
+
+def analyze_file(mp: MountPoint, path: str, equilibration: int = 20,
+                 min_rows: int = 10) -> EnergyEstimate:
+    """Run the full qmca flow on a scalar file on the FFIS mount."""
+    try:
+        text = mp.read_file(path).decode("ascii", errors="replace")
+    except Exception as exc:
+        raise AnalysisError(f"cannot read {path}: {exc}") from exc
+    rows = parse_scalars(text)
+    return analyze_rows(rows, equilibration=equilibration, min_rows=min_rows)

@@ -1,0 +1,64 @@
+"""Variational Monte Carlo: Metropolis sampling of |psi|^2.
+
+The VMC series plays two roles in the paper's workload: it produces the
+``s000`` scalar file (whose corruption is invisible to the ``s001``-based
+outcome classification → the benign fraction) and, crucially, it
+generates the walker population that DMC restarts from.  That walker file
+is the propagation channel through which storage faults reach the DMC
+energies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.apps.qmcpack.scalars import ScalarRow
+from repro.apps.qmcpack.wavefunction import HeliumWavefunction
+
+
+@dataclass(frozen=True)
+class VmcParams:
+    n_walkers: int = 256
+    n_blocks: int = 60
+    steps_per_block: int = 10
+    step_size: float = 0.45          # Metropolis gaussian proposal sigma
+    warmup_blocks: int = 10
+
+
+def run_vmc(wf: HeliumWavefunction, params: VmcParams,
+            rng: np.random.Generator) -> Tuple[np.ndarray, List[ScalarRow]]:
+    """Run VMC; returns (final walker population, per-block scalar rows).
+
+    Walkers start from a gaussian cloud around the nucleus and are warmed
+    up for ``warmup_blocks`` before statistics are recorded.
+    """
+    n = params.n_walkers
+    walkers = rng.normal(scale=0.7, size=(n, 2, 3))
+    log_psi = wf.log_psi(walkers)
+
+    rows: List[ScalarRow] = []
+    for block in range(params.warmup_blocks + params.n_blocks):
+        accepted = 0
+        block_energies = np.empty((params.steps_per_block, n))
+        for step in range(params.steps_per_block):
+            proposal = walkers + rng.normal(scale=params.step_size,
+                                            size=walkers.shape)
+            log_psi_new = wf.log_psi(proposal)
+            accept = (np.log(rng.random(n)) <
+                      2.0 * (log_psi_new - log_psi))
+            walkers[accept] = proposal[accept]
+            log_psi[accept] = log_psi_new[accept]
+            accepted += int(accept.sum())
+            block_energies[step] = wf.local_energy(walkers)
+        if block >= params.warmup_blocks:
+            energies = block_energies.ravel()
+            rows.append(ScalarRow(
+                index=block - params.warmup_blocks,
+                local_energy=float(energies.mean()),
+                variance=float(energies.var()),
+                weight=float(n),
+            ))
+    return walkers, rows

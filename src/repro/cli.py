@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``experiments``                   -- list the paper's tables/figures
+* ``run <experiment-id>``           -- run one reproduction driver
+* ``campaign --app X --model Y``    -- run a custom campaign
+* ``project --app X --model Y --uber U`` -- system-level rate projection
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.projection import (
+    DeviceModel,
+    FIELD_STUDY_UBER_RANGE,
+    project_run,
+    system_sdc_rate,
+)
+from repro.analysis.stats import campaign_error_bars
+from repro.core.campaign import Campaign
+from repro.core.config import CampaignConfig
+from repro.core.outcomes import Outcome
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.params import montage_default, nyx_default, qmcpack_default
+
+APP_FACTORIES = {
+    "nyx": nyx_default,
+    "qmcpack": qmcpack_default,
+    "montage": montage_default,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FFIS reproduction: storage-fault injection for HPC apps")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list the reproducible tables/figures")
+
+    run = sub.add_parser("run", help="run one experiment driver")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS),
+                     help="experiment id (e.g. table3, figure7)")
+
+    campaign = sub.add_parser("campaign", help="run a fault-injection campaign")
+    campaign.add_argument("--app", choices=sorted(APP_FACTORIES), required=True)
+    campaign.add_argument("--model", choices=["BF", "SW", "DW", "RC"], required=True)
+    campaign.add_argument("--runs", type=int, default=100)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--phase", default=None,
+                          help="restrict injection to one app phase "
+                               "(e.g. mProjExec)")
+
+    project = sub.add_parser(
+        "project", help="project campaign rates to system scale")
+    project.add_argument("--app", choices=sorted(APP_FACTORIES), required=True)
+    project.add_argument("--model", choices=["BF", "SW", "DW", "RC"], required=True)
+    project.add_argument("--runs", type=int, default=100)
+    project.add_argument("--seed", type=int, default=0)
+    project.add_argument("--phase", default=None)
+    project.add_argument("--uber", type=float, default=FIELD_STUDY_UBER_RANGE[1],
+                         help="device uncorrectable bit error rate "
+                              "(default: the field-study upper bound 1e-9)")
+    project.add_argument("--nodes", type=int, default=1000)
+    project.add_argument("--runs-per-day", type=float, default=24.0)
+    return parser
+
+
+def _cmd_experiments(out) -> int:
+    for exp in EXPERIMENTS.values():
+        print(f"{exp.id:<9} {exp.description}  [{exp.bench}]", file=out)
+    return 0
+
+
+def _cmd_run(experiment_id: str, out) -> int:
+    experiment = get_experiment(experiment_id)
+    print(f"running {experiment.id}: {experiment.description}", file=out)
+    result = experiment.driver()
+    print(result.render(), file=out)
+    return 0
+
+
+def _run_campaign(args) -> "CampaignResult":
+    app = APP_FACTORIES[args.app]()
+    config = CampaignConfig(fault_model=args.model, n_runs=args.runs,
+                            seed=args.seed, phase=args.phase)
+    return Campaign(app, config).run()
+
+
+def _cmd_campaign(args, out) -> int:
+    result = _run_campaign(args)
+    print(result.summary(), file=out)
+    for outcome, estimate in campaign_error_bars(result.tally).items():
+        if result.tally.counts[outcome]:
+            print(f"  {outcome.value:<9} {estimate}", file=out)
+    return 0
+
+
+def _cmd_project(args, out) -> int:
+    result = _run_campaign(args)
+    device = DeviceModel(uber=args.uber)
+    projection = project_run(result, device)
+    print(f"{result.summary()}", file=out)
+    print(f"device UBER            : {args.uber:.3g}", file=out)
+    print(f"bytes written per run  : {result.profile.bytes_written}", file=out)
+    print(f"P(fault per run)       : {projection.fault_probability:.3g}", file=out)
+    print(f"P(SDC per run)         : {projection.probability(Outcome.SDC):.3g}",
+          file=out)
+    print(f"mean runs between SDCs : {projection.runs_per_sdc():.3g}", file=out)
+    daily = system_sdc_rate(projection, args.runs_per_day, args.nodes)
+    print(f"expected SDCs per day on {args.nodes} nodes x "
+          f"{args.runs_per_day:g} runs/day: {daily:.3g}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return _cmd_experiments(out)
+    if args.command == "run":
+        return _cmd_run(args.experiment, out)
+    if args.command == "campaign":
+        return _cmd_campaign(args, out)
+    if args.command == "project":
+        return _cmd_project(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

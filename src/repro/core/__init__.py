@@ -1,0 +1,48 @@
+"""FFIS: the fault-injection framework (the paper's primary contribution)."""
+
+from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
+from repro.core.fault_models import (
+    BitFlipFault,
+    DroppedWriteFault,
+    FaultModel,
+    ReadCorruptionFault,
+    SECTOR_SIZE,
+    ShornWriteFault,
+    make_fault_model,
+)
+from repro.core.signature import FaultSignature
+from repro.core.config import CampaignConfig
+from repro.core.generator import FaultGenerator
+from repro.core.profiler import IOProfiler, ProfileResult
+from repro.core.injector import FaultInjector, InjectionHook
+from repro.core.campaign import Campaign, CampaignResult
+from repro.core.metadata_campaign import (
+    MetadataCampaign,
+    MetadataCampaignResult,
+    MetadataWriteInfo,
+)
+
+__all__ = [
+    "Outcome",
+    "OutcomeTally",
+    "RunRecord",
+    "BitFlipFault",
+    "DroppedWriteFault",
+    "FaultModel",
+    "ReadCorruptionFault",
+    "SECTOR_SIZE",
+    "ShornWriteFault",
+    "make_fault_model",
+    "FaultSignature",
+    "CampaignConfig",
+    "FaultGenerator",
+    "IOProfiler",
+    "ProfileResult",
+    "FaultInjector",
+    "InjectionHook",
+    "Campaign",
+    "CampaignResult",
+    "MetadataCampaign",
+    "MetadataCampaignResult",
+    "MetadataWriteInfo",
+]

@@ -1,0 +1,134 @@
+"""The statistical fault-injection campaign runner (paper Fig. 4).
+
+For each run: pick a uniformly random dynamic instance of the target
+primitive (within the whole run or one named application phase), mount a
+fresh file system, execute the application with a one-shot injection hook
+armed, unmount, and classify the outcome against the golden record.  The
+mount/unmount-per-run discipline matches the paper's protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.apps.base import GoldenRecord, HpcApplication
+from repro.core.config import CampaignConfig
+from repro.core.generator import FaultGenerator
+from repro.core.injector import FaultInjector
+from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
+from repro.core.profiler import IOProfiler, ProfileResult
+from repro.core.signature import FaultSignature
+from repro.errors import FFISError
+from repro.fusefs.mount import mount
+from repro.fusefs.vfs import FFISFileSystem
+from repro.util.rngstream import RngStream
+
+FsFactory = Callable[[], FFISFileSystem]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, ready for tabulation."""
+
+    app_name: str
+    signature: str
+    phase: Optional[str]
+    records: List[RunRecord] = field(default_factory=list)
+    profile: Optional[ProfileResult] = None
+    golden: Optional[GoldenRecord] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def tally(self) -> OutcomeTally:
+        return OutcomeTally.from_records(self.records)
+
+    def rate(self, outcome: Outcome) -> float:
+        return self.tally.rate(outcome)
+
+    def summary(self) -> str:
+        label = f"{self.app_name}/{self.signature}"
+        if self.phase:
+            label += f" [{self.phase}]"
+        return f"{label}: {self.tally} ({len(self.records)} runs)"
+
+
+class Campaign:
+    """Runs the generator → profiler → injector loop for one app/config."""
+
+    def __init__(self, app: HpcApplication, config: CampaignConfig,
+                 fs_factory: FsFactory = FFISFileSystem) -> None:
+        self.app = app
+        self.config = config
+        self.fs_factory = fs_factory
+        self.signature: FaultSignature = FaultGenerator().generate(config)
+        self.injector = FaultInjector(self.signature)
+
+    # -- pieces -----------------------------------------------------------------
+
+    def profile(self) -> ProfileResult:
+        return IOProfiler(self.fs_factory).profile(self.app, self.signature)
+
+    def capture_golden(self) -> GoldenRecord:
+        fs = self.fs_factory()
+        with mount(fs) as mp:
+            return self.app.capture_golden(mp)
+
+    def run_once(self, instance: int, run_rng_seed: int,
+                 run_index: int, golden: GoldenRecord) -> RunRecord:
+        """One injection run at a fixed instance (exposed for tests)."""
+        fs = self.fs_factory()
+        rng = RngStream(run_rng_seed).generator()
+        hook = self.injector.arm(fs, instance, rng)
+        record = RunRecord(run_index=run_index, outcome=Outcome.BENIGN,
+                           target_instance=instance, phase=self.config.phase)
+        try:
+            with mount(fs) as mp:
+                self.app.execute(mp)
+                outcome, detail = self.app.classify(golden, mp)
+            record.outcome = outcome
+            record.detail = f"{detail}; {hook.note}" if hook.note else detail
+        except FFISError:
+            raise  # framework misuse is never an experimental outcome
+        except Exception as exc:  # noqa: BLE001 - crash taxonomy by design
+            record.outcome = Outcome.CRASH
+            record.detail = f"{type(exc).__name__}: {exc}; {hook.note}"
+        if not hook.fired:
+            record.detail = (record.detail + " [warning: fault never fired]").strip()
+        return record
+
+    # -- the campaign -----------------------------------------------------------------
+
+    def run(self, n_runs: Optional[int] = None,
+            progress: Optional[Callable[[int, int], None]] = None) -> CampaignResult:
+        start = time.perf_counter()
+        n = n_runs if n_runs is not None else self.config.n_runs
+        profile = self.profile()
+        golden = self.capture_golden()
+        window = profile.window(self.config.phase)
+        if len(window) == 0:
+            raise FFISError(
+                f"phase {self.config.phase!r} executed no "
+                f"{self.signature.primitive} calls")
+
+        result = CampaignResult(app_name=self.app.name,
+                                signature=str(self.signature),
+                                phase=self.config.phase,
+                                profile=profile, golden=golden)
+        stream = RngStream(self.config.seed, self.app.name,
+                           self.signature.model.name, self.config.phase or "all")
+        picker = stream.child("instances").generator()
+        for i in range(n):
+            instance = int(picker.integers(window.start, window.stop))
+            record = self.run_once(
+                instance=instance,
+                run_rng_seed=stream.child("run", i).seed,
+                run_index=i,
+                golden=golden,
+            )
+            result.records.append(record)
+            if progress is not None:
+                progress(i + 1, n)
+        result.elapsed_seconds = time.perf_counter() - start
+        return result

@@ -1,0 +1,214 @@
+"""The three FFIS fault models (paper Table I and Sec. IV-B).
+
+Each model rewrites one dynamic execution of a FUSE-style primitive:
+
+* **BIT_FLIP** -- flip ``n_bits`` consecutive bits (default 2; the paper's
+  footnote-3 ablation uses 4) at a uniformly random position of the write
+  buffer.  On ``ffis_mknod``/``ffis_chmod`` the flip lands in the
+  ``mode``/``dev`` integers instead (Fig. 3b).
+* **SHORN_WRITE** -- the device only persists the first 3/8 or 7/8 of the
+  write at 512-byte sector granularity; the tail of the buffer becomes
+  *undefined data*.  The tail policy models what "undefined" physically
+  is: ``stale`` (previous sector's bytes, the common manifestation and
+  the one matching the paper's observation that shorn Nyx data stayed
+  "within an order of magnitude" of the original), ``zeros``, or
+  ``random``.
+* **DROPPED_WRITE** -- the write never reaches the device but success (the
+  full size) is reported to the application.
+
+Models mutate the in-flight :class:`PrimitiveCall`; they never touch the
+file system directly, so they compose with any primitive the interposer
+routes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fusefs.interposer import CallDecision, PrimitiveCall
+from repro.util.bitops import flip_consecutive_bits
+
+SECTOR_SIZE = 512
+
+
+class FaultModel(ABC):
+    """A storage-fault transformation applied to one primitive call."""
+
+    #: Canonical name used in configs and reports ("BF", "SW", "DW").
+    name: str = "?"
+
+    @abstractmethod
+    def apply(self, call: PrimitiveCall, rng: np.random.Generator) -> Optional[CallDecision]:
+        """Corrupt *call* in place; return SUPPRESS to elide the operation."""
+
+    def describe(self) -> str:
+        """Human-readable feature description (Table I's Features column)."""
+        return self.name
+
+
+class BitFlipFault(FaultModel):
+    """Flip ``n_bits`` consecutive bits at a random buffer position."""
+
+    name = "BF"
+
+    def __init__(self, n_bits: int = 2) -> None:
+        if n_bits < 1:
+            raise ConfigError(f"BIT_FLIP needs n_bits >= 1, got {n_bits}")
+        self.n_bits = n_bits
+
+    def apply(self, call: PrimitiveCall, rng: np.random.Generator) -> Optional[CallDecision]:
+        if call.primitive in ("ffis_mknod", "ffis_chmod"):
+            field = "mode" if bool(rng.integers(0, 2)) or "dev" not in call.args else "dev"
+            value = int(call.args[field])
+            start = int(rng.integers(0, 16))
+            for k in range(self.n_bits):
+                value ^= 1 << ((start + k) % 32)
+            call.args[field] = value
+            call.notes.append(f"BF: flipped {self.n_bits} bits of {field}")
+            return None
+        buf = call.args.get("buf")
+        if not isinstance(buf, (bytes, bytearray)) or len(buf) == 0:
+            call.notes.append("BF: empty buffer, nothing to corrupt")
+            return None
+        nbits = 8 * len(buf)
+        start = int(rng.integers(0, nbits))
+        call.args["buf"] = flip_consecutive_bits(bytes(buf), start, self.n_bits)
+        call.notes.append(f"BF: flipped bits [{start}, {start + self.n_bits})")
+        return None
+
+    def describe(self) -> str:
+        return f"flip {self.n_bits} consecutive bits"
+
+
+class ShornWriteFault(FaultModel):
+    """Persist only the leading sectors of a write; the tail is undefined."""
+
+    name = "SW"
+
+    POLICIES = ("stale", "zeros", "random")
+
+    def __init__(self, fraction: float = 7 / 8, sector_size: int = SECTOR_SIZE,
+                 tail_policy: str = "stale") -> None:
+        if not 0.0 < fraction < 1.0:
+            raise ConfigError(f"SHORN_WRITE fraction must be in (0, 1), got {fraction}")
+        if tail_policy not in self.POLICIES:
+            raise ConfigError(f"unknown tail policy {tail_policy!r}")
+        self.fraction = fraction
+        self.sector_size = sector_size
+        self.tail_policy = tail_policy
+
+    def shear_point(self, size: int) -> int:
+        """Bytes that actually land, rounded down to sector granularity."""
+        kept = int(size * self.fraction) // self.sector_size * self.sector_size
+        if kept == 0:
+            kept = max(int(size * self.fraction), 1) if size > 1 else 0
+        return min(kept, size)
+
+    def apply(self, call: PrimitiveCall, rng: np.random.Generator) -> Optional[CallDecision]:
+        buf = call.args.get("buf")
+        if not isinstance(buf, (bytes, bytearray)) or len(buf) == 0:
+            call.notes.append("SW: empty buffer, nothing to shear")
+            return None
+        buf = bytes(buf)
+        kept = self.shear_point(len(buf))
+        tail_len = len(buf) - kept
+        if tail_len <= 0:
+            call.notes.append("SW: buffer smaller than one sector remainder")
+            return None
+        if self.tail_policy == "zeros":
+            tail = b"\x00" * tail_len
+        elif self.tail_policy == "random":
+            tail = rng.integers(0, 256, size=tail_len, dtype=np.uint8).tobytes()
+        else:  # stale: the previous sector's bytes, repeated over the tail
+            src_start = max(kept - self.sector_size, 0)
+            stale = buf[src_start:kept] or b"\x00"
+            reps = -(-tail_len // len(stale))
+            tail = (stale * reps)[:tail_len]
+        call.args["buf"] = buf[:kept] + tail
+        call.notes.append(
+            f"SW: kept {kept}/{len(buf)} bytes, tail={self.tail_policy}")
+        return None
+
+    def describe(self) -> str:
+        num = int(self.fraction * 8)
+        return (f"completely write the first {num}/8th of the block "
+                f"({self.sector_size}B granularity); tail undefined "
+                f"({self.tail_policy})")
+
+
+class ReadCorruptionFault(FaultModel):
+    """CORDS-style *read-path* corruption (Sec. VI, Ganesan et al.).
+
+    Flips bits in the buffer a read **returns** instead of what a write
+    persists.  The corruption is transient: a re-read of the same range
+    observes clean data, which is the fundamental contrast with FFIS's
+    write-path models the paper draws in Related Work ("they randomly
+    modify the content of a read buffer").  Included as an extension so
+    the two methodologies can be compared on the same applications.
+    """
+
+    name = "RC"
+
+    def __init__(self, n_bits: int = 2) -> None:
+        if n_bits < 1:
+            raise ConfigError(f"READ_CORRUPTION needs n_bits >= 1, got {n_bits}")
+        self.n_bits = n_bits
+
+    def apply(self, call: PrimitiveCall, rng: np.random.Generator) -> Optional[CallDecision]:
+        if call.primitive != "ffis_read":
+            call.notes.append("RC: not a read, nothing to corrupt")
+            return None
+        n_bits = self.n_bits
+
+        def corrupt(data: bytes) -> bytes:
+            if not data:
+                return data
+            start = int(rng.integers(0, 8 * len(data)))
+            return flip_consecutive_bits(data, start, n_bits)
+
+        call.result_transform = corrupt
+        call.notes.append(f"RC: will flip {self.n_bits} bits of the read result")
+        return None
+
+    def describe(self) -> str:
+        return f"flip {self.n_bits} consecutive bits of the returned read buffer"
+
+
+class DroppedWriteFault(FaultModel):
+    """Silently discard the write while reporting success."""
+
+    name = "DW"
+
+    def apply(self, call: PrimitiveCall, rng: np.random.Generator) -> Optional[CallDecision]:
+        call.notes.append("DW: write ignored")
+        return CallDecision.SUPPRESS
+
+    def describe(self) -> str:
+        return "the write operation is ignored"
+
+
+_REGISTRY = {
+    "BF": BitFlipFault,
+    "BIT_FLIP": BitFlipFault,
+    "SW": ShornWriteFault,
+    "SHORN_WRITE": ShornWriteFault,
+    "DW": DroppedWriteFault,
+    "DROPPED_WRITE": DroppedWriteFault,
+    "RC": ReadCorruptionFault,
+    "READ_CORRUPTION": ReadCorruptionFault,
+}
+
+
+def make_fault_model(name: str, **params) -> FaultModel:
+    """Instantiate a fault model by canonical or long name."""
+    try:
+        cls = _REGISTRY[name.upper()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown fault model {name!r} (choose from "
+            f"{sorted(set(_REGISTRY))})") from None
+    return cls(**params)

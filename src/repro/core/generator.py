@@ -1,0 +1,19 @@
+"""The fault generator: user configuration → fault signature (Fig. 4)."""
+
+from __future__ import annotations
+
+from repro.core.config import CampaignConfig
+from repro.core.signature import FaultSignature
+
+
+class FaultGenerator:
+    """Reads the user configuration and produces the fault signature.
+
+    Deliberately thin -- the architecture keeps signature *production*
+    (here), primitive *counting* (the I/O profiler), and fault
+    *application* (the injector) as the three separate components of the
+    paper's Fig. 4 workflow, so each can be exercised and tested alone.
+    """
+
+    def generate(self, config: CampaignConfig) -> FaultSignature:
+        return config.signature()

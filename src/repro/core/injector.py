@@ -1,0 +1,53 @@
+"""The fault injector: arm a one-shot corruption at a chosen instance."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.signature import FaultSignature
+from repro.errors import FFISError
+from repro.fusefs.interposer import CallDecision, PrimitiveCall
+from repro.fusefs.vfs import FFISFileSystem
+
+
+class InjectionHook:
+    """Hook that fires the fault model at exactly one dynamic instance.
+
+    The hook stays silent for every other invocation, so a run differs
+    from fault-free execution in precisely one corrupted call -- the
+    paper's single-fault-per-run model.
+    """
+
+    def __init__(self, signature: FaultSignature, instance: int,
+                 rng: np.random.Generator) -> None:
+        if instance < 0:
+            raise FFISError(f"instance must be >= 0, got {instance}")
+        self.signature = signature
+        self.instance = instance
+        self.rng = rng
+        self.fired = False
+        self.note: str = ""
+
+    def __call__(self, call: PrimitiveCall) -> Optional[CallDecision]:
+        if call.seqno != self.instance or self.fired:
+            return None
+        self.fired = True
+        decision = self.signature.model.apply(call, self.rng)
+        self.note = "; ".join(call.notes[-1:])
+        return decision
+
+
+class FaultInjector:
+    """Arms injection hooks on a file system's interposer."""
+
+    def __init__(self, signature: FaultSignature) -> None:
+        self.signature = signature
+
+    def arm(self, fs: FFISFileSystem, instance: int,
+            rng: np.random.Generator) -> InjectionHook:
+        """Attach a one-shot hook for *instance*; returns it for inspection."""
+        hook = InjectionHook(self.signature, instance, rng)
+        fs.interposer.add_hook(self.signature.primitive, hook)
+        return hook

@@ -1,0 +1,75 @@
+"""Outcome taxonomy of a fault-injection run (Sec. II of the paper).
+
+* **BENIGN** -- the application's post-analysis output is bit-wise
+  identical to the fault-free (golden) output.
+* **DETECTED** -- the output differs and the deviation is visible through
+  the application's own checks (no halos found; energy outside the
+  physically plausible window; mosaic statistics off).
+* **SDC** -- silent data corruption: the output differs but passes every
+  check the application performs.
+* **CRASH** -- the application (or a library beneath it) terminated
+  before producing its output.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+
+class Outcome(enum.Enum):
+    BENIGN = "benign"
+    SDC = "sdc"
+    DETECTED = "detected"
+    CRASH = "crash"
+
+
+@dataclass
+class RunRecord:
+    """One fault-injection run: where the fault landed and what happened."""
+
+    run_index: int
+    outcome: Outcome
+    target_instance: int = -1
+    phase: Optional[str] = None
+    detail: str = ""
+    #: For metadata campaigns: byte offset and field name of the corruption.
+    byte_offset: Optional[int] = None
+    bit_index: Optional[int] = None
+    field_name: Optional[str] = None
+
+
+@dataclass
+class OutcomeTally:
+    """Counts per outcome with convenience accessors."""
+
+    counts: Dict[Outcome, int] = field(default_factory=lambda: {o: 0 for o in Outcome})
+
+    def add(self, outcome: Outcome) -> None:
+        self.counts[outcome] += 1
+
+    @classmethod
+    def from_records(cls, records: Iterable[RunRecord]) -> "OutcomeTally":
+        tally = cls()
+        for record in records:
+            tally.add(record.outcome)
+        return tally
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def rate(self, outcome: Outcome) -> float:
+        return self.counts[outcome] / self.total if self.total else 0.0
+
+    def rates(self) -> Mapping[Outcome, float]:
+        return {o: self.rate(o) for o in Outcome}
+
+    def as_row(self) -> List[str]:
+        return [f"{self.counts[o]} ({100 * self.rate(o):.1f}%)" for o in Outcome]
+
+    def __str__(self) -> str:
+        parts = [f"{o.value}={self.counts[o]} ({100 * self.rate(o):.1f}%)"
+                 for o in Outcome if self.counts[o]]
+        return ", ".join(parts) if parts else "empty"

@@ -1,0 +1,62 @@
+"""The I/O profiler: fault-free dynamic counts of the target primitive.
+
+Runs the application once with a counting hook attached and reports how
+many times the fault signature's primitive executed, plus the per-phase
+windows.  That count defines the uniform distribution the fault injector
+samples instances from (paper requirement R4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.apps.base import HpcApplication, PhaseSpan
+from repro.core.signature import FaultSignature
+from repro.errors import FFISError
+from repro.fusefs.mount import mount
+from repro.fusefs.profiler_hooks import CountingHook
+from repro.fusefs.vfs import FFISFileSystem
+
+FsFactory = Callable[[], FFISFileSystem]
+
+
+@dataclass
+class ProfileResult:
+    """Fault-free dynamic execution profile of one primitive."""
+
+    primitive: str
+    total_count: int
+    bytes_written: int
+    phases: List[PhaseSpan] = field(default_factory=list)
+
+    def window(self, phase: Optional[str]) -> range:
+        """Instance range to sample from (whole run or one phase)."""
+        if phase is None:
+            return range(self.total_count)
+        for span in self.phases:
+            if span.name == phase:
+                return range(span.start, span.end)
+        raise FFISError(f"application recorded no phase named {phase!r}")
+
+
+class IOProfiler:
+    """Counts dynamic executions of a signature's primitive."""
+
+    def __init__(self, fs_factory: FsFactory = FFISFileSystem) -> None:
+        self.fs_factory = fs_factory
+
+    def profile(self, app: HpcApplication, signature: FaultSignature) -> ProfileResult:
+        fs = self.fs_factory()
+        hook = CountingHook()
+        fs.interposer.add_hook(signature.primitive, hook)
+        with mount(fs) as mp:
+            app.execute(mp)
+        if hook.count == 0:
+            raise FFISError(
+                f"{app.name} never executed {signature.primitive}; "
+                "nothing to inject into")
+        return ProfileResult(primitive=signature.primitive,
+                             total_count=hook.count,
+                             bytes_written=hook.bytes_written,
+                             phases=app.recorded_phases)

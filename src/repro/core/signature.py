@@ -1,0 +1,32 @@
+"""Fault signatures: the (model, primitive, feature) triple of Fig. 4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fault_models import FaultModel
+from repro.errors import ConfigError
+from repro.fusefs.vfs import PRIMITIVES
+
+
+@dataclass(frozen=True)
+class FaultSignature:
+    """What to inject: produced by the fault generator, consumed by the
+    I/O profiler (which counts the primitive) and the fault injector
+    (which applies the model at the chosen dynamic instance)."""
+
+    model: FaultModel
+    primitive: str = "ffis_write"
+
+    def __post_init__(self) -> None:
+        if self.primitive not in PRIMITIVES:
+            raise ConfigError(
+                f"unknown FUSE primitive {self.primitive!r} "
+                f"(choose from {PRIMITIVES})")
+
+    @property
+    def feature(self) -> str:
+        return self.model.describe()
+
+    def __str__(self) -> str:
+        return f"{self.model.name} on {self.primitive} ({self.feature})"

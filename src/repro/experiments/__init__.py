@@ -1,0 +1,46 @@
+"""One driver per paper table/figure (shared by benchmarks and examples).
+
+Each ``run_*`` function executes the experiment at a configurable scale
+and returns a result object with a ``render()`` method printing
+paper-comparable rows.  Campaign sizes honour the ``REPRO_FI_RUNS``
+environment variable (default: a laptop-friendly fraction of the paper's
+1,000 runs per cell).
+"""
+
+from repro.experiments.params import (
+    default_runs,
+    montage_default,
+    nyx_default,
+    nyx_small,
+    qmcpack_default,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7, run_figure7_cell
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = [
+    "default_runs",
+    "montage_default",
+    "nyx_default",
+    "nyx_small",
+    "qmcpack_default",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure7_cell",
+    "run_figure8",
+    "run_figure9",
+    "EXPERIMENTS",
+    "get_experiment",
+]

@@ -1,0 +1,84 @@
+"""Figure 7 -- the full characterization grid.
+
+{NYX, QMC, MT1..MT4} x {BF, SW, DW} outcome breakdowns, the paper's
+headline result.  Campaign sizes follow ``REPRO_FI_RUNS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.tables import render_outcome_grid, render_table
+from repro.apps.base import HpcApplication
+from repro.core.campaign import Campaign, CampaignResult
+from repro.core.config import CampaignConfig
+from repro.core.outcomes import Outcome
+from repro.experiments.params import (
+    default_runs,
+    montage_default,
+    nyx_default,
+    qmcpack_default,
+)
+
+FAULT_MODELS = ("BF", "SW", "DW")
+MONTAGE_STAGES = ("mProjExec", "mDiffExec", "mBgExec", "mAdd")
+
+#: Paper Fig. 7 rates for the headline cells (approximate reads of the
+#: stacked bars and the surrounding text), for side-by-side reporting.
+PAPER_NOTES = {
+    "NYX-BF": "91.1% benign, 0.8% SDC",
+    "NYX-SW": "100% benign",
+    "NYX-DW": "100% SDC",
+    "QMC-BF": "~60% SDC, ~37% benign",
+    "QMC-SW": "54% SDC, no detected",
+    "QMC-DW": "8% SDC, 43% detected, 12% crash",
+    "MT1-BF": "12.8% SDC", "MT2-BF": "8% SDC", "MT3-BF": "9% SDC", "MT4-BF": "6.8% SDC",
+    "MT1-SW": "56.6% SDC", "MT2-SW": "40% SDC", "MT3-SW": "52.5% SDC", "MT4-SW": "48.5% SDC",
+    "MT1-DW": "83.5% SDC", "MT2-DW": "37.3% SDC", "MT3-DW": "98.3% SDC", "MT4-DW": "50.4% SDC",
+}
+
+
+@dataclass
+class Figure7Result:
+    cells: Dict[str, CampaignResult] = field(default_factory=dict)
+
+    def cell(self, label: str) -> CampaignResult:
+        return self.cells[label]
+
+    def render(self) -> str:
+        grid = render_outcome_grid(self.cells,
+                                   title="Figure 7: I/O fault characterization")
+        rows = [[label, PAPER_NOTES.get(label, "-")] for label in self.cells]
+        paper = render_table(["cell", "paper"], rows, title="Figure 7 (paper)")
+        return grid + "\n" + paper
+
+
+def run_figure7_cell(app: HpcApplication, fault_model: str,
+                     n_runs: Optional[int] = None, seed: int = 1,
+                     phase: Optional[str] = None) -> CampaignResult:
+    """One cell of the grid (exposed for benches that time single cells)."""
+    runs = n_runs if n_runs is not None else default_runs()
+    config = CampaignConfig(fault_model=fault_model, n_runs=runs,
+                            seed=seed, phase=phase)
+    return Campaign(app, config).run()
+
+
+def run_figure7(n_runs: Optional[int] = None, seed: int = 1,
+                include_montage_stages: bool = True,
+                apps: Optional[Dict[str, HpcApplication]] = None) -> Figure7Result:
+    result = Figure7Result()
+    if apps is None:
+        apps = {"NYX": nyx_default(), "QMC": qmcpack_default(),
+                "MT": montage_default()}
+
+    for fm in FAULT_MODELS:
+        if "NYX" in apps:
+            result.cells[f"NYX-{fm}"] = run_figure7_cell(apps["NYX"], fm, n_runs, seed)
+        if "QMC" in apps:
+            result.cells[f"QMC-{fm}"] = run_figure7_cell(apps["QMC"], fm, n_runs, seed)
+        if "MT" in apps and include_montage_stages:
+            for i, stage in enumerate(MONTAGE_STAGES, start=1):
+                result.cells[f"MT{i}-{fm}"] = run_figure7_cell(
+                    apps["MT"], fm, n_runs, seed, phase=stage)
+    return result

@@ -1,0 +1,55 @@
+"""Shared workload scales and environment knobs for the experiments."""
+
+from __future__ import annotations
+
+import os
+
+from repro.apps.montage import MontageApplication, SkyConfig
+from repro.apps.nyx import FieldConfig, NyxApplication
+from repro.apps.qmcpack import QmcpackApplication
+
+#: The paper's campaign size per (application x fault model) cell.
+PAPER_RUNS = 1000
+
+#: Master seed shared by the stock experiments (replayable end to end).
+EXPERIMENT_SEED = 2021
+
+
+def default_runs(default: int = 150) -> int:
+    """Campaign size: ``REPRO_FI_RUNS`` env var, or *default*.
+
+    Set ``REPRO_FI_RUNS=1000`` to reproduce the paper's statistics
+    (runtime scales linearly).
+    """
+    raw = os.environ.get("REPRO_FI_RUNS", "")
+    if not raw:
+        return default
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"REPRO_FI_RUNS must be >= 1, got {value}")
+    return value
+
+
+def nyx_default(seed: int = EXPERIMENT_SEED) -> NyxApplication:
+    """The 64^3 Nyx workload used by the Fig. 7/8 campaigns."""
+    return NyxApplication(seed=seed)
+
+
+def nyx_small(seed: int = EXPERIMENT_SEED) -> NyxApplication:
+    """A 24^3 Nyx used by the byte-exhaustive metadata campaigns.
+
+    The metadata blob is the same size regardless of the data extent, so
+    the smaller field only accelerates the ~2,500 per-byte runs.
+    """
+    config = FieldConfig(shape=(24, 24, 24), n_halos=4,
+                         halo_amplitude=(300.0, 700.0),
+                         halo_radius=(0.7, 1.0))
+    return NyxApplication(seed=seed, field_config=config, min_cells=5)
+
+
+def qmcpack_default(seed: int = EXPERIMENT_SEED) -> QmcpackApplication:
+    return QmcpackApplication(seed=seed)
+
+
+def montage_default(seed: int = EXPERIMENT_SEED) -> MontageApplication:
+    return MontageApplication(seed=seed, sky_config=SkyConfig())

@@ -1,0 +1,57 @@
+"""Registry mapping experiment ids to drivers (the DESIGN.md index)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+
+
+@dataclass(frozen=True)
+class Experiment:
+    id: str
+    description: str
+    driver: Callable
+    bench: str
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.id: exp for exp in (
+        Experiment("table1", "Fault models supported by FFIS (conformance)",
+                   run_table1, "benchmarks/test_table1_fault_models.py"),
+        Experiment("table2", "Description of tested HPC applications",
+                   run_table2, "benchmarks/test_table2_applications.py"),
+        Experiment("table3", "Output classification of faulty HDF5 metadata",
+                   run_table3, "benchmarks/test_table3_metadata.py"),
+        Experiment("table4", "Per-field SDC symptoms for faulty metadata",
+                   run_table4, "benchmarks/test_table4_field_symptoms.py"),
+        Experiment("figure5", "Exponent-Bias scaling / ARD shift visualization",
+                   run_figure5, "benchmarks/test_figure5_sdc_visualization.py"),
+        Experiment("figure6", "Halo candidates under faulty Mantissa Size",
+                   run_figure6, "benchmarks/test_figure6_halo_candidates.py"),
+        Experiment("figure7", "Characterization grid (apps x fault models)",
+                   run_figure7, "benchmarks/test_figure7_characterization.py"),
+        Experiment("figure8", "Halo-mass distribution original vs DW",
+                   run_figure8, "benchmarks/test_figure8_mass_distribution.py"),
+        Experiment("figure9", "Faulty Montage mosaic (black-stripe artifact)",
+                   run_figure9, "benchmarks/test_figure9_montage_fault.py"),
+    )
+}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None

@@ -1,0 +1,40 @@
+"""FUSE-substitute substrate: an in-process, instrumentable file system.
+
+The paper interposes on application I/O with a FUSE file system (FFISFS);
+every POSIX call the application makes is routed through user-space
+callbacks where FFIS can rewrite the ``(buffer, size, offset)`` triple
+before it reaches the backing store.  This package provides the same
+interposition contract without a kernel: :class:`FFISFileSystem` exposes a
+POSIX-style primitive set, every primitive funnels through an
+:class:`Interposer` hook chain, and :func:`mount` provides the per-run
+mount/unmount lifecycle the paper performs between injection runs.
+"""
+
+from repro.fusefs.backend import MemoryBackend, DirectoryBackend, StorageBackend
+from repro.fusefs.inode import Inode, InodeKind, InodeTable
+from repro.fusefs.vfs import FFISFileSystem, FileHandle, StatResult, PRIMITIVES
+from repro.fusefs.interposer import Interposer, PrimitiveCall, Hook, CallDecision
+from repro.fusefs.mount import MountPoint, mount
+from repro.fusefs.profiler_hooks import CountingHook, TraceHook, TraceRecord
+
+__all__ = [
+    "MemoryBackend",
+    "DirectoryBackend",
+    "StorageBackend",
+    "Inode",
+    "InodeKind",
+    "InodeTable",
+    "FFISFileSystem",
+    "FileHandle",
+    "StatResult",
+    "PRIMITIVES",
+    "Interposer",
+    "PrimitiveCall",
+    "Hook",
+    "CallDecision",
+    "MountPoint",
+    "mount",
+    "CountingHook",
+    "TraceHook",
+    "TraceRecord",
+]

@@ -1,0 +1,182 @@
+"""Backing stores for the virtual file system.
+
+A backend owns the *data blocks* of regular files, addressed by inode
+number.  It deliberately knows nothing about paths, directories or
+permissions -- those live in the inode layer -- mirroring the split
+between a FUSE daemon's namespace logic and the underlying device the
+paper's FFISFS forwards to with ``pwrite``.
+
+Semantics shared by all backends (and relied on by the fault models):
+
+* ``pwrite`` beyond end-of-file zero-fills the gap, creating a *hole*.
+  A DROPPED_WRITE therefore leaves a zero region if any later write lands
+  past it -- exactly the manifestation the paper describes.
+* ``pread`` beyond end-of-file returns only the available bytes (possibly
+  empty), like POSIX ``pread``.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Dict
+
+
+class StorageBackend(ABC):
+    """Abstract block store addressed by inode number."""
+
+    @abstractmethod
+    def create(self, ino: int) -> None:
+        """Allocate an empty extent for inode *ino* (idempotent)."""
+
+    @abstractmethod
+    def delete(self, ino: int) -> None:
+        """Release the extent of inode *ino* (missing extents are ignored)."""
+
+    @abstractmethod
+    def pread(self, ino: int, size: int, offset: int) -> bytes:
+        """Read up to *size* bytes at *offset*; short reads at EOF."""
+
+    @abstractmethod
+    def pwrite(self, ino: int, data: bytes, offset: int) -> int:
+        """Write *data* at *offset*, zero-filling any gap; returns len(data)."""
+
+    @abstractmethod
+    def truncate(self, ino: int, size: int) -> None:
+        """Grow (zero-fill) or shrink the extent to *size* bytes."""
+
+    @abstractmethod
+    def size(self, ino: int) -> int:
+        """Current extent length in bytes."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop every extent (used when re-formatting between runs)."""
+
+
+class MemoryBackend(StorageBackend):
+    """In-memory backend: one ``bytearray`` per inode.
+
+    This is the default for fault-injection campaigns -- thousands of
+    mount/run/unmount cycles with no disk traffic.
+    """
+
+    def __init__(self) -> None:
+        self._extents: Dict[int, bytearray] = {}
+
+    def create(self, ino: int) -> None:
+        self._extents.setdefault(ino, bytearray())
+
+    def delete(self, ino: int) -> None:
+        self._extents.pop(ino, None)
+
+    def _extent(self, ino: int) -> bytearray:
+        try:
+            return self._extents[ino]
+        except KeyError:
+            raise KeyError(f"backend has no extent for inode {ino}") from None
+
+    def pread(self, ino: int, size: int, offset: int) -> bytes:
+        if size < 0 or offset < 0:
+            raise ValueError("size and offset must be non-negative")
+        ext = self._extent(ino)
+        return bytes(ext[offset : offset + size])
+
+    def pwrite(self, ino: int, data: bytes, offset: int) -> int:
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        ext = self._extent(ino)
+        end = offset + len(data)
+        if offset > len(ext):
+            ext.extend(b"\x00" * (offset - len(ext)))
+        if end > len(ext):
+            ext.extend(b"\x00" * (end - len(ext)))
+        ext[offset:end] = data
+        return len(data)
+
+    def truncate(self, ino: int, size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        ext = self._extent(ino)
+        if size <= len(ext):
+            del ext[size:]
+        else:
+            ext.extend(b"\x00" * (size - len(ext)))
+
+    def size(self, ino: int) -> int:
+        return len(self._extent(ino))
+
+    def clear(self) -> None:
+        self._extents.clear()
+
+
+class DirectoryBackend(StorageBackend):
+    """Backend that persists extents as files in a host directory.
+
+    Useful for post-mortem inspection of corrupted files produced during a
+    campaign.  Each inode is stored as ``<root>/ino_<n>.bin``.
+    """
+
+    def __init__(self, root: str) -> None:
+        self._root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, ino: int) -> str:
+        return os.path.join(self._root, f"ino_{ino}.bin")
+
+    def create(self, ino: int) -> None:
+        path = self._path(ino)
+        if not os.path.exists(path):
+            with open(path, "wb"):
+                pass
+
+    def delete(self, ino: int) -> None:
+        try:
+            os.unlink(self._path(ino))
+        except FileNotFoundError:
+            pass
+
+    def pread(self, ino: int, size: int, offset: int) -> bytes:
+        if size < 0 or offset < 0:
+            raise ValueError("size and offset must be non-negative")
+        try:
+            with open(self._path(ino), "rb") as f:
+                f.seek(offset)
+                return f.read(size)
+        except FileNotFoundError:
+            raise KeyError(f"backend has no extent for inode {ino}") from None
+
+    def pwrite(self, ino: int, data: bytes, offset: int) -> int:
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        path = self._path(ino)
+        if not os.path.exists(path):
+            raise KeyError(f"backend has no extent for inode {ino}")
+        with open(path, "r+b") as f:
+            f.seek(0, os.SEEK_END)
+            end = f.tell()
+            if offset > end:
+                f.write(b"\x00" * (offset - end))
+            f.seek(offset)
+            f.write(data)
+        return len(data)
+
+    def truncate(self, ino: int, size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        path = self._path(ino)
+        if not os.path.exists(path):
+            raise KeyError(f"backend has no extent for inode {ino}")
+        with open(path, "r+b") as f:
+            f.truncate(size)
+
+    def size(self, ino: int) -> int:
+        try:
+            return os.path.getsize(self._path(ino))
+        except FileNotFoundError:
+            raise KeyError(f"backend has no extent for inode {ino}") from None
+
+    def clear(self) -> None:
+        for name in os.listdir(self._root):
+            if name.startswith("ino_") and name.endswith(".bin"):
+                os.unlink(os.path.join(self._root, name))

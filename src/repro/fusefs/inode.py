@@ -1,0 +1,188 @@
+"""Inode table and directory namespace for the virtual file system."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    IsADirectory,
+    NotADirectory,
+)
+
+ROOT_INO = 1
+
+
+class InodeKind(enum.Enum):
+    """File type stored in an inode (subset of POSIX ``S_IFMT``)."""
+
+    FILE = "file"
+    DIRECTORY = "directory"
+    FIFO = "fifo"
+    DEVICE = "device"
+
+
+@dataclass
+class Inode:
+    """Metadata record for one file-system object.
+
+    ``size`` is authoritative for regular files (the backend extent is kept
+    in sync by the VFS layer); directories track their entry map instead.
+    """
+
+    ino: int
+    kind: InodeKind
+    mode: int = 0o644
+    nlink: int = 1
+    size: int = 0
+    rdev: int = 0
+    # Logical timestamps: a per-filesystem operation counter, not wall time,
+    # so runs are deterministic.
+    ctime: int = 0
+    mtime: int = 0
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind is InodeKind.DIRECTORY
+
+
+class InodeTable:
+    """Allocates inodes and resolves slash-separated paths to them."""
+
+    def __init__(self) -> None:
+        self._inodes: Dict[int, Inode] = {}
+        self._next_ino = ROOT_INO
+        self._clock = 0
+        root = self._alloc(InodeKind.DIRECTORY, mode=0o755)
+        assert root.ino == ROOT_INO
+
+    # -- allocation ---------------------------------------------------------
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _alloc(self, kind: InodeKind, mode: int = 0o644, rdev: int = 0) -> Inode:
+        ino = self._next_ino
+        self._next_ino += 1
+        now = self._tick()
+        node = Inode(ino=ino, kind=kind, mode=mode, rdev=rdev, ctime=now, mtime=now)
+        self._inodes[ino] = node
+        return node
+
+    def get(self, ino: int) -> Inode:
+        try:
+            return self._inodes[ino]
+        except KeyError:
+            raise FileNotFound(f"no inode {ino}") from None
+
+    def __len__(self) -> int:
+        return len(self._inodes)
+
+    def __iter__(self) -> Iterator[Inode]:
+        return iter(self._inodes.values())
+
+    # -- path resolution ----------------------------------------------------
+
+    @staticmethod
+    def split(path: str) -> List[str]:
+        """Normalize a path into components; rejects empty components."""
+        if not path.startswith("/"):
+            raise ValueError(f"path must be absolute: {path!r}")
+        parts = [p for p in path.split("/") if p]
+        for p in parts:
+            if p in (".", ".."):
+                raise ValueError(f"'.'/'..' components not supported: {path!r}")
+        return parts
+
+    def lookup(self, path: str) -> Inode:
+        """Resolve *path* to its inode, raising :class:`FileNotFound`."""
+        node = self.get(ROOT_INO)
+        for part in self.split(path):
+            if not node.is_dir:
+                raise NotADirectory(f"{part!r} lookup through non-directory")
+            try:
+                node = self.get(node.entries[part])
+            except KeyError:
+                raise FileNotFound(path) from None
+        return node
+
+    def lookup_parent(self, path: str) -> Tuple[Inode, str]:
+        """Resolve the parent directory of *path*; returns (parent, name)."""
+        parts = self.split(path)
+        if not parts:
+            raise ValueError("cannot take the parent of the root directory")
+        node = self.get(ROOT_INO)
+        for part in parts[:-1]:
+            if not node.is_dir:
+                raise NotADirectory(f"{part!r} lookup through non-directory")
+            try:
+                node = self.get(node.entries[part])
+            except KeyError:
+                raise FileNotFound(path) from None
+        if not node.is_dir:
+            raise NotADirectory(path)
+        return node, parts[-1]
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.lookup(path)
+            return True
+        except (FileNotFound, NotADirectory):
+            return False
+
+    # -- namespace mutation --------------------------------------------------
+
+    def link(self, parent: Inode, name: str, node: Inode) -> None:
+        if not parent.is_dir:
+            raise NotADirectory(f"inode {parent.ino} is not a directory")
+        if name in parent.entries:
+            raise FileExists(name)
+        parent.entries[name] = node.ino
+        parent.mtime = self._tick()
+
+    def unlink(self, parent: Inode, name: str) -> Inode:
+        if not parent.is_dir:
+            raise NotADirectory(f"inode {parent.ino} is not a directory")
+        try:
+            ino = parent.entries[name]
+        except KeyError:
+            raise FileNotFound(name) from None
+        node = self.get(ino)
+        if node.is_dir:
+            raise IsADirectory(name)
+        del parent.entries[name]
+        parent.mtime = self._tick()
+        node.nlink -= 1
+        if node.nlink <= 0:
+            del self._inodes[ino]
+        return node
+
+    def rmdir(self, parent: Inode, name: str) -> Inode:
+        try:
+            ino = parent.entries[name]
+        except KeyError:
+            raise FileNotFound(name) from None
+        node = self.get(ino)
+        if not node.is_dir:
+            raise NotADirectory(name)
+        if node.entries:
+            raise DirectoryNotEmpty(name)
+        del parent.entries[name]
+        del self._inodes[ino]
+        parent.mtime = self._tick()
+        return node
+
+    def create(self, path: str, kind: InodeKind, mode: int = 0o644, rdev: int = 0) -> Inode:
+        parent, name = self.lookup_parent(path)
+        node = self._alloc(kind, mode=mode, rdev=rdev)
+        self.link(parent, name, node)
+        return node
+
+    def touch_mtime(self, node: Inode) -> None:
+        node.mtime = self._tick()

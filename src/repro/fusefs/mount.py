@@ -1,0 +1,111 @@
+"""Mount/unmount lifecycle and the user-facing :class:`MountPoint` API.
+
+The paper remounts FFISFS around every fault-injection run "to mimic the
+real scenario on the HPC system".  :func:`mount` reproduces that
+discipline: a context manager that marks the file system mounted, resets
+the interposer's dynamic counters (a fresh mount is a fresh sequence of
+primitive executions), and guarantees unmount on exit even when the
+application under test crashes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.fusefs.vfs import FFISFileSystem, FileHandle, StatResult
+
+
+class MountPoint:
+    """Handle applications use to perform I/O on a mounted FFIS fs.
+
+    Thin convenience wrappers (``write_file``, ``read_file``) are layered
+    on the primitives so that *every* byte still flows through the
+    interposer; there is no side channel around the fault injector.
+    """
+
+    def __init__(self, fs: FFISFileSystem) -> None:
+        self.fs = fs
+
+    # -- file handles ----------------------------------------------------------
+
+    def open(self, path: str, mode: str = "r") -> FileHandle:
+        return self.fs.ffis_open(path, mode)
+
+    # -- whole-file helpers ------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes, block_size: Optional[int] = None) -> int:
+        """Write *data* to *path*, optionally split into *block_size* writes.
+
+        HPC I/O stacks issue large writes in device-block-sized chunks;
+        splitting matters here because fault models are defined per write
+        (e.g. a shorn 4 KiB write).
+        """
+        with self.open(path, "w") as f:
+            if block_size is None:
+                return f.write(data)
+            total = 0
+            for start in range(0, len(data), block_size):
+                total += f.write(data[start : start + block_size])
+            return total
+
+    def read_file(self, path: str) -> bytes:
+        with self.open(path, "r") as f:
+            return f.read()
+
+    # -- namespace ----------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return self.fs.inodes.exists(path)
+
+    def stat(self, path: str) -> StatResult:
+        return self.fs.ffis_getattr(path)
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self.fs.ffis_mkdir(path, mode)
+
+    def makedirs(self, path: str) -> None:
+        parts = [p for p in path.split("/") if p]
+        cur = ""
+        for p in parts:
+            cur += "/" + p
+            if not self.exists(cur):
+                self.mkdir(cur)
+
+    def listdir(self, path: str = "/") -> List[str]:
+        return self.fs.ffis_readdir(path)
+
+    def remove(self, path: str) -> None:
+        self.fs.ffis_unlink(path)
+
+    def rename(self, src: str, dst: str) -> None:
+        self.fs.ffis_rename(src, dst)
+
+    def truncate(self, path: str, size: int) -> None:
+        self.fs.ffis_truncate(path, size)
+
+    def mknod(self, path: str, mode: int = 0o644, dev: int = 0) -> None:
+        self.fs.ffis_mknod(path, mode, dev)
+
+    def chmod(self, path: str, mode: int) -> None:
+        self.fs.ffis_chmod(path, mode)
+
+
+@contextmanager
+def mount(fs: FFISFileSystem, reset_counters: bool = True) -> Iterator[MountPoint]:
+    """Mount *fs* for the duration of the ``with`` block.
+
+    Parameters
+    ----------
+    reset_counters:
+        Start the primitive sequence numbering afresh (the default).  The
+        I/O profiler and the fault injector both assume counters start at
+        zero at mount time, matching the paper's remount-per-run protocol.
+    """
+    fs._set_mounted(True)
+    if reset_counters:
+        fs.interposer.reset_counters()
+    try:
+        yield MountPoint(fs)
+    finally:
+        fs._set_mounted(False)

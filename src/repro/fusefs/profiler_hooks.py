@@ -1,0 +1,61 @@
+"""Observation-only hooks used by the I/O profiler and by tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.fusefs.interposer import CallDecision, PrimitiveCall
+
+
+class CountingHook:
+    """Counts dynamic executions of the primitive it is attached to.
+
+    The paper's I/O profiler runs the application fault-free and records
+    how many times the target primitive executes; that count defines the
+    uniform instance distribution the injector samples from (requirement
+    R4: repressiveness/uniformity).
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.bytes_written = 0
+
+    def __call__(self, call: PrimitiveCall) -> Optional[CallDecision]:
+        self.count += 1
+        size = call.args.get("size")
+        if call.primitive == "ffis_write" and isinstance(size, int):
+            self.bytes_written += size
+        return None
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced primitive invocation (arguments summarized, not copied)."""
+
+    primitive: str
+    seqno: int
+    summary: Dict[str, Any]
+
+
+class TraceHook:
+    """Records a summary of every invocation, for debugging and tests.
+
+    Buffers are summarized by length to keep traces small; set
+    ``keep_buffers=True`` to retain full contents (tests of fault-model
+    byte effects use this).
+    """
+
+    def __init__(self, keep_buffers: bool = False) -> None:
+        self.records: List[TraceRecord] = []
+        self.keep_buffers = keep_buffers
+
+    def __call__(self, call: PrimitiveCall) -> Optional[CallDecision]:
+        summary: Dict[str, Any] = {}
+        for key, value in call.args.items():
+            if isinstance(value, (bytes, bytearray)) and not self.keep_buffers:
+                summary[key] = f"<{len(value)} bytes>"
+            else:
+                summary[key] = value
+        self.records.append(TraceRecord(call.primitive, call.seqno, summary))
+        return None

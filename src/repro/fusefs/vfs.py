@@ -1,0 +1,398 @@
+"""The FFIS virtual file system: POSIX-style primitives over a backend.
+
+Each public ``ffis_*`` method mirrors a FUSE callback from the paper's
+FFISFS (Table I lists ``FFISwrite``, ``FFISmknod``, ``FFISchmod`` as fault
+hosts).  Every primitive funnels through the :class:`Interposer`, so fault
+models and profilers interpose without the application -- or this class --
+knowing about them (requirement R1: transparency).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    BadFileDescriptor,
+    FileExists,
+    FileNotFound,
+    IsADirectory,
+    NotMounted,
+    VFSError,
+)
+from repro.fusefs.backend import MemoryBackend, StorageBackend
+from repro.fusefs.inode import Inode, InodeKind, InodeTable
+from repro.fusefs.interposer import Interposer
+
+#: The primitive names that can host faults, in the paper's nomenclature.
+PRIMITIVES = (
+    "ffis_open",
+    "ffis_read",
+    "ffis_write",
+    "ffis_mknod",
+    "ffis_chmod",
+    "ffis_truncate",
+    "ffis_unlink",
+    "ffis_rename",
+    "ffis_mkdir",
+    "ffis_rmdir",
+    "ffis_fsync",
+    "ffis_release",
+)
+
+
+@dataclass(frozen=True)
+class StatResult:
+    """Subset of ``struct stat`` returned by :meth:`FFISFileSystem.ffis_getattr`."""
+
+    ino: int
+    kind: InodeKind
+    mode: int
+    nlink: int
+    size: int
+    ctime: int
+    mtime: int
+
+
+class OpenMode(enum.Enum):
+    READ = "r"
+    WRITE = "w"          # create/truncate
+    APPEND = "a"
+    READ_WRITE = "r+"    # existing file, read/write
+
+
+class FileHandle:
+    """An open-file descriptor with a sequential position cursor.
+
+    Sequential :meth:`write`/:meth:`read` are conveniences layered over the
+    positional ``ffis_write``/``ffis_read`` primitives -- only the
+    primitives are interposition points.
+    """
+
+    def __init__(self, fs: "FFISFileSystem", fd: int, ino: int, mode: OpenMode, pos: int) -> None:
+        self._fs = fs
+        self.fd = fd
+        self.ino = ino
+        self.mode = mode
+        self.pos = pos
+        self.closed = False
+
+    # -- positional I/O -------------------------------------------------------
+
+    def pwrite(self, data: bytes, offset: int) -> int:
+        return self._fs.ffis_write(self.fd, bytes(data), len(data), offset)
+
+    def pread(self, size: int, offset: int) -> bytes:
+        return self._fs.ffis_read(self.fd, size, offset)
+
+    # -- sequential I/O -------------------------------------------------------
+
+    def write(self, data: bytes) -> int:
+        n = self.pwrite(data, self.pos)
+        self.pos += n
+        return n
+
+    def read(self, size: int = -1) -> bytes:
+        if size < 0:
+            size = max(self._fs.file_size_of(self.fd) - self.pos, 0)
+        data = self.pread(size, self.pos)
+        self.pos += len(data)
+        return data
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        if whence == 0:
+            self.pos = offset
+        elif whence == 1:
+            self.pos += offset
+        elif whence == 2:
+            self.pos = self._fs.file_size_of(self.fd) + offset
+        else:
+            raise ValueError(f"bad whence {whence}")
+        if self.pos < 0:
+            raise ValueError("negative seek position")
+        return self.pos
+
+    def tell(self) -> int:
+        return self.pos
+
+    def truncate(self, size: Optional[int] = None) -> None:
+        self._fs.ffis_ftruncate(self.fd, self.pos if size is None else size)
+
+    def fsync(self) -> None:
+        self._fs.ffis_fsync(self.fd)
+
+    def close(self) -> None:
+        if not self.closed:
+            self._fs.ffis_release(self.fd)
+            self.closed = True
+
+    def __enter__(self) -> "FileHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class FFISFileSystem:
+    """An instrumentable in-process file system.
+
+    Parameters
+    ----------
+    backend:
+        Block store for regular-file data; defaults to a fresh
+        :class:`MemoryBackend`.
+    """
+
+    def __init__(self, backend: Optional[StorageBackend] = None) -> None:
+        self.backend: StorageBackend = backend if backend is not None else MemoryBackend()
+        self.inodes = InodeTable()
+        self.interposer = Interposer()
+        self._fds: Dict[int, FileHandle] = {}
+        self._next_fd = 3  # skip the conventional stdio numbers
+        self._mounted = False
+
+    # -- mount lifecycle ------------------------------------------------------
+
+    @property
+    def mounted(self) -> bool:
+        return self._mounted
+
+    def _set_mounted(self, value: bool) -> None:
+        if value and self._mounted:
+            raise NotMounted("file system is already mounted")
+        if not value:
+            # Invalidate every open descriptor, like a forced unmount.
+            self._fds.clear()
+        self._mounted = value
+
+    def _require_mounted(self) -> None:
+        if not self._mounted:
+            raise NotMounted("file system is not mounted")
+
+    def format(self) -> None:
+        """Reset to an empty file system (fails while mounted)."""
+        if self._mounted:
+            raise NotMounted("cannot format a mounted file system")
+        self.backend.clear()
+        self.inodes = InodeTable()
+        self._fds.clear()
+        self._next_fd = 3
+
+    # -- descriptor helpers ---------------------------------------------------
+
+    def _handle(self, fd: int) -> FileHandle:
+        try:
+            h = self._fds[fd]
+        except KeyError:
+            raise BadFileDescriptor(f"fd {fd}") from None
+        if h.closed:
+            raise BadFileDescriptor(f"fd {fd} is closed")
+        return h
+
+    def file_size_of(self, fd: int) -> int:
+        return self.inodes.get(self._handle(fd).ino).size
+
+    # -- primitives -----------------------------------------------------------
+
+    def ffis_getattr(self, path: str) -> StatResult:
+        self._require_mounted()
+        node = self.inodes.lookup(path)
+        return StatResult(
+            ino=node.ino, kind=node.kind, mode=node.mode, nlink=node.nlink,
+            size=node.size, ctime=node.ctime, mtime=node.mtime,
+        )
+
+    def ffis_mkdir(self, path: str, mode: int = 0o755) -> None:
+        self._require_mounted()
+        call = self.interposer.dispatch("ffis_mkdir", {"path": path, "mode": mode})
+        if call.suppressed:
+            return
+        self.inodes.create(call.args["path"], InodeKind.DIRECTORY, mode=call.args["mode"])
+
+    def ffis_rmdir(self, path: str) -> None:
+        self._require_mounted()
+        call = self.interposer.dispatch("ffis_rmdir", {"path": path})
+        if call.suppressed:
+            return
+        parent, name = self.inodes.lookup_parent(call.args["path"])
+        self.inodes.rmdir(parent, name)
+
+    def ffis_mknod(self, path: str, mode: int = 0o644, dev: int = 0) -> None:
+        """Create a regular file, FIFO, or device node.
+
+        Mirrors the paper's ``FFIS_mknod``: hooks may rewrite ``mode`` and
+        ``dev`` before they are applied (Fig. 3b).
+        """
+        self._require_mounted()
+        call = self.interposer.dispatch("ffis_mknod", {"path": path, "mode": mode, "dev": dev})
+        if call.suppressed:
+            return
+        mode = call.args["mode"]
+        kind = InodeKind.FILE
+        if mode & 0o010000:
+            kind = InodeKind.FIFO
+        elif mode & 0o060000:
+            kind = InodeKind.DEVICE
+        node = self.inodes.create(call.args["path"], kind, mode=mode & 0o7777,
+                                  rdev=call.args["dev"])
+        if kind is InodeKind.FILE:
+            self.backend.create(node.ino)
+
+    def ffis_chmod(self, path: str, mode: int) -> None:
+        self._require_mounted()
+        call = self.interposer.dispatch("ffis_chmod", {"path": path, "mode": mode})
+        if call.suppressed:
+            return
+        node = self.inodes.lookup(call.args["path"])
+        node.mode = call.args["mode"] & 0o7777
+        self.inodes.touch_mtime(node)
+
+    def ffis_open(self, path: str, mode: str = "r") -> FileHandle:
+        self._require_mounted()
+        call = self.interposer.dispatch("ffis_open", {"path": path, "mode": mode})
+        path, mode = call.args["path"], call.args["mode"]
+        try:
+            om = OpenMode(mode)
+        except ValueError:
+            raise VFSError(f"unsupported open mode {mode!r}") from None
+
+        exists = self.inodes.exists(path)
+        if om is OpenMode.READ or om is OpenMode.READ_WRITE:
+            if not exists:
+                raise FileNotFound(path)
+            node = self.inodes.lookup(path)
+        else:  # WRITE / APPEND create on demand
+            if exists:
+                node = self.inodes.lookup(path)
+            else:
+                node = self.inodes.create(path, InodeKind.FILE)
+                self.backend.create(node.ino)
+        if node.is_dir:
+            raise IsADirectory(path)
+        if om is OpenMode.WRITE:
+            self.backend.truncate(node.ino, 0)
+            node.size = 0
+        pos = node.size if om is OpenMode.APPEND else 0
+
+        fd = self._next_fd
+        self._next_fd += 1
+        handle = FileHandle(self, fd, node.ino, om, pos)
+        self._fds[fd] = handle
+        return handle
+
+    def ffis_read(self, fd: int, size: int, offset: int) -> bytes:
+        self._require_mounted()
+        handle = self._handle(fd)
+        call = self.interposer.dispatch(
+            "ffis_read", {"fd": fd, "size": size, "offset": offset})
+        if call.suppressed:
+            return b""
+        data = self.backend.pread(handle.ino, call.args["size"], call.args["offset"])
+        if call.result_transform is not None:
+            # Read-path corruption: the application observes corrupted
+            # bytes while the device content stays intact (transient).
+            data = call.result_transform(data)
+        return data
+
+    def ffis_write(self, fd: int, buf: bytes, size: int, offset: int) -> int:
+        """The paper's ``FFIS_write``: hooks may rewrite ``buf``/``size``/
+        ``offset`` or suppress the call entirely; the (possibly modified)
+        triple is forwarded to the backend's ``pwrite``.
+
+        Like ``pwrite(2)`` with a shorn buffer, if hooks shrink ``buf``
+        below ``size`` only ``len(buf)`` bytes land on the device -- the
+        remainder of the target range keeps its previous (stale or hole)
+        content, which is the on-disk manifestation of a shorn write.
+        """
+        self._require_mounted()
+        handle = self._handle(fd)
+        if handle.mode is OpenMode.READ:
+            raise VFSError(f"fd {fd} is read-only")
+        call = self.interposer.dispatch(
+            "ffis_write", {"fd": fd, "buf": bytes(buf), "size": size, "offset": offset})
+        node = self.inodes.get(handle.ino)
+        if call.suppressed:
+            # The write is dropped on the device, but success is reported to
+            # the application -- including the size accounting layers above
+            # may rely on.  The logical file size still advances because the
+            # application believes the bytes landed.
+            claimed = call.args["size"]
+            node.size = max(node.size, call.args["offset"] + claimed)
+            return claimed
+        buf2: bytes = call.args["buf"]
+        size2: int = call.args["size"]
+        offset2: int = call.args["offset"]
+        written = self.backend.pwrite(node.ino, buf2[:size2], offset2)
+        node.size = max(node.size, offset2 + size2, self.backend.size(node.ino))
+        # Keep the backend extent in sync with the claimed size so later
+        # reads of the unwritten tail observe holes rather than EOF.
+        if self.backend.size(node.ino) < node.size:
+            self.backend.truncate(node.ino, node.size)
+        self.inodes.touch_mtime(node)
+        return max(written, size2)
+
+    def ffis_truncate(self, path: str, size: int) -> None:
+        self._require_mounted()
+        call = self.interposer.dispatch("ffis_truncate", {"path": path, "size": size})
+        if call.suppressed:
+            return
+        node = self.inodes.lookup(call.args["path"])
+        if node.is_dir:
+            raise IsADirectory(path)
+        self.backend.truncate(node.ino, call.args["size"])
+        node.size = call.args["size"]
+        self.inodes.touch_mtime(node)
+
+    def ffis_ftruncate(self, fd: int, size: int) -> None:
+        self._require_mounted()
+        handle = self._handle(fd)
+        node = self.inodes.get(handle.ino)
+        self.backend.truncate(node.ino, size)
+        node.size = size
+        self.inodes.touch_mtime(node)
+
+    def ffis_unlink(self, path: str) -> None:
+        self._require_mounted()
+        call = self.interposer.dispatch("ffis_unlink", {"path": path})
+        if call.suppressed:
+            return
+        parent, name = self.inodes.lookup_parent(call.args["path"])
+        node = self.inodes.unlink(parent, name)
+        if node.nlink <= 0 and node.kind is InodeKind.FILE:
+            self.backend.delete(node.ino)
+
+    def ffis_rename(self, src: str, dst: str) -> None:
+        self._require_mounted()
+        call = self.interposer.dispatch("ffis_rename", {"src": src, "dst": dst})
+        if call.suppressed:
+            return
+        src, dst = call.args["src"], call.args["dst"]
+        sparent, sname = self.inodes.lookup_parent(src)
+        if sname not in sparent.entries:
+            raise FileNotFound(src)
+        dparent, dname = self.inodes.lookup_parent(dst)
+        if dname in dparent.entries:
+            raise FileExists(dst)
+        dparent.entries[dname] = sparent.entries.pop(sname)
+        self.inodes.touch_mtime(sparent)
+        self.inodes.touch_mtime(dparent)
+
+    def ffis_fsync(self, fd: int) -> None:
+        self._require_mounted()
+        self._handle(fd)
+        self.interposer.dispatch("ffis_fsync", {"fd": fd})
+
+    def ffis_release(self, fd: int) -> None:
+        self._require_mounted()
+        handle = self._handle(fd)
+        self.interposer.dispatch("ffis_release", {"fd": fd})
+        handle.closed = True
+        del self._fds[fd]
+
+    def ffis_readdir(self, path: str) -> List[str]:
+        self._require_mounted()
+        node = self.inodes.lookup(path) if path != "/" else self.inodes.get(1)
+        if not node.is_dir:
+            raise VFSError(f"{path} is not a directory")
+        return sorted(node.entries)

@@ -1,0 +1,71 @@
+"""A single-image FITS HDU: mandatory cards + float32 pixel matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.mfits.cards import Card
+
+
+@dataclass
+class ImageHDU:
+    """One image extension: 2-D float32 data plus a keyword dictionary.
+
+    ``header`` holds auxiliary keywords (WCS reference pixel, projection
+    stage provenance, ...); the mandatory structural cards (SIMPLE,
+    BITPIX, NAXIS*) are derived from ``data`` at write time and validated
+    at read time.
+    """
+
+    data: np.ndarray
+    header: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.float32)
+        if self.data.ndim != 2:
+            raise ValueError(f"ImageHDU requires 2-D data, got {self.data.ndim}-D")
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    def mandatory_cards(self) -> List[Card]:
+        ny, nx = self.data.shape
+        return [
+            Card("SIMPLE", True, "conforms to FITS standard"),
+            Card("BITPIX", -32, "IEEE single-precision float"),
+            Card("NAXIS", 2, "number of data axes"),
+            Card("NAXIS1", nx, "length of data axis 1"),
+            Card("NAXIS2", ny, "length of data axis 2"),
+        ]
+
+    def header_cards(self) -> List[Card]:
+        cards = self.mandatory_cards()
+        for key, value in self.header.items():
+            cards.append(Card(key, value))
+        cards.append(Card("END"))
+        return cards
+
+    @classmethod
+    def from_cards(cls, cards: List[Card], data: np.ndarray) -> "ImageHDU":
+        index = {c.keyword: c.value for c in cards if c.keyword}
+        if index.get("SIMPLE") is not True:
+            raise FormatError("not a standard FITS file (SIMPLE != T)")
+        if index.get("BITPIX") != -32:
+            raise FormatError(f"unsupported BITPIX {index.get('BITPIX')!r}")
+        if index.get("NAXIS") != 2:
+            raise FormatError(f"unsupported NAXIS {index.get('NAXIS')!r}")
+        nx, ny = index.get("NAXIS1"), index.get("NAXIS2")
+        if not isinstance(nx, int) or not isinstance(ny, int) or nx <= 0 or ny <= 0:
+            raise FormatError(f"bad image dimensions NAXIS1={nx!r} NAXIS2={ny!r}")
+        if data.size != nx * ny:
+            raise FormatError(
+                f"data has {data.size} pixels, header claims {nx}x{ny}")
+        extra = {c.keyword: c.value for c in cards
+                 if c.keyword not in ("SIMPLE", "BITPIX", "NAXIS", "NAXIS1",
+                                      "NAXIS2", "END", "COMMENT", "HISTORY", "")}
+        return cls(data=data.reshape(ny, nx), header=extra)

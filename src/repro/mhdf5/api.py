@@ -1,0 +1,109 @@
+"""High-level convenience API over the mini-HDF5 writer/reader.
+
+Mirrors the shape of ``h5py``'s core usage so the examples read naturally:
+
+    with File(mp, "/run/plt00000.h5", "w") as f:
+        f.create_dataset("baryon_density", rho)
+
+    with File(mp, "/run/plt00000.h5", "r") as f:
+        rho = f["baryon_density"]
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FFISError
+from repro.fusefs.mount import MountPoint
+from repro.mhdf5 import constants as C
+from repro.mhdf5.reader import Hdf5Reader
+from repro.mhdf5.writer import Hdf5Writer, WriteResult, write_file
+
+
+class File:
+    """A mini-HDF5 file handle bound to a mounted FFIS file system."""
+
+    def __init__(self, mp: MountPoint, path: str, mode: str = "r",
+                 block_size: int = C.DATA_BLOCK_SIZE,
+                 writer: Optional[Hdf5Writer] = None) -> None:
+        if mode not in ("r", "w"):
+            raise FFISError(f"unsupported File mode {mode!r}")
+        self._mp = mp
+        self._path = path
+        self._mode = mode
+        self._block_size = block_size
+        self._writer = writer
+        self._pending: List[Tuple[str, np.ndarray]] = []
+        self._names: Dict[str, int] = {}
+        self._reader: Optional[Hdf5Reader] = None
+        self._closed = False
+        self.write_result: Optional[WriteResult] = None
+        if mode == "r":
+            self._reader = Hdf5Reader(mp, path)
+
+    # -- write side ------------------------------------------------------------
+
+    def create_dataset(self, name: str, data: np.ndarray,
+                       chunks=None, compression=None) -> None:
+        """Stage a dataset; all datasets land on :meth:`close`.
+
+        ``chunks`` (a tile shape) selects the chunked layout;
+        ``compression='deflate'`` additionally filters every chunk.
+        """
+        if self._mode != "w":
+            raise FFISError("create_dataset requires mode 'w'")
+        if self._closed:
+            raise FFISError("file is closed")
+        if name in self._names:
+            raise FFISError(f"dataset {name!r} already exists")
+        self._names[name] = len(self._pending)
+        if chunks is None and compression is None:
+            self._pending.append((name, np.asarray(data)))
+        else:
+            from repro.mhdf5.writer import DatasetSpec
+            self._pending.append(DatasetSpec(
+                name=name, array=np.asarray(data),
+                chunks=tuple(chunks) if chunks else None,
+                compression=compression))
+
+    # -- read side ---------------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        if self._reader is None:
+            return [entry.name if hasattr(entry, "name") else entry[0]
+                    for entry in self._pending]
+        return self._reader.dataset_names()
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if self._mode != "r":
+            raise FFISError("reading requires mode 'r'")
+        assert self._reader is not None
+        return self._reader.read(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.keys()
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._mode == "w":
+            if not self._pending:
+                raise FFISError("cannot close a write-mode File with no datasets")
+            self.write_result = write_file(
+                self._mp, self._path, self._pending,
+                block_size=self._block_size, writer=self._writer)
+
+    def __enter__(self) -> "File":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Do not flush a half-built file on error paths.
+        if exc_type is None:
+            self.close()
+        else:
+            self._closed = True

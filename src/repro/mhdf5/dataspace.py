@@ -1,0 +1,59 @@
+"""The dataspace message: dimensionality and extent of a dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import FormatError
+from repro.mhdf5 import constants as C
+from repro.mhdf5.codec import FieldReader, FieldWriter
+from repro.mhdf5.fieldmap import FieldClass
+
+#: Sanity bound on any single dimension; the real library fails allocation
+#: long before this, we fail decode.  Keeps corrupted high bytes of a
+#: dimension from turning into multi-exabyte reads.
+MAX_DIMENSION = 1 << 40
+
+
+@dataclass(frozen=True)
+class DataspaceMessage:
+    """Simple (non-null, non-scalar) dataspace with fixed dimensions."""
+
+    dims: Tuple[int, ...]
+
+    @property
+    def npoints(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    def encoded_size(self) -> int:
+        return 8 + 8 * len(self.dims)
+
+    def encode(self, writer: FieldWriter) -> None:
+        writer.put_uint(C.DATASPACE_VERSION, 1, "Dataspace Version", FieldClass.STRUCTURAL)
+        writer.put_uint(len(self.dims), 1, "Dimensionality", FieldClass.STRUCTURAL)
+        writer.put_uint(0, 1, "Dataspace Flags", FieldClass.TOLERANT)
+        writer.put_reserved(5, "dataspace reserved")
+        for i, d in enumerate(self.dims):
+            writer.put_uint(d, 8, f"Dimension {i} Size", FieldClass.NUMERIC)
+
+    @classmethod
+    def decode(cls, reader: FieldReader) -> "DataspaceMessage":
+        version = reader.take_uint(1, "dataspace version")
+        if version != C.DATASPACE_VERSION:
+            raise FormatError(f"unsupported dataspace version {version}")
+        rank = reader.take_uint(1, "dataspace dimensionality")
+        if rank < 1 or rank > 32:
+            raise FormatError(f"unsupported dataspace rank {rank}")
+        reader.skip(1, "dataspace flags")
+        reader.skip(5, "dataspace reserved")
+        dims = []
+        for i in range(rank):
+            d = reader.take_uint(8, f"dimension {i}")
+            if d == 0 or d > MAX_DIMENSION:
+                raise FormatError(f"unreasonable dimension {i} size {d}")
+            dims.append(d)
+        return cls(dims=tuple(dims))

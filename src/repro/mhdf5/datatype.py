@@ -1,0 +1,163 @@
+"""The datatype message and its floating-point property record.
+
+This is the structure at the heart of the paper's Table IV: six of its
+fields (bit-5 of mantissa normalization, exponent location, mantissa
+location, mantissa size, exponent bias -- plus the layout message's ARD)
+can silently change every decoded value when corrupted, while bit offset
+and bit precision are benign.
+
+Encoding follows the HDF5 spec's version-1 datatype message:
+
+* byte 0 -- class (low nibble) and version (high nibble),
+* bytes 1-3 -- class bit field; for floats byte 1 carries byte order
+  (bit 0), padding bits (1-3) and **mantissa normalization in bits 4-5**
+  (so the paper's "Bit-5 of Mantissa Normalization" is bit 5 of this
+  byte: flipping it turns IEEE's ``IMPLIED`` (0b10) into ``NONE`` (0b00),
+  dropping the implied leading 1 from every value), byte 2 is the sign
+  location, byte 3 is reserved,
+* bytes 4-7 -- element size in bytes,
+* 12 property bytes -- bit offset (2), bit precision (2), exponent
+  location (1), exponent size (1), mantissa location (1), mantissa size
+  (1), exponent bias (4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import FormatError
+from repro.mhdf5 import constants as C
+from repro.mhdf5.codec import FieldReader, FieldWriter
+from repro.mhdf5.fieldmap import FieldClass
+
+
+class ByteOrder(enum.Enum):
+    LITTLE = 0
+    BIG = 1
+
+
+class MantissaNorm(enum.Enum):
+    """Mantissa normalization of the float datatype.
+
+    ``IMPLIED`` is IEEE semantics: the most-significant mantissa bit is 1
+    and not stored.  ``ALWAYS_SET`` stores that bit.  ``NONE`` stores the
+    raw fraction with no implied bit.  Values outside the known enum are
+    treated as ``NONE`` by the decoder -- the library does not reject
+    them, which is precisely why the paper's bit-5 flip is an SDC and not
+    a crash.
+    """
+
+    NONE = 0
+    ALWAYS_SET = 1
+    IMPLIED = 2
+
+
+@dataclass(frozen=True)
+class DatatypeMessage:
+    """A floating-point datatype description (HDF5 datatype class 1)."""
+
+    size: int                     # element size in bytes
+    byte_order: ByteOrder = ByteOrder.LITTLE
+    mantissa_norm_raw: int = MantissaNorm.IMPLIED.value
+    sign_location: int = 31
+    bit_offset: int = 0
+    bit_precision: int = 32
+    exponent_location: int = 23
+    exponent_size: int = 8
+    mantissa_location: int = 0
+    mantissa_size: int = 23
+    exponent_bias: int = 127
+
+    ENCODED_SIZE = 20
+
+    @property
+    def mantissa_norm(self) -> MantissaNorm:
+        """Decoded normalization; unknown raw values degrade to ``NONE``."""
+        try:
+            return MantissaNorm(self.mantissa_norm_raw & 0b11)
+        except ValueError:  # pragma: no cover - & 0b11 keeps it in range
+            return MantissaNorm.NONE
+
+    def with_fields(self, **kwargs) -> "DatatypeMessage":
+        """Return a copy with the given fields replaced (repair tooling)."""
+        return replace(self, **kwargs)
+
+    # -- wire format ---------------------------------------------------------
+
+    def encode(self, writer: FieldWriter) -> None:
+        cls_and_version = (C.DATATYPE_VERSION << 4) | C.DTCLASS_FLOAT
+        writer.put_uint(cls_and_version, 1, "Class and Version", FieldClass.STRUCTURAL)
+        bitfield0 = (self.byte_order.value & 1) | ((self.mantissa_norm_raw & 0b11) << 4)
+        writer.put_uint(bitfield0, 1, "Byte Order / Mantissa Normalization",
+                        FieldClass.NUMERIC)
+        writer.put_uint(self.sign_location, 1, "Sign Location", FieldClass.NUMERIC)
+        writer.put_reserved(1, "datatype bit field reserved")
+        writer.put_uint(self.size, 4, "Size", FieldClass.STRUCTURAL)
+        writer.put_uint(self.bit_offset, 2, "Bit Offset", FieldClass.TOLERANT)
+        writer.put_uint(self.bit_precision, 2, "Bit Precision", FieldClass.TOLERANT)
+        writer.put_uint(self.exponent_location, 1, "Exponent Location", FieldClass.NUMERIC)
+        writer.put_uint(self.exponent_size, 1, "Exponent Size", FieldClass.NUMERIC)
+        writer.put_uint(self.mantissa_location, 1, "Mantissa Location", FieldClass.NUMERIC)
+        writer.put_uint(self.mantissa_size, 1, "Mantissa Size", FieldClass.NUMERIC)
+        writer.put_uint(self.exponent_bias, 4, "Exponent Bias", FieldClass.NUMERIC)
+
+    @classmethod
+    def decode(cls, reader: FieldReader) -> "DatatypeMessage":
+        cls_and_version = reader.take_uint(1, "datatype class/version")
+        version = cls_and_version >> 4
+        dtclass = cls_and_version & 0x0F
+        if version != C.DATATYPE_VERSION:
+            raise FormatError(f"unsupported datatype message version {version}")
+        if dtclass != C.DTCLASS_FLOAT:
+            raise FormatError(f"unsupported datatype class {dtclass}")
+        bitfield0 = reader.take_uint(1, "datatype bit field 0")
+        byte_order = ByteOrder(bitfield0 & 1)
+        mantissa_norm_raw = (bitfield0 >> 4) & 0b11
+        sign_location = reader.take_uint(1, "sign location")
+        reader.skip(1, "datatype bit field reserved")
+        size = reader.take_uint(4, "datatype size")
+        if size < 1 or size > 8:
+            raise FormatError(f"unsupported float element size {size}")
+        bit_offset = reader.take_uint(2, "bit offset")
+        bit_precision = reader.take_uint(2, "bit precision")
+        exponent_location = reader.take_uint(1, "exponent location")
+        exponent_size = reader.take_uint(1, "exponent size")
+        mantissa_location = reader.take_uint(1, "mantissa location")
+        mantissa_size = reader.take_uint(1, "mantissa size")
+        exponent_bias = reader.take_uint(4, "exponent bias")
+        return cls(
+            size=size,
+            byte_order=byte_order,
+            mantissa_norm_raw=mantissa_norm_raw,
+            sign_location=sign_location,
+            bit_offset=bit_offset,
+            bit_precision=bit_precision,
+            exponent_location=exponent_location,
+            exponent_size=exponent_size,
+            mantissa_location=mantissa_location,
+            mantissa_size=mantissa_size,
+            exponent_bias=exponent_bias,
+        )
+
+
+def ieee_f32le() -> DatatypeMessage:
+    """IEEE 754 binary32, little-endian (the Nyx baryon-density dtype)."""
+    return DatatypeMessage(
+        size=4, byte_order=ByteOrder.LITTLE,
+        mantissa_norm_raw=MantissaNorm.IMPLIED.value,
+        sign_location=31, bit_offset=0, bit_precision=32,
+        exponent_location=23, exponent_size=8,
+        mantissa_location=0, mantissa_size=23, exponent_bias=127,
+    )
+
+
+def ieee_f64le() -> DatatypeMessage:
+    """IEEE 754 binary64, little-endian."""
+    return DatatypeMessage(
+        size=8, byte_order=ByteOrder.LITTLE,
+        mantissa_norm_raw=MantissaNorm.IMPLIED.value,
+        sign_location=63, bit_offset=0, bit_precision=64,
+        exponent_location=52, exponent_size=11,
+        mantissa_location=0, mantissa_size=52, exponent_bias=1023,
+    )

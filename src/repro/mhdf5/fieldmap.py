@@ -1,0 +1,106 @@
+"""Byte-range → named-field map of a metadata region.
+
+The paper annotates every injected metadata byte with the HDF5 File
+Format Specification field it belongs to, then reports outcome classes
+per field (Tables III/IV).  :class:`FieldMap` provides that annotation
+for our writer-produced metadata blobs.
+
+``FieldClass`` records the *expected* sensitivity of a field based on the
+reader's strictness boundary.  It is used purely for reporting and for
+cross-checking measured outcomes against expectations -- classification
+in campaigns always comes from actually running the application.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+
+class FieldClass(enum.Enum):
+    """A-priori sensitivity class of a metadata field."""
+
+    #: Signature / version / structural pointer: the strict reader
+    #: validates it, so corruption is expected to crash.
+    STRUCTURAL = "structural"
+    #: Numeric field the reader trusts: corruption may silently change
+    #: decoded data (the paper's SDC-capable fields live here).
+    NUMERIC = "numeric"
+    #: Reserved, alignment, or unused capacity: never read back.
+    RESERVED = "reserved"
+    #: Read back but with slack semantics (e.g. over-allocation is fine).
+    TOLERANT = "tolerant"
+
+
+@dataclass(frozen=True)
+class FieldSpan:
+    """A contiguous byte range [start, end) belonging to one named field."""
+
+    start: int
+    end: int
+    name: str
+    cls: FieldClass
+    container: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty or inverted span for {self.name!r}")
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.container}.{self.name}" if self.container else self.name
+
+
+class FieldMap:
+    """Ordered, non-overlapping collection of :class:`FieldSpan`."""
+
+    def __init__(self, spans: Sequence[FieldSpan]) -> None:
+        ordered = sorted(spans, key=lambda s: s.start)
+        for prev, cur in zip(ordered, ordered[1:]):
+            if cur.start < prev.end:
+                raise ValueError(
+                    f"overlapping spans: {prev.qualified_name} and {cur.qualified_name}"
+                )
+        self._spans: List[FieldSpan] = list(ordered)
+        self._starts = [s.start for s in ordered]
+
+    def __iter__(self) -> Iterator[FieldSpan]:
+        return iter(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    @property
+    def extent(self) -> int:
+        """One past the last mapped byte."""
+        return self._spans[-1].end if self._spans else 0
+
+    def field_at(self, offset: int) -> Optional[FieldSpan]:
+        """The span covering byte *offset*, or ``None`` for unmapped bytes."""
+        i = bisect.bisect_right(self._starts, offset) - 1
+        if i >= 0 and self._spans[i].start <= offset < self._spans[i].end:
+            return self._spans[i]
+        return None
+
+    def by_container(self, container: str) -> List[FieldSpan]:
+        return [s for s in self._spans if s.container == container]
+
+    def bytes_by_class(self) -> dict:
+        """Total bytes per :class:`FieldClass` (for Table III proportions)."""
+        totals: dict = {cls: 0 for cls in FieldClass}
+        for span in self._spans:
+            totals[span.cls] += span.size
+        return totals
+
+    def container_fraction(self, container: str) -> float:
+        """Fraction of mapped bytes inside *container* (e.g. the B-tree)."""
+        total = sum(s.size for s in self._spans)
+        if total == 0:
+            return 0.0
+        return sum(s.size for s in self.by_container(container)) / total

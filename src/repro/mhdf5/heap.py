@@ -1,0 +1,105 @@
+"""Local heap: the byte arena holding link names of a group."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import FormatError
+from repro.mhdf5 import constants as C
+from repro.mhdf5.codec import FieldReader, FieldWriter
+from repro.mhdf5.fieldmap import FieldClass
+
+HEAP_HEADER_SIZE = 32
+
+
+@dataclass
+class LocalHeap:
+    """A local heap with a fixed-capacity data segment.
+
+    Names are stored NUL-terminated at 8-byte-aligned offsets; symbol
+    table entries reference them by offset.
+    """
+
+    data_size: int = C.HEAP_DATA_SIZE
+
+    def __init__(self, data_size: int = C.HEAP_DATA_SIZE) -> None:
+        self.data_size = data_size
+        self._data = bytearray()
+        self._offsets: Dict[str, int] = {}
+
+    def add_name(self, name: str) -> int:
+        """Intern *name*, returning its heap offset."""
+        if name in self._offsets:
+            return self._offsets[name]
+        if "\x00" in name:
+            raise ValueError("link names cannot contain NUL")
+        # Align to 8 bytes like the library's heap allocator.
+        while len(self._data) % 8:
+            self._data.append(0)
+        offset = len(self._data)
+        encoded = name.encode("utf-8") + b"\x00"
+        if offset + len(encoded) > self.data_size:
+            raise ValueError(
+                f"heap data segment ({self.data_size} bytes) cannot hold {name!r}")
+        self._data.extend(encoded)
+        self._offsets[name] = offset
+        return offset
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._offsets)
+
+    def encode(self, writer: FieldWriter, data_segment_address: int) -> None:
+        """Encode header + data segment; the segment directly follows."""
+        writer.put_bytes(C.HEAP_SIGNATURE, "Local Heap Signature", FieldClass.STRUCTURAL)
+        writer.put_uint(C.HEAP_VERSION, 1, "Version # of Local Heap", FieldClass.STRUCTURAL)
+        writer.put_reserved(3, "heap reserved")
+        writer.put_uint(self.data_size, 8, "Heap Data Segment Size", FieldClass.TOLERANT)
+        writer.put_uint(C.UNDEFINED_ADDRESS, 8, "Heap Free List Head Offset",
+                        FieldClass.RESERVED)
+        writer.put_uint(data_segment_address, 8, "Heap Data Segment Address",
+                        FieldClass.STRUCTURAL)
+        segment = bytes(self._data) + b"\x00" * (self.data_size - len(self._data))
+        used = len(self._data)
+        if used:
+            writer.put_bytes(segment[:used], "heap data (link names)", FieldClass.NUMERIC)
+        if used < self.data_size:
+            writer.put_bytes(segment[used:], "heap unused capacity", FieldClass.RESERVED)
+
+
+@dataclass(frozen=True)
+class HeapInfo:
+    """Decoded heap header plus the raw data segment."""
+
+    data_size: int
+    data_segment_address: int
+    data: bytes
+
+    def name_at(self, offset: int) -> str:
+        """Read the NUL-terminated name at *offset* of the data segment."""
+        if offset < 0 or offset >= len(self.data):
+            raise FormatError(f"heap name offset {offset} outside data segment")
+        end = self.data.find(b"\x00", offset)
+        if end < 0:
+            raise FormatError("unterminated name in heap data segment")
+        try:
+            return self.data[offset:end].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FormatError(f"undecodable name in heap: {exc}") from None
+
+
+def decode_heap(buf: bytes, address: int) -> HeapInfo:
+    reader = FieldReader(buf, address)
+    reader.expect(C.HEAP_SIGNATURE, "local heap signature")
+    reader.expect_uint(C.HEAP_VERSION, 1, "local heap version")
+    reader.skip(3, "heap reserved")
+    data_size = reader.take_uint(8, "heap data segment size")
+    if data_size > 1 << 20:
+        raise FormatError(f"unreasonable heap data segment size {data_size}")
+    reader.skip(8, "heap free list head")
+    seg_addr = reader.take_uint(8, "heap data segment address")
+    if seg_addr + data_size > len(buf):
+        raise FormatError("heap data segment runs past end of file")
+    return HeapInfo(data_size=data_size, data_segment_address=seg_addr,
+                    data=buf[seg_addr : seg_addr + data_size])

@@ -1,0 +1,114 @@
+"""The contiguous data-layout message: Address of Raw Data (ARD) + size.
+
+Table IV's most dangerous SDC field lives here: a corrupted ARD silently
+shifts every element the reader decodes, while the dataset average stays
+~1 (so the paper's average-value detector cannot see it).  The paper's
+countermeasure -- ``ARD == metadata size`` because raw data immediately
+follows the packed metadata -- is implemented in :mod:`repro.mhdf5.repair`.
+
+The ``size`` field reproduces the paper's asymmetric observation: the
+reader only *verifies that the allocation covers the dataspace extent*,
+so corrupting size to a larger value is harmless while a smaller value
+crashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.errors import FormatError
+from repro.mhdf5 import constants as C
+from repro.mhdf5.codec import FieldReader, FieldWriter
+from repro.mhdf5.fieldmap import FieldClass
+
+LAYOUT_CLASS_CHUNKED = 2
+
+
+@dataclass(frozen=True)
+class ContiguousLayoutMessage:
+    """Version-3 data layout message, contiguous storage class."""
+
+    data_address: int   # ARD: absolute file offset of the raw data
+    size: int           # allocated bytes for the raw data
+
+    ENCODED_SIZE = 18
+
+    def encode(self, writer: FieldWriter) -> None:
+        writer.put_uint(C.LAYOUT_VERSION, 1, "Layout Version", FieldClass.STRUCTURAL)
+        writer.put_uint(C.LAYOUT_CLASS_CONTIGUOUS, 1, "Layout Class", FieldClass.STRUCTURAL)
+        writer.put_uint(self.data_address, 8, "Address of Raw Data (ARD)", FieldClass.NUMERIC)
+        writer.put_uint(self.size, 8, "Size", FieldClass.TOLERANT)
+
+    @classmethod
+    def decode(cls, reader: FieldReader) -> "ContiguousLayoutMessage":
+        message = decode_layout(reader)
+        if not isinstance(message, ContiguousLayoutMessage):
+            raise FormatError("expected a contiguous layout message")
+        return message
+
+
+@dataclass(frozen=True)
+class ChunkedLayoutMessage:
+    """Version-3 data layout message, chunked storage class.
+
+    Raw data lives in fixed-shape chunks indexed by a node-type-1 B-tree
+    at ``btree_address``; chunks may be deflate-filtered.  This is the
+    layout the compression experiment uses.
+    """
+
+    btree_address: int
+    chunk_shape: Tuple[int, ...]
+    element_size: int
+
+    def encoded_size(self) -> int:
+        return 3 + 8 + 4 * len(self.chunk_shape) + 4
+
+    def encode(self, writer: FieldWriter) -> None:
+        writer.put_uint(C.LAYOUT_VERSION, 1, "Layout Version", FieldClass.STRUCTURAL)
+        writer.put_uint(LAYOUT_CLASS_CHUNKED, 1, "Layout Class", FieldClass.STRUCTURAL)
+        writer.put_uint(len(self.chunk_shape), 1, "Chunk Dimensionality",
+                        FieldClass.STRUCTURAL)
+        writer.put_uint(self.btree_address, 8, "Chunk B-tree Address",
+                        FieldClass.STRUCTURAL)
+        for axis, dim in enumerate(self.chunk_shape):
+            writer.put_uint(dim, 4, f"Chunk Dimension {axis} Size",
+                            FieldClass.NUMERIC)
+        writer.put_uint(self.element_size, 4, "Chunk Element Size",
+                        FieldClass.STRUCTURAL)
+
+    @classmethod
+    def decode(cls, reader: FieldReader) -> "ChunkedLayoutMessage":
+        message = decode_layout(reader)
+        if not isinstance(message, ChunkedLayoutMessage):
+            raise FormatError("expected a chunked layout message")
+        return message
+
+
+LayoutMessage = Union[ContiguousLayoutMessage, ChunkedLayoutMessage]
+
+
+def decode_layout(reader: FieldReader) -> LayoutMessage:
+    """Decode either layout class; unknown classes raise (crash)."""
+    version = reader.take_uint(1, "layout version")
+    if version != C.LAYOUT_VERSION:
+        raise FormatError(f"unsupported layout version {version}")
+    layout_class = reader.take_uint(1, "layout class")
+    if layout_class == C.LAYOUT_CLASS_CONTIGUOUS:
+        data_address = reader.take_uint(8, "address of raw data")
+        size = reader.take_uint(8, "layout size")
+        return ContiguousLayoutMessage(data_address=data_address, size=size)
+    if layout_class == LAYOUT_CLASS_CHUNKED:
+        rank = reader.take_uint(1, "chunk dimensionality")
+        if rank < 1 or rank > 32:
+            raise FormatError(f"unsupported chunk rank {rank}")
+        btree_address = reader.take_uint(8, "chunk B-tree address")
+        chunk_shape = tuple(reader.take_uint(4, "chunk dimension")
+                            for _ in range(rank))
+        if any(d == 0 for d in chunk_shape):
+            raise FormatError("zero-sized chunk dimension")
+        element_size = reader.take_uint(4, "chunk element size")
+        return ChunkedLayoutMessage(btree_address=btree_address,
+                                    chunk_shape=chunk_shape,
+                                    element_size=element_size)
+    raise FormatError(f"unsupported layout class {layout_class}")

@@ -1,0 +1,70 @@
+"""The superblock: file signature, format versions, and root pointers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FormatError
+from repro.mhdf5 import constants as C
+from repro.mhdf5.codec import FieldReader, FieldWriter
+from repro.mhdf5.fieldmap import FieldClass
+
+SUPERBLOCK_SIZE = 48
+
+#: Offset of the file-consistency flags within the superblock; the final
+#: write of a file-creation sequence updates these 8 bytes (flags +
+#: trailing reserved), mirroring the library's superblock refresh on close.
+CONSISTENCY_FLAGS_OFFSET = 40
+CONSISTENCY_FLAGS_SIZE = 8
+
+#: Flag value marking a cleanly closed (unlocked) file.
+FLAG_CLEAN = 1
+
+
+@dataclass(frozen=True)
+class Superblock:
+    end_of_file_address: int
+    root_header_address: int
+    consistency_flags: int = FLAG_CLEAN
+
+    def encode(self, writer: FieldWriter) -> None:
+        writer.put_bytes(C.SUPERBLOCK_SIGNATURE, "Superblock Signature",
+                         FieldClass.STRUCTURAL)
+        writer.put_uint(C.SUPERBLOCK_VERSION, 1, "Version # of Superblock",
+                        FieldClass.STRUCTURAL)
+        writer.put_uint(C.FREESPACE_VERSION, 1, "Version # of Free-Space Storage",
+                        FieldClass.STRUCTURAL)
+        writer.put_uint(C.ROOT_SYMTAB_VERSION, 1, "Version # of Root Group Symbol Table",
+                        FieldClass.STRUCTURAL)
+        writer.put_reserved(1, "superblock reserved")
+        writer.put_uint(C.OFFSET_SIZE, 1, "Size of Offsets", FieldClass.STRUCTURAL)
+        writer.put_uint(C.LENGTH_SIZE, 1, "Size of Lengths", FieldClass.STRUCTURAL)
+        writer.put_reserved(2, "superblock reserved")
+        writer.put_uint(0, 8, "Base Address", FieldClass.TOLERANT)
+        writer.put_uint(self.end_of_file_address, 8, "End of File Address",
+                        FieldClass.TOLERANT)
+        writer.put_uint(self.root_header_address, 8, "Root Group Object Header Address",
+                        FieldClass.STRUCTURAL)
+        writer.put_uint(self.consistency_flags, 4, "File Consistency Flags",
+                        FieldClass.RESERVED)
+        writer.put_reserved(4, "superblock trailing reserved")
+
+    @classmethod
+    def decode(cls, reader: FieldReader) -> "Superblock":
+        reader.expect(C.SUPERBLOCK_SIGNATURE, "superblock signature")
+        reader.expect_uint(C.SUPERBLOCK_VERSION, 1, "superblock version")
+        reader.expect_uint(C.FREESPACE_VERSION, 1, "free-space storage version")
+        reader.expect_uint(C.ROOT_SYMTAB_VERSION, 1, "root symbol table version")
+        reader.skip(1, "superblock reserved")
+        reader.expect_uint(C.OFFSET_SIZE, 1, "size of offsets")
+        reader.expect_uint(C.LENGTH_SIZE, 1, "size of lengths")
+        reader.skip(2, "superblock reserved")
+        base = reader.take_uint(8, "base address")
+        if base != 0:
+            raise FormatError(f"unsupported non-zero base address {base}")
+        eof = reader.take_uint(8, "end of file address")
+        root = reader.take_uint(8, "root group object header address")
+        flags = reader.take_uint(4, "file consistency flags")
+        reader.skip(4, "superblock trailing reserved")
+        return cls(end_of_file_address=eof, root_header_address=root,
+                   consistency_flags=flags)

@@ -1,0 +1,412 @@
+"""mini-HDF5 file writer.
+
+Layout and write ordering reproduce the library behaviour the paper's
+metadata injector relies on (Sec. IV-D):
+
+* The packed metadata region occupies the head of the file; raw data
+  follows immediately, so the first dataset's Address of Raw Data equals
+  the metadata size (the invariant behind the paper's ARD correction).
+* The *temporal* write order is raw data first (block-sized ``pwrite``s at
+  their final addresses), then one packed **metadata blob write** -- the
+  penultimate write of the sequence -- then a small superblock
+  consistency-flag update as the final write (the "unlock").
+
+The writer also emits a complete :class:`repro.mhdf5.fieldmap.FieldMap`
+annotating every metadata byte with its specification field, used by the
+metadata campaign to report per-field outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fusefs.mount import MountPoint
+from repro.mhdf5 import constants as C
+from repro.mhdf5.btree import (
+    BtreeEntry,
+    SymbolEntry,
+    btree_node_size,
+    encode_btree_node,
+    encode_snod,
+    snod_size,
+)
+from repro.mhdf5.chunks import (
+    ChunkRecord,
+    FILTER_DEFLATE,
+    chunk_btree_size,
+    compress_chunk,
+    encode_chunk_btree,
+    split_into_chunks,
+)
+from repro.mhdf5.codec import FieldWriter
+from repro.mhdf5.datatype import DatatypeMessage, ieee_f32le, ieee_f64le
+from repro.mhdf5.dataspace import DataspaceMessage
+from repro.mhdf5.fieldmap import FieldClass, FieldMap, FieldSpan
+from repro.mhdf5.heap import HEAP_HEADER_SIZE, LocalHeap
+from repro.mhdf5.layout import ChunkedLayoutMessage, ContiguousLayoutMessage
+from repro.mhdf5.objheader import MESSAGE_HEADER_SIZE, OBJECT_HEADER_PREFIX_SIZE, encode_object_header
+from repro.mhdf5.superblock import (
+    CONSISTENCY_FLAGS_OFFSET,
+    CONSISTENCY_FLAGS_SIZE,
+    FLAG_CLEAN,
+    SUPERBLOCK_SIZE,
+    Superblock,
+)
+
+#: Deterministic modification timestamp (files are bit-reproducible).
+FIXED_MTIME = 1_600_000_000
+
+
+def _align8(x: int) -> int:
+    return (x + 7) & ~7
+
+
+def _dtype_for(array: np.ndarray) -> DatatypeMessage:
+    if array.dtype == np.float32:
+        return ieee_f32le()
+    if array.dtype == np.float64:
+        return ieee_f64le()
+    raise TypeError(f"unsupported dtype {array.dtype}; use float32 or float64")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One dataset to write, with optional chunking/compression.
+
+    ``chunks`` selects the chunked layout (tile shape, rank must match
+    the array); ``compression='deflate'`` additionally runs every chunk
+    through the deflate filter -- the paper's Sec. V-A scenario where
+    compressed science data inflates the metadata's share of the file.
+    """
+
+    name: str
+    array: np.ndarray
+    chunks: Optional[Tuple[int, ...]] = None
+    compression: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.compression not in (None, "deflate"):
+            raise ValueError(f"unsupported compression {self.compression!r}")
+        if self.compression and self.chunks is None:
+            raise ValueError("compression requires a chunked layout")
+        if self.chunks is not None and len(self.chunks) != np.ndim(self.array):
+            raise ValueError("chunk rank must match array rank")
+
+
+def _normalize_specs(datasets) -> List[DatasetSpec]:
+    specs: List[DatasetSpec] = []
+    for entry in datasets:
+        if isinstance(entry, DatasetSpec):
+            specs.append(entry)
+        else:
+            name, array = entry
+            specs.append(DatasetSpec(name=name, array=np.asarray(array)))
+    return specs
+
+
+@dataclass
+class DatasetPlan:
+    """Placement of one dataset: header inside metadata, data after it."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dt: DatatypeMessage
+    header_address: int = 0
+    header_size: int = 0
+    data_address: int = 0
+    data_size: int = 0
+    # Chunked-layout placement (empty for contiguous datasets).
+    chunk_shape: Optional[Tuple[int, ...]] = None
+    compression: Optional[str] = None
+    chunk_btree_address: int = 0
+    chunk_records: List[ChunkRecord] = field(default_factory=list)
+    chunk_payloads: List[bytes] = field(default_factory=list)
+
+    @property
+    def is_chunked(self) -> bool:
+        return self.chunk_shape is not None
+
+
+@dataclass
+class LayoutPlan:
+    """Absolute addresses of every structure in the file."""
+
+    superblock_address: int = 0
+    root_header_address: int = 0
+    heap_address: int = 0
+    heap_data_address: int = 0
+    btree_address: int = 0
+    snod_address: int = 0
+    datasets: List[DatasetPlan] = field(default_factory=list)
+    metadata_size: int = 0
+    file_size: int = 0
+
+
+@dataclass
+class WriteResult:
+    """Everything a campaign needs to know about a written file."""
+
+    plan: LayoutPlan
+    fieldmap: FieldMap
+    metadata_blob: bytes
+    #: Dynamic ``ffis_write`` count used to create the file.  The metadata
+    #: blob is write number ``n_writes - 2`` (penultimate).
+    n_writes: int
+
+
+def _layout_body_size(spec: DatasetSpec) -> int:
+    if spec.chunks is None:
+        return ContiguousLayoutMessage.ENCODED_SIZE
+    return ChunkedLayoutMessage(0, tuple(spec.chunks), 0).encoded_size()
+
+
+def _dataset_header_size(rank: int, layout_body: int) -> int:
+    """Size of a dataset object header with our fixed message set."""
+    dataspace_body = 8 + 8 * rank
+    bodies = (
+        dataspace_body,
+        DatatypeMessage.ENCODED_SIZE,
+        8,                          # fill value
+        layout_body,
+        8,                          # mtime
+        C.DATASET_HEADER_NIL_PAD,   # NIL reserved space
+    )
+    return OBJECT_HEADER_PREFIX_SIZE + sum(MESSAGE_HEADER_SIZE + b for b in bodies)
+
+
+ROOT_HEADER_SIZE = OBJECT_HEADER_PREFIX_SIZE + MESSAGE_HEADER_SIZE + 16
+
+
+class Hdf5Writer:
+    """Builds the metadata blob + field map for a set of datasets."""
+
+    def __init__(self, btree_k: int = C.BTREE_K, snod_k: int = C.SNOD_K,
+                 heap_data_size: int = C.HEAP_DATA_SIZE) -> None:
+        self.btree_k = btree_k
+        self.snod_k = snod_k
+        self.heap_data_size = heap_data_size
+
+    # -- planning -------------------------------------------------------------
+
+    def plan(self, datasets) -> LayoutPlan:
+        specs = _normalize_specs(datasets)
+        if not specs:
+            raise ValueError("at least one dataset is required")
+        if len(specs) > 2 * self.snod_k:
+            raise ValueError(
+                f"too many datasets for one symbol node (max {2*self.snod_k})")
+        plan = LayoutPlan()
+        plan.superblock_address = 0
+        plan.root_header_address = _align8(SUPERBLOCK_SIZE)
+        plan.heap_address = _align8(plan.root_header_address + ROOT_HEADER_SIZE)
+        plan.heap_data_address = plan.heap_address + HEAP_HEADER_SIZE
+        plan.btree_address = _align8(plan.heap_data_address + self.heap_data_size)
+        plan.snod_address = _align8(plan.btree_address + btree_node_size(self.btree_k))
+        cursor = _align8(plan.snod_address + snod_size(self.snod_k))
+        for spec in specs:
+            array = np.asarray(spec.array)
+            dt = _dtype_for(array)
+            dp = DatasetPlan(name=spec.name, shape=tuple(array.shape), dt=dt,
+                             chunk_shape=tuple(spec.chunks) if spec.chunks else None,
+                             compression=spec.compression)
+            dp.header_address = cursor
+            dp.header_size = _dataset_header_size(array.ndim,
+                                                  _layout_body_size(spec))
+            cursor = _align8(cursor + dp.header_size)
+            if dp.is_chunked:
+                # The chunk index lives in the metadata region too.
+                dp.chunk_btree_address = cursor
+                cursor = _align8(cursor + chunk_btree_size(array.ndim))
+            plan.datasets.append(dp)
+        plan.metadata_size = cursor
+
+        data_cursor = plan.metadata_size
+        for dp, spec in zip(plan.datasets, specs):
+            array = np.ascontiguousarray(spec.array)
+            if not dp.is_chunked:
+                dp.data_address = data_cursor
+                dp.data_size = array.size * dp.dt.size
+                data_cursor = _align8(data_cursor + dp.data_size)
+                continue
+            # Chunked: materialize (and optionally compress) every tile
+            # now so addresses and stored sizes are part of the plan.
+            for offset, tile in split_into_chunks(array, dp.chunk_shape):
+                raw = np.ascontiguousarray(tile).tobytes()
+                if spec.compression == "deflate":
+                    stored = compress_chunk(raw)
+                    mask = FILTER_DEFLATE
+                else:
+                    stored = raw
+                    mask = 0
+                dp.chunk_records.append(ChunkRecord(
+                    logical_offset=offset, address=data_cursor,
+                    stored_size=len(stored), filter_mask=mask))
+                dp.chunk_payloads.append(stored)
+                data_cursor = _align8(data_cursor + len(stored))
+            dp.data_size = sum(r.stored_size for r in dp.chunk_records)
+        plan.file_size = data_cursor
+        return plan
+
+    # -- encoding ---------------------------------------------------------------
+
+    def encode_metadata(self, plan: LayoutPlan) -> Tuple[bytes, FieldMap]:
+        """Encode the full metadata blob for *plan* with its field map."""
+        heap = LocalHeap(self.heap_data_size)
+        name_offsets = {dp.name: heap.add_name(dp.name) for dp in plan.datasets}
+
+        blob = bytearray(plan.metadata_size)
+        spans: List[FieldSpan] = []
+
+        def emit(writer: FieldWriter) -> None:
+            data = writer.getvalue()
+            blob[writer.base_offset : writer.base_offset + len(data)] = data
+            spans.extend(writer.spans)
+
+        # Superblock.
+        w = FieldWriter(plan.superblock_address, "superblock")
+        Superblock(end_of_file_address=plan.file_size,
+                   root_header_address=plan.root_header_address,
+                   consistency_flags=0).encode(w)
+        emit(w)
+
+        # Root group object header: a single symbol-table message.
+        w = FieldWriter(plan.root_header_address, "rootGroup.objHeader")
+
+        def symtab_body(bw: FieldWriter) -> None:
+            bw.put_uint(plan.btree_address, 8, "Symbol Table B-tree Address",
+                        FieldClass.STRUCTURAL)
+            bw.put_uint(plan.heap_address, 8, "Symbol Table Heap Address",
+                        FieldClass.STRUCTURAL)
+
+        encode_object_header(w, [(C.MSG_SYMBOL_TABLE, "symbolTable", symtab_body)])
+        emit(w)
+
+        # Local heap (header + data segment).
+        w = FieldWriter(plan.heap_address, "localHeap")
+        heap.encode(w, data_segment_address=plan.heap_data_address)
+        emit(w)
+
+        # B-tree: one leaf entry pointing at the SNOD.
+        w = FieldWriter(plan.btree_address, "bTree")
+        last_name = plan.datasets[-1].name
+        encode_btree_node(
+            w,
+            [BtreeEntry(key_heap_offset=name_offsets[last_name],
+                        child_address=plan.snod_address)],
+            k=self.btree_k,
+        )
+        emit(w)
+
+        # Symbol table node: one entry per dataset, name-sorted as in HDF5.
+        w = FieldWriter(plan.snod_address, "symbolTableNode")
+        ordered = sorted(plan.datasets, key=lambda dp: dp.name)
+        encode_snod(
+            w,
+            [SymbolEntry(name_heap_offset=name_offsets[dp.name],
+                         header_address=dp.header_address) for dp in ordered],
+            k=self.snod_k,
+        )
+        emit(w)
+
+        # Dataset object headers (+ chunk index nodes for chunked layouts).
+        for dp in plan.datasets:
+            w = FieldWriter(dp.header_address, f"dataset[{dp.name}].objHeader")
+            dataspace = DataspaceMessage(dims=dp.shape)
+            if dp.is_chunked:
+                layout = ChunkedLayoutMessage(
+                    btree_address=dp.chunk_btree_address,
+                    chunk_shape=dp.chunk_shape,
+                    element_size=dp.dt.size)
+            else:
+                layout = ContiguousLayoutMessage(data_address=dp.data_address,
+                                                 size=dp.data_size)
+
+            def fill_body(bw: FieldWriter) -> None:
+                bw.put_uint(1, 1, "Fill Value Version", FieldClass.STRUCTURAL)
+                bw.put_uint(1, 1, "Space Allocation Time", FieldClass.TOLERANT)
+                bw.put_uint(0, 1, "Fill Value Write Time", FieldClass.TOLERANT)
+                bw.put_uint(0, 1, "Fill Value Defined", FieldClass.TOLERANT)
+                bw.put_uint(0, 4, "Fill Value Size", FieldClass.TOLERANT)
+
+            def mtime_body(bw: FieldWriter) -> None:
+                bw.put_uint(1, 1, "Mtime Version", FieldClass.STRUCTURAL)
+                bw.put_reserved(3, "mtime reserved")
+                bw.put_uint(FIXED_MTIME, 4, "Modification Time", FieldClass.TOLERANT)
+
+            def nil_body(bw: FieldWriter) -> None:
+                bw.put_bytes(b"\x00" * C.DATASET_HEADER_NIL_PAD,
+                             "NIL reserved space", FieldClass.RESERVED)
+
+            encode_object_header(w, [
+                (C.MSG_DATASPACE, "dataSpace", dataspace.encode),
+                (C.MSG_DATATYPE, "dataType", lambda bw, dt=dp.dt: dt.encode(bw)),
+                (C.MSG_FILL_VALUE, "fillValue", fill_body),
+                (C.MSG_LAYOUT, "layout", layout.encode),
+                (C.MSG_MTIME, "modificationTime", mtime_body),
+                (C.MSG_NIL, "nil", nil_body),
+            ])
+            emit(w)
+
+            if dp.is_chunked:
+                w = FieldWriter(dp.chunk_btree_address,
+                                f"dataset[{dp.name}].chunkBTree")
+                encode_chunk_btree(w, dp.chunk_records, rank=len(dp.shape))
+                emit(w)
+
+        # Annotate inter-section alignment gaps so every byte is mapped.
+        covered = sorted((s.start, s.end) for s in spans)
+        gaps: List[FieldSpan] = []
+        cursor = 0
+        for start, end in covered:
+            if start > cursor:
+                gaps.append(FieldSpan(cursor, start, "alignment space between fields",
+                                      FieldClass.RESERVED, "padding"))
+            cursor = max(cursor, end)
+        if cursor < plan.metadata_size:
+            gaps.append(FieldSpan(cursor, plan.metadata_size,
+                                  "alignment space between fields",
+                                  FieldClass.RESERVED, "padding"))
+        return bytes(blob), FieldMap(spans + gaps)
+
+
+def write_file(mp: MountPoint, path: str, datasets,
+               block_size: int = C.DATA_BLOCK_SIZE,
+               writer: Optional[Hdf5Writer] = None) -> WriteResult:
+    """Create a mini-HDF5 file at *path* on the mounted file system.
+
+    *datasets* is a sequence of ``(name, array)`` pairs or
+    :class:`DatasetSpec` objects (for chunked/compressed layouts).  Raw
+    data lands first (contiguous data in *block_size* ``ffis_write``s,
+    each stored chunk in one write), then the packed metadata blob
+    (penultimate write), then the superblock consistency flags (final
+    write).
+    """
+    specs = _normalize_specs(datasets)
+    hw = writer if writer is not None else Hdf5Writer()
+    plan = hw.plan(specs)
+    blob, fieldmap = hw.encode_metadata(plan)
+
+    n_writes = 0
+    with mp.open(path, "w") as f:
+        for dp, spec in zip(plan.datasets, specs):
+            if dp.is_chunked:
+                for record, payload in zip(dp.chunk_records, dp.chunk_payloads):
+                    f.pwrite(payload, record.address)
+                    n_writes += 1
+                continue
+            raw = np.ascontiguousarray(spec.array).tobytes()
+            for start in range(0, len(raw), block_size):
+                chunk = raw[start : start + block_size]
+                f.pwrite(chunk, dp.data_address + start)
+                n_writes += 1
+        f.pwrite(blob, 0)
+        n_writes += 1
+        flags = FLAG_CLEAN.to_bytes(4, "little") + b"\x00" * (CONSISTENCY_FLAGS_SIZE - 4)
+        f.pwrite(flags, CONSISTENCY_FLAGS_OFFSET)
+        n_writes += 1
+
+    return WriteResult(plan=plan, fieldmap=fieldmap, metadata_blob=blob,
+                       n_writes=n_writes)

@@ -1,0 +1,38 @@
+"""Shared low-level utilities: bit manipulation, RNG streams, binary codecs."""
+
+from repro.util.bitops import (
+    flip_bit,
+    flip_bits,
+    flip_consecutive_bits,
+    get_bit,
+    set_bit,
+    extract_bits,
+    deposit_bits,
+    popcount_bytes,
+    hamming_distance,
+)
+from repro.util.rngstream import RngStream, derive_seed
+from repro.util.binary import (
+    pack_uint,
+    unpack_uint,
+    pad_to,
+    checksum32,
+)
+
+__all__ = [
+    "flip_bit",
+    "flip_bits",
+    "flip_consecutive_bits",
+    "get_bit",
+    "set_bit",
+    "extract_bits",
+    "deposit_bits",
+    "popcount_bytes",
+    "hamming_distance",
+    "RngStream",
+    "derive_seed",
+    "pack_uint",
+    "unpack_uint",
+    "pad_to",
+    "checksum32",
+]

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.nyx import FieldConfig, NyxApplication
+from repro.fusefs.mount import MountPoint, mount
+from repro.fusefs.vfs import FFISFileSystem
+
+
+@pytest.fixture
+def fs() -> FFISFileSystem:
+    return FFISFileSystem()
+
+
+@pytest.fixture
+def mp(fs):
+    """A mounted file system for the duration of one test."""
+    with mount(fs) as mount_point:
+        yield mount_point
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+# The tiny Nyx workload shared by integration-style tests.  Session-scoped
+# because field generation is the expensive part and apps are stateless
+# across runs by design.
+@pytest.fixture(scope="session")
+def tiny_nyx() -> NyxApplication:
+    config = FieldConfig(shape=(16, 16, 16), n_halos=2,
+                         halo_amplitude=(800.0, 1500.0),
+                         halo_radius=(0.6, 0.8))
+    return NyxApplication(seed=77, field_config=config, min_cells=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_nyx_golden(tiny_nyx):
+    fs = FFISFileSystem()
+    with mount(fs) as mp:
+        return tiny_nyx.capture_golden(mp)

@@ -1,0 +1,195 @@
+"""Application-level tests: golden capture, phases, classification."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import GoldenRecord, PhaseSpan
+from repro.apps.montage import MontageApplication, SkyConfig, STAGES
+from repro.apps.nyx import FieldConfig, NyxApplication
+from repro.apps.qmcpack import (
+    DmcParams,
+    QmcpackApplication,
+    SDC_WINDOW,
+    VmcParams,
+)
+from repro.core.outcomes import Outcome
+from repro.fusefs.mount import mount
+from repro.fusefs.vfs import FFISFileSystem
+
+
+@pytest.fixture(scope="module")
+def small_qmc():
+    return QmcpackApplication(
+        seed=5,
+        vmc_params=VmcParams(n_walkers=64, n_blocks=30, warmup_blocks=5),
+        dmc_params=DmcParams(target_walkers=64, n_blocks=40, steps_per_block=6),
+        equilibration=10)
+
+
+@pytest.fixture(scope="module")
+def small_montage():
+    return MontageApplication(
+        seed=5, sky_config=SkyConfig(canvas_shape=(64, 64),
+                                     tile_shape=(40, 40), n_tiles=6))
+
+
+def run_golden(app):
+    fs = FFISFileSystem()
+    with mount(fs) as mp:
+        golden = app.capture_golden(mp)
+    return fs, golden
+
+
+class TestNyxApplication:
+    def test_golden_is_benign_against_itself(self, tiny_nyx, tiny_nyx_golden):
+        fs = FFISFileSystem()
+        with mount(fs) as mp:
+            tiny_nyx.execute(mp)
+            outcome, detail = tiny_nyx.classify(tiny_nyx_golden, mp)
+        assert outcome is Outcome.BENIGN, detail
+
+    def test_runs_are_bit_reproducible(self, tiny_nyx):
+        outputs = []
+        for _ in range(2):
+            fs = FFISFileSystem()
+            with mount(fs) as mp:
+                tiny_nyx.execute(mp)
+                outputs.append(mp.read_file(tiny_nyx.output_paths()[0]))
+        assert outputs[0] == outputs[1]
+
+    def test_phase_recorded(self, tiny_nyx, tiny_nyx_golden):
+        assert tiny_nyx_golden.phase_names() == ["checkpoint"]
+        assert tiny_nyx_golden.phase("checkpoint").count == tiny_nyx_golden.total_writes
+
+    def test_golden_has_halos(self, tiny_nyx, tiny_nyx_golden):
+        assert tiny_nyx_golden.analysis["n_halos"] > 0
+
+    def test_average_detector_upgrades_mean_shift(self, tiny_nyx_golden):
+        """With the average detector, a zeroed stripe becomes DETECTED."""
+        config = FieldConfig(shape=(16, 16, 16), n_halos=2,
+                             halo_amplitude=(800.0, 1500.0),
+                             halo_radius=(0.6, 0.8))
+        detector_app = NyxApplication(seed=77, field_config=config, min_cells=3,
+                                      use_average_detector=True)
+        fs = FFISFileSystem()
+        with mount(fs) as mp:
+            detector_app.execute(mp)
+            # Zero a stripe of raw data behind the application's back.
+            start = detector_app.last_write_result.plan.datasets[0].data_address
+            with mp.open(detector_app.output_paths()[0], "r+") as f:
+                f.pwrite(b"\x00" * 2048, start)
+            outcome, detail = detector_app.classify(tiny_nyx_golden, mp)
+        assert outcome is Outcome.DETECTED
+        assert "average-value" in detail
+
+
+class TestQmcpackApplication:
+    def test_golden_energy_in_window(self, small_qmc):
+        _, golden = run_golden(small_qmc)
+        lo, hi = SDC_WINDOW
+        assert lo - 0.02 <= golden.analysis["energy"] <= hi + 0.02
+
+    def test_phases(self, small_qmc):
+        _, golden = run_golden(small_qmc)
+        assert golden.phase_names() == ["vmc", "dmc"]
+        assert golden.phase("vmc").count > 0
+        assert golden.phase("dmc").count > 0
+
+    def test_benign_against_itself(self, small_qmc):
+        _, golden = run_golden(small_qmc)
+        fs = FFISFileSystem()
+        with mount(fs) as mp:
+            small_qmc.execute(mp)
+            outcome, detail = small_qmc.classify(golden, mp)
+        assert outcome is Outcome.BENIGN, detail
+
+    def test_missing_s001_is_crash(self, small_qmc):
+        _, golden = run_golden(small_qmc)
+        fs = FFISFileSystem()
+        with mount(fs) as mp:
+            small_qmc.execute(mp)
+            mp.remove("/qmc/He.s001.scalar.dat")
+            outcome, _ = small_qmc.classify(golden, mp)
+        assert outcome is Outcome.CRASH
+
+    def test_corrupted_walker_file_propagates(self, small_qmc):
+        """Flipping one walker byte must change the DMC output file --
+        the restart-read propagation channel."""
+        from repro.fusefs.interposer import PrimitiveCall
+
+        _, golden = run_golden(small_qmc)
+        fs = FFISFileSystem()
+
+        def flip_config_data(call: PrimitiveCall):
+            # The walker file raw-data write is 64*2*3*8 = 3072 bytes.
+            if call.primitive == "ffis_write" and call.args["size"] == 3072:
+                buf = bytearray(call.args["buf"])
+                buf[100] ^= 0x10
+                call.args["buf"] = bytes(buf)
+            return None
+
+        fs.interposer.add_hook("ffis_write", flip_config_data)
+        with mount(fs) as mp:
+            small_qmc.execute(mp)
+            faulty = mp.read_file("/qmc/He.s001.scalar.dat")
+        assert faulty != golden.analysis["s001_text"]
+
+
+class TestMontageApplication:
+    def test_golden_min_near_paper(self, small_montage):
+        _, golden = run_golden(small_montage)
+        assert abs(golden.analysis["min"] - 82.82) < 1.0
+
+    def test_phases_are_the_paper_stages(self, small_montage):
+        _, golden = run_golden(small_montage)
+        assert golden.phase_names() == ["stage_raw"] + list(STAGES)
+        for stage in STAGES:
+            assert golden.phase(stage).count > 0
+
+    def test_benign_against_itself(self, small_montage):
+        _, golden = run_golden(small_montage)
+        fs = FFISFileSystem()
+        with mount(fs) as mp:
+            small_montage.execute(mp)
+            outcome, detail = small_montage.classify(golden, mp)
+        assert outcome is Outcome.BENIGN, detail
+
+    def test_missing_mosaic_is_crash(self, small_montage):
+        _, golden = run_golden(small_montage)
+        fs = FFISFileSystem()
+        with mount(fs) as mp:
+            small_montage.execute(mp)
+            mp.remove("/montage/out/m101_mosaic.jpg")
+            outcome, _ = small_montage.classify(golden, mp)
+        assert outcome is Outcome.CRASH
+
+    def test_background_planes_are_removed(self, small_montage):
+        """The mosaic matches the true sky far better than any raw tile
+        does -- mBgExec earned its keep."""
+        from repro.apps.montage.add import COVERAGE_MARGIN
+        from repro.apps.montage.image import generate_sky
+        from repro.mfits.io import read_fits
+
+        fs = FFISFileSystem()
+        with mount(fs) as mp:
+            small_montage.execute(mp)
+            mosaic = read_fits(mp, "/montage/out/m101_mosaic.fits").data
+        sky = generate_sky(small_montage.sky_config, small_montage.seed)
+        m = COVERAGE_MARGIN
+        truth = sky[m:-m, m:-m]
+        residual = np.abs(mosaic - truth)
+        # Median residual well under the raw background-plane magnitude.
+        assert np.median(residual) < 0.25
+
+
+class TestPhaseMachinery:
+    def test_phase_outside_run_rejected(self, tiny_nyx):
+        with pytest.raises(RuntimeError):
+            with tiny_nyx.phase("nope"):
+                pass
+
+    def test_golden_record_lookup(self):
+        golden = GoldenRecord(phases=[PhaseSpan("a", 0, 5)])
+        assert golden.phase("a").count == 5
+        with pytest.raises(KeyError):
+            golden.phase("b")

@@ -1,0 +1,75 @@
+"""Statistical tests of the injector's instance selection (requirement R4).
+
+The paper requires faults be introduced *uniformly* over the dynamic
+executions of the target primitive.  These tests check the selection
+distribution directly (no application runs needed beyond profiling).
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.campaign import Campaign
+from repro.core.config import CampaignConfig
+from repro.util.rngstream import RngStream
+
+
+@pytest.fixture(scope="module")
+def tiny_nyx_module():
+    from repro.apps.nyx import FieldConfig, NyxApplication
+    config = FieldConfig(shape=(16, 16, 16), n_halos=2,
+                         halo_amplitude=(800.0, 1500.0),
+                         halo_radius=(0.6, 0.8))
+    return NyxApplication(seed=77, field_config=config, min_cells=3)
+
+
+def selected_instances(app, fault_model: str, n: int, seed: int,
+                       phase=None) -> np.ndarray:
+    """Reproduce the campaign's instance draws without running the app."""
+    campaign = Campaign(app, CampaignConfig(fault_model=fault_model,
+                                            n_runs=n, seed=seed, phase=phase))
+    profile = campaign.profile()
+    window = profile.window(phase)
+    stream = RngStream(seed, app.name, campaign.signature.model.name,
+                       phase or "all")
+    picker = stream.child("instances").generator()
+    return np.array([int(picker.integers(window.start, window.stop))
+                     for _ in range(n)]), window
+
+
+class TestUniformity:
+    def test_instances_cover_the_window(self, tiny_nyx_module):
+        draws, window = selected_instances(tiny_nyx_module, "BF", 600, seed=1)
+        assert draws.min() == window.start
+        assert draws.max() == window.stop - 1
+        assert set(np.unique(draws)) == set(range(window.start, window.stop))
+
+    def test_chi_square_uniform(self, tiny_nyx_module):
+        """A chi-square test must not reject uniformity at alpha=0.001."""
+        draws, window = selected_instances(tiny_nyx_module, "BF", 1200, seed=2)
+        counts = np.bincount(draws, minlength=len(window))
+        _, p_value = stats.chisquare(counts)
+        assert p_value > 0.001
+
+    def test_matches_campaign_records(self, tiny_nyx_module):
+        """The reproduction above is exactly what the campaign draws."""
+        config = CampaignConfig(fault_model="DW", n_runs=5, seed=9)
+        result = Campaign(tiny_nyx_module, config).run()
+        draws, _ = selected_instances(tiny_nyx_module, "DW", 5, seed=9)
+        assert [r.target_instance for r in result.records] == draws.tolist()
+
+
+class TestPhaseRestriction:
+    def test_phase_limits_instances(self):
+        from repro.apps.montage import MontageApplication, SkyConfig
+        app = MontageApplication(seed=5, sky_config=SkyConfig(
+            canvas_shape=(64, 64), tile_shape=(40, 40), n_tiles=6))
+        config = CampaignConfig(fault_model="DW", n_runs=10, seed=3,
+                                phase="mAdd")
+        campaign = Campaign(app, config)
+        profile = campaign.profile()
+        window = profile.window("mAdd")
+        result = campaign.run()
+        for record in result.records:
+            assert window.start <= record.target_instance < window.stop
+            assert record.phase == "mAdd"

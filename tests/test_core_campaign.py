@@ -1,0 +1,160 @@
+"""Tests for the campaign machinery: generator, profiler, injector, runner."""
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.config import CampaignConfig
+from repro.core.generator import FaultGenerator
+from repro.core.injector import FaultInjector, InjectionHook
+from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
+from repro.core.profiler import IOProfiler
+from repro.core.signature import FaultSignature
+from repro.core.fault_models import BitFlipFault, DroppedWriteFault
+from repro.errors import ConfigError, FFISError
+from repro.fusefs.mount import mount
+from repro.fusefs.vfs import FFISFileSystem
+from repro.util.rngstream import RngStream
+
+
+class TestConfigAndGenerator:
+    def test_signature_from_config(self):
+        config = CampaignConfig(fault_model="SW",
+                                model_params={"fraction": 3 / 8})
+        signature = FaultGenerator().generate(config)
+        assert signature.model.name == "SW"
+        assert signature.primitive == "ffis_write"
+        assert "3/8" in signature.feature
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSignature(model=BitFlipFault(), primitive="ffis_teleport")
+
+    def test_bad_runs_rejected(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(n_runs=0)
+
+    def test_from_dict_validates_keys(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig.from_dict({"fault_model": "BF", "typo": 1})
+        config = CampaignConfig.from_dict({"fault_model": "DW", "n_runs": 5})
+        assert config.n_runs == 5
+
+
+class TestProfiler:
+    def test_counts_writes(self, tiny_nyx):
+        signature = FaultSignature(model=BitFlipFault())
+        profile = IOProfiler().profile(tiny_nyx, signature)
+        # 16^3 float32 = 16 KiB of data in 4 KiB blocks + metadata + flags.
+        assert profile.total_count == 6
+        assert profile.bytes_written > 16384
+
+    def test_phase_windows(self, tiny_nyx):
+        signature = FaultSignature(model=BitFlipFault())
+        profile = IOProfiler().profile(tiny_nyx, signature)
+        window = profile.window("checkpoint")
+        assert window == range(0, profile.total_count)
+        assert profile.window(None) == range(profile.total_count)
+
+    def test_unknown_phase_rejected(self, tiny_nyx):
+        signature = FaultSignature(model=BitFlipFault())
+        profile = IOProfiler().profile(tiny_nyx, signature)
+        with pytest.raises(FFISError):
+            profile.window("warp-drive")
+
+    def test_never_executed_primitive_rejected(self, tiny_nyx):
+        signature = FaultSignature(model=BitFlipFault(), primitive="ffis_chmod")
+        with pytest.raises(FFISError):
+            IOProfiler().profile(tiny_nyx, signature)
+
+
+class TestInjector:
+    def test_fires_exactly_once_at_instance(self):
+        fs = FFISFileSystem()
+        signature = FaultSignature(model=DroppedWriteFault())
+        hook = FaultInjector(signature).arm(fs, 1, RngStream(0).generator())
+        with mount(fs) as mp:
+            mp.write_file("/f", b"A" * 12, block_size=4)
+            content = mp.read_file("/f")
+        assert hook.fired
+        assert content == b"AAAA\x00\x00\x00\x00AAAA"
+
+    def test_does_not_fire_for_other_instances(self):
+        fs = FFISFileSystem()
+        signature = FaultSignature(model=DroppedWriteFault())
+        hook = FaultInjector(signature).arm(fs, 99, RngStream(0).generator())
+        with mount(fs) as mp:
+            mp.write_file("/f", b"A" * 12, block_size=4)
+            content = mp.read_file("/f")
+        assert not hook.fired
+        assert content == b"A" * 12
+
+    def test_negative_instance_rejected(self):
+        with pytest.raises(FFISError):
+            InjectionHook(FaultSignature(model=BitFlipFault()), -1,
+                          RngStream(0).generator())
+
+
+class TestCampaign:
+    def test_golden_only_fault_free(self, tiny_nyx):
+        campaign = Campaign(tiny_nyx, CampaignConfig(fault_model="BF", n_runs=1))
+        golden = campaign.capture_golden()
+        assert golden.analysis["n_halos"] > 0
+
+    def test_run_produces_records(self, tiny_nyx):
+        config = CampaignConfig(fault_model="DW", n_runs=8, seed=3)
+        result = Campaign(tiny_nyx, config).run()
+        assert len(result.records) == 8
+        assert result.tally.total == 8
+        for record in result.records:
+            assert isinstance(record.outcome, Outcome)
+            assert 0 <= record.target_instance < result.profile.total_count
+
+    def test_campaign_is_replayable(self, tiny_nyx):
+        config = CampaignConfig(fault_model="BF", n_runs=6, seed=11)
+        a = Campaign(tiny_nyx, config).run()
+        b = Campaign(tiny_nyx, config).run()
+        assert [r.outcome for r in a.records] == [r.outcome for r in b.records]
+        assert [r.target_instance for r in a.records] == \
+            [r.target_instance for r in b.records]
+
+    def test_seed_changes_instances(self, tiny_nyx):
+        a = Campaign(tiny_nyx, CampaignConfig(fault_model="BF", n_runs=6, seed=1)).run()
+        b = Campaign(tiny_nyx, CampaignConfig(fault_model="BF", n_runs=6, seed=2)).run()
+        assert [r.target_instance for r in a.records] != \
+            [r.target_instance for r in b.records]
+
+    def test_crash_classification(self, tiny_nyx):
+        """Dropping the metadata write (penultimate) must crash the reader."""
+        campaign = Campaign(tiny_nyx, CampaignConfig(fault_model="DW", n_runs=1))
+        golden = campaign.capture_golden()
+        metadata_instance = campaign.profile().total_count - 2
+        record = campaign.run_once(metadata_instance, run_rng_seed=1,
+                                   run_index=0, golden=golden)
+        assert record.outcome is Outcome.CRASH
+
+    def test_progress_callback(self, tiny_nyx):
+        seen = []
+        config = CampaignConfig(fault_model="DW", n_runs=3, seed=3)
+        Campaign(tiny_nyx, config).run(progress=lambda i, n: seen.append((i, n)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_summary_text(self, tiny_nyx):
+        config = CampaignConfig(fault_model="DW", n_runs=2, seed=3)
+        result = Campaign(tiny_nyx, config).run()
+        assert "nyx/DW" in result.summary()
+
+
+class TestOutcomeTally:
+    def test_from_records(self):
+        records = [RunRecord(0, Outcome.BENIGN), RunRecord(1, Outcome.SDC),
+                   RunRecord(2, Outcome.SDC)]
+        tally = OutcomeTally.from_records(records)
+        assert tally.counts[Outcome.SDC] == 2
+        assert tally.rate(Outcome.SDC) == pytest.approx(2 / 3)
+        assert tally.total == 3
+
+    def test_empty_tally(self):
+        tally = OutcomeTally()
+        assert tally.total == 0
+        assert tally.rate(Outcome.SDC) == 0.0
+        assert str(tally) == "empty"

@@ -1,0 +1,168 @@
+"""Unit and property tests for the three fault models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fault_models import (
+    BitFlipFault,
+    DroppedWriteFault,
+    SECTOR_SIZE,
+    ShornWriteFault,
+    make_fault_model,
+)
+from repro.errors import ConfigError
+from repro.fusefs.interposer import CallDecision, PrimitiveCall
+from repro.util.bitops import hamming_distance
+
+
+def write_call(buf: bytes) -> PrimitiveCall:
+    return PrimitiveCall("ffis_write",
+                         {"fd": 3, "buf": buf, "size": len(buf), "offset": 0}, 0)
+
+
+class TestBitFlip:
+    def test_flips_exactly_two_bits(self, rng):
+        original = bytes(rng.integers(0, 256, 4096, dtype=np.uint8))
+        call = write_call(original)
+        BitFlipFault().apply(call, np.random.default_rng(1))
+        assert hamming_distance(original, call.args["buf"]) == 2
+
+    def test_four_bit_variant(self, rng):
+        """Footnote 3's ablation model."""
+        original = bytes(rng.integers(0, 256, 4096, dtype=np.uint8))
+        call = write_call(original)
+        BitFlipFault(n_bits=4).apply(call, np.random.default_rng(2))
+        assert hamming_distance(original, call.args["buf"]) in (3, 4)
+
+    def test_size_and_offset_untouched(self, rng):
+        call = write_call(b"\x00" * 64)
+        BitFlipFault().apply(call, np.random.default_rng(0))
+        assert call.args["size"] == 64
+        assert call.args["offset"] == 0
+
+    def test_positions_are_uniformish(self):
+        """R4: positions should cover the buffer, not cluster."""
+        hits = set()
+        for seed in range(200):
+            call = write_call(b"\x00" * 64)
+            BitFlipFault().apply(call, np.random.default_rng(seed))
+            buf = call.args["buf"]
+            hits.add(next(i for i, b in enumerate(buf) if b))
+        assert len(hits) > 30
+
+    def test_empty_buffer_noop(self):
+        call = write_call(b"")
+        assert BitFlipFault().apply(call, np.random.default_rng(0)) is None
+        assert call.args["buf"] == b""
+
+    def test_mknod_flips_mode_or_dev(self):
+        call = PrimitiveCall("ffis_mknod", {"path": "/n", "mode": 0o644, "dev": 0}, 0)
+        BitFlipFault().apply(call, np.random.default_rng(3))
+        assert (call.args["mode"], call.args["dev"]) != (0o644, 0)
+
+    def test_invalid_nbits(self):
+        with pytest.raises(ConfigError):
+            BitFlipFault(n_bits=0)
+
+
+class TestShornWrite:
+    def test_prefix_preserved_tail_replaced(self, rng):
+        original = bytes(rng.integers(0, 256, 4096, dtype=np.uint8))
+        call = write_call(original)
+        sw = ShornWriteFault(fraction=7 / 8)
+        sw.apply(call, np.random.default_rng(1))
+        buf = call.args["buf"]
+        assert len(buf) == 4096
+        assert buf[:3584] == original[:3584]
+        assert buf[3584:] != original[3584:]
+
+    def test_three_eighths_variant(self, rng):
+        original = bytes(rng.integers(0, 256, 4096, dtype=np.uint8))
+        call = write_call(original)
+        ShornWriteFault(fraction=3 / 8).apply(call, np.random.default_rng(1))
+        assert call.args["buf"][:1536] == original[:1536]
+
+    def test_shear_point_sector_aligned(self):
+        sw = ShornWriteFault(fraction=7 / 8)
+        for size in (4096, 2880, 8192):
+            point = sw.shear_point(size)
+            assert point % SECTOR_SIZE == 0
+            assert 0 <= point <= size
+
+    def test_shear_point_sub_sector_buffers(self):
+        """Buffers smaller than a sector still shear (degenerate path)."""
+        sw = ShornWriteFault(fraction=7 / 8)
+        for size in (513, 100, 8, 2):
+            point = sw.shear_point(size)
+            assert 0 < point < size
+
+    def test_stale_tail_comes_from_previous_sector(self, rng):
+        original = bytes(rng.integers(0, 256, 4096, dtype=np.uint8))
+        call = write_call(original)
+        ShornWriteFault(fraction=7 / 8, tail_policy="stale").apply(
+            call, np.random.default_rng(1))
+        tail = call.args["buf"][3584:]
+        assert tail == original[3072:3584]
+
+    def test_zeros_tail_policy(self, rng):
+        original = bytes(rng.integers(1, 256, 4096, dtype=np.uint8))
+        call = write_call(original)
+        ShornWriteFault(tail_policy="zeros").apply(call, np.random.default_rng(1))
+        assert call.args["buf"][3584:] == b"\x00" * 512
+
+    def test_random_tail_policy_deterministic_per_rng(self, rng):
+        original = bytes(rng.integers(0, 256, 4096, dtype=np.uint8))
+        tails = []
+        for _ in range(2):
+            call = write_call(original)
+            ShornWriteFault(tail_policy="random").apply(
+                call, np.random.default_rng(9))
+            tails.append(call.args["buf"][3584:])
+        assert tails[0] == tails[1]
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            ShornWriteFault(fraction=0.0)
+        with pytest.raises(ConfigError):
+            ShornWriteFault(fraction=1.0)
+        with pytest.raises(ConfigError):
+            ShornWriteFault(tail_policy="nonsense")
+
+    @given(st.integers(2, 20000))
+    @settings(max_examples=100, deadline=None)
+    def test_shear_point_invariants(self, size):
+        sw = ShornWriteFault(fraction=7 / 8)
+        point = sw.shear_point(size)
+        assert 0 <= point < size or point == size
+        # Never loses more than one sector beyond the ideal fraction.
+        assert point >= int(size * 7 / 8) - SECTOR_SIZE
+
+
+class TestDroppedWrite:
+    def test_suppresses(self):
+        call = write_call(b"data")
+        assert DroppedWriteFault().apply(call, np.random.default_rng(0)) is \
+            CallDecision.SUPPRESS
+
+    def test_buffer_untouched(self):
+        call = write_call(b"data")
+        DroppedWriteFault().apply(call, np.random.default_rng(0))
+        assert call.args["buf"] == b"data"
+
+
+class TestRegistry:
+    def test_all_names(self):
+        assert isinstance(make_fault_model("BF"), BitFlipFault)
+        assert isinstance(make_fault_model("BIT_FLIP", n_bits=4), BitFlipFault)
+        assert isinstance(make_fault_model("sw"), ShornWriteFault)
+        assert isinstance(make_fault_model("DROPPED_WRITE"), DroppedWriteFault)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_fault_model("EXPLODE")
+
+    def test_params_forwarded(self):
+        model = make_fault_model("SW", fraction=3 / 8, tail_policy="zeros")
+        assert model.fraction == 3 / 8
+        assert model.tail_policy == "zeros"

@@ -1,0 +1,151 @@
+"""Coverage for the error taxonomy, primitive routing, and object headers."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.fusefs.mount import mount
+from repro.fusefs.vfs import FFISFileSystem, PRIMITIVES
+from repro.mhdf5 import constants as C
+from repro.mhdf5.codec import FieldReader, FieldWriter
+from repro.mhdf5.fieldmap import FieldClass
+from repro.mhdf5.objheader import decode_object_header, encode_object_header, message_index
+
+
+class TestErrorTaxonomy:
+    def test_format_error_is_a_crash(self):
+        assert issubclass(errors.FormatError, errors.ApplicationCrash)
+        assert issubclass(errors.ApplicationCrash, errors.ReproError)
+
+    def test_ffis_errors_are_not_crashes(self):
+        """Framework misuse must never be classified as an experimental
+        outcome."""
+        assert not issubclass(errors.FFISError, errors.ApplicationCrash)
+        assert not issubclass(errors.ConfigError, errors.ApplicationCrash)
+
+    def test_vfs_errors_are_os_errors(self):
+        assert issubclass(errors.FileNotFound, OSError)
+        assert errors.FileNotFound.errno_name == "ENOENT"
+        assert errors.BadFileDescriptor.errno_name == "EBADF"
+
+    def test_not_mounted_is_framework_error(self):
+        assert issubclass(errors.NotMounted, errors.FFISError)
+
+
+class TestPrimitiveRouting:
+    """Every advertised primitive must dispatch through the interposer,
+    so any of them can host a fault (Table I's 'Affected FUSE
+    primitives' column)."""
+
+    def test_every_primitive_is_interposable(self, fs):
+        seen = []
+        fs.interposer.add_global_hook(lambda call: seen.append(call.primitive))
+        with mount(fs) as mp:
+            mp.mkdir("/d")
+            mp.mknod("/d/node")
+            mp.chmod("/d/node", 0o600)
+            with mp.open("/d/f", "w") as f:
+                f.write(b"hello")
+                f.fsync()
+            with mp.open("/d/f", "r") as f:
+                f.read()
+            mp.rename("/d/f", "/d/g")
+            mp.truncate("/d/g", 2)
+            mp.remove("/d/g")
+            mp.remove("/d/node")
+            fs.ffis_rmdir("/d")
+        routed = set(seen)
+        for primitive in PRIMITIVES:
+            assert primitive in routed, f"{primitive} bypassed the interposer"
+
+    def test_suppressed_namespace_ops(self, fs):
+        from repro.fusefs.interposer import CallDecision
+        fs.interposer.add_hook("ffis_mkdir", lambda c: CallDecision.SUPPRESS)
+        with mount(fs) as mp:
+            mp.mkdir("/ghost")
+            assert not mp.exists("/ghost")
+
+    def test_mknod_mode_rewrite_applies(self, fs):
+        """Fig. 3b: hooks rewrite mknod's mode before it is applied."""
+
+        def force_mode(call):
+            if call.primitive == "ffis_mknod":
+                call.args["mode"] = 0o401
+
+        fs.interposer.add_hook("ffis_mknod", force_mode)
+        with mount(fs) as mp:
+            mp.mknod("/n", mode=0o644)
+            assert mp.stat("/n").mode == 0o401
+
+
+class TestObjectHeaderFraming:
+    def build(self, messages):
+        w = FieldWriter(container="t")
+        encode_object_header(w, messages)
+        return w.getvalue()
+
+    def body(self, value: bytes):
+        def encoder(bw: FieldWriter) -> None:
+            bw.put_bytes(value, "payload", FieldClass.NUMERIC)
+        return encoder
+
+    def test_roundtrip_two_messages(self):
+        raw = self.build([(C.MSG_NIL, "a", self.body(b"abc")),
+                          (C.MSG_MTIME, "b", self.body(b"defg"))])
+        messages = decode_object_header(FieldReader(raw))
+        assert [m.msg_type for m in messages] == [C.MSG_NIL, C.MSG_MTIME]
+        assert raw[messages[0].body_start:messages[0].body_end] == b"abc"
+        assert raw[messages[1].body_start:messages[1].body_end] == b"defg"
+
+    def test_unknown_message_type_crashes(self):
+        raw = bytearray(self.build([(C.MSG_NIL, "a", self.body(b"abc"))]))
+        raw[12] = 0x77   # message type low byte -> unknown id
+        with pytest.raises(errors.FormatError, match="unknown"):
+            decode_object_header(FieldReader(bytes(raw)))
+
+    def test_bad_version_crashes(self):
+        raw = bytearray(self.build([(C.MSG_NIL, "a", self.body(b"abc"))]))
+        raw[0] = 9
+        with pytest.raises(errors.FormatError):
+            decode_object_header(FieldReader(bytes(raw)))
+
+    def test_oversized_message_count_crashes(self):
+        raw = bytearray(self.build([(C.MSG_NIL, "a", self.body(b"abc"))]))
+        raw[2:4] = (2000).to_bytes(2, "little")
+        with pytest.raises(errors.FormatError):
+            decode_object_header(FieldReader(bytes(raw)))
+
+    def test_message_size_overflow_crashes(self):
+        raw = bytearray(self.build([(C.MSG_NIL, "a", self.body(b"abc"))]))
+        raw[14:16] = (5000).to_bytes(2, "little")   # message size field
+        with pytest.raises(errors.FormatError):
+            decode_object_header(FieldReader(bytes(raw)))
+
+    def test_message_index_keeps_first(self):
+        raw = self.build([(C.MSG_NIL, "a", self.body(b"x")),
+                          (C.MSG_NIL, "b", self.body(b"y"))])
+        messages = decode_object_header(FieldReader(raw))
+        index = message_index(messages)
+        assert index[C.MSG_NIL].body_start == messages[0].body_start
+
+
+class TestDirectoryBackedCampaign:
+    def test_campaign_on_directory_backend(self, tmp_path, tiny_nyx):
+        """Campaigns also run with on-disk extents (post-mortem debugging
+        setups); outcomes must match the in-memory backend."""
+        from repro.core.campaign import Campaign
+        from repro.core.config import CampaignConfig
+        from repro.fusefs.backend import DirectoryBackend
+
+        counter = [0]
+
+        def fs_factory():
+            counter[0] += 1
+            root = tmp_path / f"run{counter[0]}"
+            return FFISFileSystem(backend=DirectoryBackend(str(root)))
+
+        config = CampaignConfig(fault_model="DW", n_runs=4, seed=6)
+        on_disk = Campaign(tiny_nyx, config, fs_factory=fs_factory).run()
+        in_memory = Campaign(tiny_nyx, config).run()
+        assert [r.outcome for r in on_disk.records] == \
+            [r.outcome for r in in_memory.records]

@@ -1,0 +1,109 @@
+"""Tests for the storage backends (memory + directory)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fusefs.backend import DirectoryBackend, MemoryBackend
+
+
+@pytest.fixture(params=["memory", "directory"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        return MemoryBackend()
+    return DirectoryBackend(str(tmp_path / "store"))
+
+
+class TestBasicOps:
+    def test_create_read_write(self, backend):
+        backend.create(1)
+        assert backend.pwrite(1, b"hello", 0) == 5
+        assert backend.pread(1, 5, 0) == b"hello"
+        assert backend.size(1) == 5
+
+    def test_create_is_idempotent(self, backend):
+        backend.create(1)
+        backend.pwrite(1, b"x", 0)
+        backend.create(1)
+        assert backend.pread(1, 1, 0) == b"x"
+
+    def test_write_beyond_eof_zero_fills(self, backend):
+        backend.create(1)
+        backend.pwrite(1, b"ab", 10)
+        assert backend.size(1) == 12
+        assert backend.pread(1, 12, 0) == b"\x00" * 10 + b"ab"
+
+    def test_overwrite_middle(self, backend):
+        backend.create(1)
+        backend.pwrite(1, b"abcdef", 0)
+        backend.pwrite(1, b"XY", 2)
+        assert backend.pread(1, 6, 0) == b"abXYef"
+
+    def test_short_read_at_eof(self, backend):
+        backend.create(1)
+        backend.pwrite(1, b"abc", 0)
+        assert backend.pread(1, 100, 1) == b"bc"
+        assert backend.pread(1, 10, 50) == b""
+
+    def test_truncate_shrink_and_grow(self, backend):
+        backend.create(1)
+        backend.pwrite(1, b"abcdef", 0)
+        backend.truncate(1, 2)
+        assert backend.pread(1, 10, 0) == b"ab"
+        backend.truncate(1, 4)
+        assert backend.pread(1, 10, 0) == b"ab\x00\x00"
+
+    def test_delete(self, backend):
+        backend.create(1)
+        backend.delete(1)
+        with pytest.raises(KeyError):
+            backend.size(1)
+        backend.delete(1)  # idempotent
+
+    def test_missing_extent_raises(self, backend):
+        with pytest.raises(KeyError):
+            backend.pread(42, 1, 0)
+        with pytest.raises(KeyError):
+            backend.pwrite(42, b"x", 0)
+
+    def test_negative_args_rejected(self, backend):
+        backend.create(1)
+        with pytest.raises(ValueError):
+            backend.pread(1, -1, 0)
+        with pytest.raises(ValueError):
+            backend.pwrite(1, b"x", -1)
+        with pytest.raises(ValueError):
+            backend.truncate(1, -1)
+
+    def test_clear(self, backend):
+        backend.create(1)
+        backend.create(2)
+        backend.clear()
+        with pytest.raises(KeyError):
+            backend.size(1)
+
+    def test_independent_inodes(self, backend):
+        backend.create(1)
+        backend.create(2)
+        backend.pwrite(1, b"one", 0)
+        backend.pwrite(2, b"two", 0)
+        assert backend.pread(1, 3, 0) == b"one"
+        assert backend.pread(2, 3, 0) == b"two"
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(
+    st.tuples(st.binary(min_size=1, max_size=64), st.integers(0, 128)),
+    min_size=1, max_size=12))
+def test_memory_backend_matches_reference_model(ops):
+    """Property: the backend behaves like a plain bytearray with holes."""
+    backend = MemoryBackend()
+    backend.create(1)
+    model = bytearray()
+    for data, offset in ops:
+        backend.pwrite(1, data, offset)
+        end = offset + len(data)
+        if len(model) < end:
+            model.extend(b"\x00" * (end - len(model)))
+        model[offset:end] = data
+    assert backend.pread(1, len(model) + 16, 0) == bytes(model)
+    assert backend.size(1) == len(model)

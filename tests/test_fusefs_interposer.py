@@ -1,0 +1,116 @@
+"""Tests for the interposer hook chain and the profiler hooks."""
+
+import pytest
+
+from repro.fusefs.interposer import CallDecision, Interposer, PrimitiveCall
+from repro.fusefs.mount import mount
+from repro.fusefs.profiler_hooks import CountingHook, TraceHook
+from repro.fusefs.vfs import FFISFileSystem
+
+
+class TestInterposer:
+    def test_seqno_increments_per_primitive(self):
+        ip = Interposer()
+        assert ip.dispatch("ffis_write", {}).seqno == 0
+        assert ip.dispatch("ffis_write", {}).seqno == 1
+        assert ip.dispatch("ffis_read", {}).seqno == 0
+
+    def test_hooks_run_in_order(self):
+        ip = Interposer()
+        order = []
+        ip.add_hook("p", lambda c: order.append("a"))
+        ip.add_hook("p", lambda c: order.append("b"))
+        ip.dispatch("p", {})
+        assert order == ["a", "b"]
+
+    def test_global_hooks_run_first(self):
+        ip = Interposer()
+        order = []
+        ip.add_hook("p", lambda c: order.append("specific"))
+        ip.add_global_hook(lambda c: order.append("global"))
+        ip.dispatch("p", {})
+        assert order == ["global", "specific"]
+
+    def test_suppress_decision_sticks(self):
+        ip = Interposer()
+        ip.add_hook("p", lambda c: CallDecision.SUPPRESS)
+        ip.add_hook("p", lambda c: CallDecision.PROCEED)
+        assert ip.dispatch("p", {}).suppressed
+
+    def test_hook_mutates_args(self):
+        ip = Interposer()
+
+        def rewrite(call: PrimitiveCall):
+            call.args["buf"] = b"mutated"
+
+        ip.add_hook("p", rewrite)
+        assert ip.dispatch("p", {"buf": b"original"}).args["buf"] == b"mutated"
+
+    def test_remove_hook(self):
+        ip = Interposer()
+        hook = lambda c: CallDecision.SUPPRESS  # noqa: E731
+        ip.add_hook("p", hook)
+        ip.remove_hook("p", hook)
+        assert not ip.dispatch("p", {}).suppressed
+
+    def test_reset_counters(self):
+        ip = Interposer()
+        ip.dispatch("p", {})
+        ip.reset_counters()
+        assert ip.count("p") == 0
+        assert ip.dispatch("p", {}).seqno == 0
+
+
+class TestProfilerHooks:
+    def test_counting_hook(self):
+        fs = FFISFileSystem()
+        hook = CountingHook()
+        fs.interposer.add_hook("ffis_write", hook)
+        with mount(fs) as mp:
+            mp.write_file("/f", b"x" * 100, block_size=30)
+        assert hook.count == 4
+        assert hook.bytes_written == 100
+
+    def test_trace_hook_summarizes_buffers(self):
+        fs = FFISFileSystem()
+        hook = TraceHook()
+        fs.interposer.add_hook("ffis_write", hook)
+        with mount(fs) as mp:
+            mp.write_file("/f", b"abcdef")
+        assert len(hook.records) == 1
+        assert hook.records[0].summary["buf"] == "<6 bytes>"
+
+    def test_trace_hook_keeps_buffers_when_asked(self):
+        fs = FFISFileSystem()
+        hook = TraceHook(keep_buffers=True)
+        fs.interposer.add_hook("ffis_write", hook)
+        with mount(fs) as mp:
+            mp.write_file("/f", b"abcdef")
+        assert hook.records[0].summary["buf"] == b"abcdef"
+
+
+class TestSuppressionSemantics:
+    def test_suppressed_write_leaves_hole(self):
+        """A suppressed write followed by a later write reads back zeros --
+        the dropped-write manifestation."""
+        fs = FFISFileSystem()
+
+        def drop_first(call: PrimitiveCall):
+            if call.seqno == 0:
+                return CallDecision.SUPPRESS
+            return None
+
+        fs.interposer.add_hook("ffis_write", drop_first)
+        with mount(fs) as mp:
+            with mp.open("/f", "w") as f:
+                f.pwrite(b"AAAA", 0)
+                f.pwrite(b"BBBB", 4)
+            assert mp.read_file("/f") == b"\x00\x00\x00\x00BBBB"
+
+    def test_suppressed_write_still_reports_success(self):
+        fs = FFISFileSystem()
+        fs.interposer.add_hook("ffis_write", lambda c: CallDecision.SUPPRESS)
+        with mount(fs) as mp:
+            with mp.open("/f", "w") as f:
+                assert f.pwrite(b"AAAA", 0) == 4
+            assert mp.stat("/f").size == 4

@@ -1,0 +1,214 @@
+"""Tests for the virtual file system primitives and mount lifecycle."""
+
+import pytest
+
+from repro.errors import (
+    BadFileDescriptor,
+    FileExists,
+    FileNotFound,
+    IsADirectory,
+    NotMounted,
+    VFSError,
+)
+from repro.fusefs.inode import InodeKind, InodeTable
+from repro.fusefs.mount import mount
+from repro.fusefs.vfs import FFISFileSystem
+
+
+class TestInodeTable:
+    def test_root_exists(self):
+        table = InodeTable()
+        assert table.get(1).is_dir
+
+    def test_create_and_lookup(self):
+        table = InodeTable()
+        table.create("/a", InodeKind.DIRECTORY)
+        node = table.create("/a/f", InodeKind.FILE)
+        assert table.lookup("/a/f").ino == node.ino
+
+    def test_lookup_missing(self):
+        table = InodeTable()
+        with pytest.raises(FileNotFound):
+            table.lookup("/nope")
+
+    def test_relative_path_rejected(self):
+        table = InodeTable()
+        with pytest.raises(ValueError):
+            table.lookup("relative")
+
+    def test_dot_components_rejected(self):
+        table = InodeTable()
+        with pytest.raises(ValueError):
+            table.lookup("/a/../b")
+
+    def test_duplicate_rejected(self):
+        table = InodeTable()
+        table.create("/f", InodeKind.FILE)
+        with pytest.raises(FileExists):
+            table.create("/f", InodeKind.FILE)
+
+    def test_unlink_directory_rejected(self):
+        table = InodeTable()
+        table.create("/d", InodeKind.DIRECTORY)
+        parent, name = table.lookup_parent("/d")
+        with pytest.raises(IsADirectory):
+            table.unlink(parent, name)
+
+
+class TestMountLifecycle:
+    def test_unmounted_ops_rejected(self, fs):
+        with pytest.raises(NotMounted):
+            fs.ffis_open("/f", "w")
+
+    def test_mount_context(self, fs):
+        with mount(fs) as mp:
+            assert fs.mounted
+            mp.write_file("/f", b"x")
+        assert not fs.mounted
+
+    def test_unmount_on_exception(self, fs):
+        with pytest.raises(RuntimeError):
+            with mount(fs):
+                raise RuntimeError("boom")
+        assert not fs.mounted
+
+    def test_double_mount_rejected(self, fs):
+        with mount(fs):
+            with pytest.raises(NotMounted):
+                fs._set_mounted(True)
+
+    def test_data_survives_remount(self, fs):
+        with mount(fs) as mp:
+            mp.write_file("/f", b"persist")
+        with mount(fs) as mp:
+            assert mp.read_file("/f") == b"persist"
+
+    def test_counters_reset_on_remount(self, fs):
+        with mount(fs) as mp:
+            mp.write_file("/f", b"x")
+            assert fs.interposer.count("ffis_write") == 1
+        with mount(fs):
+            assert fs.interposer.count("ffis_write") == 0
+
+    def test_format_requires_unmounted(self, fs):
+        with mount(fs):
+            with pytest.raises(NotMounted):
+                fs.format()
+        fs.format()
+
+
+class TestFileIO:
+    def test_write_read_roundtrip(self, mp):
+        mp.write_file("/f", b"hello world")
+        assert mp.read_file("/f") == b"hello world"
+
+    def test_block_split_writes(self, mp, fs):
+        mp.write_file("/f", b"x" * 10, block_size=3)
+        assert fs.interposer.count("ffis_write") == 4
+        assert mp.read_file("/f") == b"x" * 10
+
+    def test_pwrite_offsets(self, mp):
+        with mp.open("/f", "w") as f:
+            f.pwrite(b"tail", 6)
+            f.pwrite(b"head", 0)
+        assert mp.read_file("/f") == b"head\x00\x00tail"
+
+    def test_open_w_truncates(self, mp):
+        mp.write_file("/f", b"long content")
+        mp.write_file("/f", b"s")
+        assert mp.read_file("/f") == b"s"
+
+    def test_open_r_missing(self, mp):
+        with pytest.raises(FileNotFound):
+            mp.open("/missing", "r")
+
+    def test_append(self, mp):
+        mp.write_file("/f", b"ab")
+        with mp.open("/f", "a") as f:
+            f.write(b"cd")
+        assert mp.read_file("/f") == b"abcd"
+
+    def test_read_plus_mode(self, mp):
+        mp.write_file("/f", b"abcdef")
+        with mp.open("/f", "r+") as f:
+            f.pwrite(b"XY", 2)
+        assert mp.read_file("/f") == b"abXYef"
+
+    def test_write_to_readonly_fd_rejected(self, mp):
+        mp.write_file("/f", b"x")
+        with mp.open("/f", "r") as f:
+            with pytest.raises(VFSError):
+                f.write(b"y")
+
+    def test_seek_tell(self, mp):
+        mp.write_file("/f", b"abcdef")
+        with mp.open("/f", "r") as f:
+            f.seek(2)
+            assert f.read(2) == b"cd"
+            f.seek(-1, 2)
+            assert f.read() == b"f"
+            f.seek(0, 1)
+            assert f.tell() == 6
+
+    def test_closed_fd_rejected(self, mp, fs):
+        f = mp.open("/f", "w")
+        f.close()
+        with pytest.raises(BadFileDescriptor):
+            fs.ffis_write(f.fd, b"x", 1, 0)
+
+    def test_claimed_size_makes_holes_readable(self, mp, fs):
+        """A short backend write with a larger claimed size reads as a hole
+        (the on-device manifestation of a shorn write)."""
+        with mp.open("/f", "w") as f:
+            fs.ffis_write(f.fd, b"ab", 8, 0)  # 2-byte buffer, 8 claimed
+        data = mp.read_file("/f")
+        assert data == b"ab" + b"\x00" * 6
+
+
+class TestNamespace:
+    def test_mkdir_and_readdir(self, mp):
+        mp.mkdir("/d")
+        mp.write_file("/d/a", b"1")
+        mp.write_file("/d/b", b"2")
+        assert mp.listdir("/d") == ["a", "b"]
+
+    def test_makedirs(self, mp):
+        mp.makedirs("/x/y/z")
+        assert mp.stat("/x/y/z").kind is InodeKind.DIRECTORY
+
+    def test_unlink(self, mp):
+        mp.write_file("/f", b"x")
+        mp.remove("/f")
+        assert not mp.exists("/f")
+
+    def test_rename(self, mp):
+        mp.write_file("/a", b"data")
+        mp.rename("/a", "/b")
+        assert not mp.exists("/a")
+        assert mp.read_file("/b") == b"data"
+
+    def test_rename_to_existing_rejected(self, mp):
+        mp.write_file("/a", b"1")
+        mp.write_file("/b", b"2")
+        with pytest.raises(FileExists):
+            mp.rename("/a", "/b")
+
+    def test_truncate_path(self, mp):
+        mp.write_file("/f", b"abcdef")
+        mp.truncate("/f", 3)
+        assert mp.read_file("/f") == b"abc"
+
+    def test_mknod_and_chmod(self, mp):
+        mp.mknod("/node", mode=0o600)
+        assert mp.stat("/node").mode == 0o600
+        mp.chmod("/node", 0o755)
+        assert mp.stat("/node").mode == 0o755
+
+    def test_stat_size_tracks_writes(self, mp):
+        mp.write_file("/f", b"12345")
+        assert mp.stat("/f").size == 5
+
+    def test_open_directory_rejected(self, mp):
+        mp.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            mp.open("/d", "r")

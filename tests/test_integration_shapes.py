@@ -1,0 +1,112 @@
+"""End-to-end integration tests asserting the paper's qualitative shapes.
+
+These run real (small) campaigns and check the *direction* of every
+headline claim in the evaluation -- who wins, not exact percentages.
+"""
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.config import CampaignConfig
+from repro.core.outcomes import Outcome
+from repro.mhdf5.repair import repair_file
+from repro.fusefs.mount import mount
+from repro.fusefs.vfs import FFISFileSystem
+
+N_RUNS = 40
+
+
+@pytest.fixture(scope="module")
+def nyx_results(tiny_nyx_module):
+    results = {}
+    for fm in ("BF", "SW", "DW"):
+        config = CampaignConfig(fault_model=fm, n_runs=N_RUNS, seed=13)
+        results[fm] = Campaign(tiny_nyx_module, config).run()
+    return results
+
+
+@pytest.fixture(scope="module")
+def tiny_nyx_module():
+    from repro.apps.nyx import FieldConfig, NyxApplication
+    config = FieldConfig(shape=(16, 16, 16), n_halos=2,
+                         halo_amplitude=(800.0, 1500.0),
+                         halo_radius=(0.6, 0.8))
+    return NyxApplication(seed=77, field_config=config, min_cells=3)
+
+
+class TestNyxShapes:
+    def test_bf_mostly_benign(self, nyx_results):
+        assert nyx_results["BF"].rate(Outcome.BENIGN) > 0.6
+
+    def test_dw_sdc_dominates(self, nyx_results):
+        """Paper: 1000/1000 dropped writes were SDC (data writes)."""
+        dw = nyx_results["DW"]
+        data_write_records = [r for r in dw.records
+                              if r.outcome is not Outcome.CRASH]
+        assert data_write_records, "every DW run crashed?!"
+        assert all(r.outcome is Outcome.SDC for r in data_write_records)
+
+    def test_sw_more_benign_than_dw(self, nyx_results):
+        assert nyx_results["SW"].rate(Outcome.BENIGN) > \
+            nyx_results["DW"].rate(Outcome.BENIGN)
+
+    def test_nyx_sdc_lowest_for_bf(self, nyx_results):
+        """BF has the lowest SDC rate among the three fault models."""
+        bf_sdc = nyx_results["BF"].rate(Outcome.SDC)
+        assert bf_sdc <= nyx_results["DW"].rate(Outcome.SDC)
+        assert bf_sdc <= nyx_results["SW"].rate(Outcome.SDC) + 0.05
+
+
+class TestAverageValueDetector:
+    def test_dw_sdc_upgraded_to_detected(self, tiny_nyx_module):
+        """Fig. 7's note: with the average-value method every Nyx SDC
+        becomes detected."""
+        from repro.apps.nyx import NyxApplication
+        detector_app = NyxApplication(
+            seed=77, field_config=tiny_nyx_module.field_config,
+            min_cells=3, use_average_detector=True)
+        config = CampaignConfig(fault_model="DW", n_runs=20, seed=13)
+        result = Campaign(detector_app, config).run()
+        assert result.rate(Outcome.SDC) == 0.0
+        assert result.rate(Outcome.DETECTED) > 0.5
+
+
+class TestMetadataRepairEndToEnd:
+    def test_sdc_fields_repairable(self, tiny_nyx_module):
+        """Every Table IV field the paper proposes corrections for is
+        actually corrected by repair_file on a corrupted live file."""
+        fieldmap = None
+        fs = FFISFileSystem()
+        with mount(fs) as mp:
+            tiny_nyx_module.execute(mp)
+            fieldmap = tiny_nyx_module.last_write_result.fieldmap
+            path = tiny_nyx_module.output_paths()[0]
+            for substring, bit in [("Exponent Bias", 2),
+                                   ("Mantissa Size", 0),
+                                   ("Address of Raw Data", 4)]:
+                span = next(s for s in fieldmap if substring in s.name)
+                raw = bytearray(mp.read_file(path))
+                raw[span.start] ^= 1 << bit
+                with mp.open(path, "r+") as f:
+                    f.pwrite(bytes(raw[span.start:span.start + 1]), span.start)
+                report = repair_file(mp, path, "baryon_density")
+                assert report.success, f"{substring}: {report.actions}"
+
+
+@pytest.mark.slow
+class TestCrossApplicationContrast:
+    def test_qmcpack_less_resilient_than_nyx(self, tiny_nyx_module):
+        """The paper's headline contrast: QMCPACK SDC rates dwarf Nyx's."""
+        from repro.apps.qmcpack import DmcParams, QmcpackApplication, VmcParams
+        qmc = QmcpackApplication(
+            seed=5,
+            vmc_params=VmcParams(n_walkers=128, n_blocks=30, warmup_blocks=5),
+            dmc_params=DmcParams(target_walkers=128, n_blocks=80,
+                                 steps_per_block=8),
+            equilibration=15)
+        qmc_bf = Campaign(qmc, CampaignConfig(fault_model="BF", n_runs=25,
+                                              seed=13)).run()
+        nyx_bf = Campaign(tiny_nyx_module,
+                          CampaignConfig(fault_model="BF", n_runs=25,
+                                         seed=13)).run()
+        assert qmc_bf.rate(Outcome.SDC) > nyx_bf.rate(Outcome.SDC)

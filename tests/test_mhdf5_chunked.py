@@ -1,0 +1,228 @@
+"""Tests for chunked/compressed storage in mini-HDF5."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.mhdf5.api import File
+from repro.mhdf5.chunks import (
+    CHUNK_BTREE_CAPACITY,
+    ChunkRecord,
+    FILTER_DEFLATE,
+    chunk_btree_size,
+    compress_chunk,
+    decode_chunk_btree,
+    decompress_chunk,
+    encode_chunk_btree,
+    split_into_chunks,
+)
+from repro.mhdf5.codec import FieldWriter
+from repro.mhdf5.layout import ChunkedLayoutMessage, decode_layout
+from repro.mhdf5.codec import FieldReader
+from repro.mhdf5.reader import Hdf5Reader, read_dataset
+from repro.mhdf5.repair import DiagnosisKind, diagnose_dataset, repair_file
+from repro.mhdf5.writer import DatasetSpec, write_file
+
+
+@pytest.fixture
+def field(rng):
+    return rng.lognormal(0, 0.4, (24, 16, 16)).astype(np.float32)
+
+
+class TestSplitIntoChunks:
+    def test_exact_tiling(self, rng):
+        array = rng.random((8, 8))
+        tiles = split_into_chunks(array, (4, 4))
+        assert len(tiles) == 4
+        assert {t[0] for t in tiles} == {(0, 0), (0, 4), (4, 0), (4, 4)}
+
+    def test_ragged_edges(self, rng):
+        array = rng.random((10, 7))
+        tiles = split_into_chunks(array, (4, 4))
+        assert len(tiles) == 6
+        edge = dict(tiles)[(8, 4)]
+        assert edge.shape == (2, 3)
+
+    def test_reassembly(self, rng):
+        array = rng.random((9, 11, 5))
+        out = np.zeros_like(array)
+        for offset, tile in split_into_chunks(array, (4, 4, 4)):
+            slices = tuple(slice(o, o + s) for o, s in zip(offset, tile.shape))
+            out[slices] = tile
+        assert np.array_equal(out, array)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            split_into_chunks(rng.random((4, 4)), (4,))
+        with pytest.raises(ValueError):
+            split_into_chunks(rng.random((4, 4)), (0, 4))
+
+
+class TestChunkBtree:
+    def records(self):
+        return [ChunkRecord((0, 0), 6000, 123, FILTER_DEFLATE),
+                ChunkRecord((8, 0), 6200, 456, 0)]
+
+    def test_roundtrip(self):
+        w = FieldWriter()
+        encode_chunk_btree(w, self.records(), rank=2)
+        raw = w.getvalue()
+        assert len(raw) == chunk_btree_size(rank=2)
+        back = decode_chunk_btree(raw, 0, rank=2)
+        assert back == self.records()
+        assert back[0].compressed and not back[1].compressed
+
+    def test_capacity_enforced(self):
+        too_many = [ChunkRecord((i,), 0, 0) for i in range(CHUNK_BTREE_CAPACITY + 1)]
+        with pytest.raises(ValueError):
+            encode_chunk_btree(FieldWriter(), too_many, rank=1)
+
+    def test_bad_node_type_crashes(self):
+        w = FieldWriter()
+        encode_chunk_btree(w, self.records(), rank=2)
+        raw = bytearray(w.getvalue())
+        raw[4] = 0   # group node type where a chunk node is expected
+        with pytest.raises(FormatError):
+            decode_chunk_btree(bytes(raw), 0, rank=2)
+
+    def test_corrupt_entry_count_crashes(self):
+        w = FieldWriter()
+        encode_chunk_btree(w, self.records(), rank=2)
+        raw = bytearray(w.getvalue())
+        raw[6:8] = (60000).to_bytes(2, "little")
+        with pytest.raises(FormatError):
+            decode_chunk_btree(bytes(raw), 0, rank=2)
+
+
+class TestDeflateFilter:
+    def test_roundtrip(self, rng):
+        raw = rng.integers(0, 4, 4096, dtype=np.uint8).tobytes()
+        assert decompress_chunk(compress_chunk(raw), len(raw)) == raw
+
+    def test_corruption_is_detectable(self, rng):
+        raw = rng.integers(0, 4, 4096, dtype=np.uint8).tobytes()
+        stored = bytearray(compress_chunk(raw))
+        stored[len(stored) // 2] ^= 0xFF
+        with pytest.raises(FormatError, match="decompression"):
+            decompress_chunk(bytes(stored), len(raw))
+
+    def test_size_mismatch_is_detectable(self, rng):
+        raw = rng.integers(0, 4, 1024, dtype=np.uint8).tobytes()
+        with pytest.raises(FormatError, match="inflated"):
+            decompress_chunk(compress_chunk(raw), 9999)
+
+
+class TestChunkedLayoutMessage:
+    def test_roundtrip(self):
+        msg = ChunkedLayoutMessage(btree_address=2488, chunk_shape=(8, 16, 16),
+                                   element_size=4)
+        w = FieldWriter()
+        msg.encode(w)
+        assert len(w.getvalue()) == msg.encoded_size()
+        assert decode_layout(FieldReader(w.getvalue())) == msg
+
+    def test_zero_chunk_dim_crashes(self):
+        msg = ChunkedLayoutMessage(0, (8, 0), 4)
+        w = FieldWriter()
+        msg.encode(w)
+        with pytest.raises(FormatError):
+            decode_layout(FieldReader(w.getvalue()))
+
+
+class TestChunkedFiles:
+    def test_plain_chunked_roundtrip(self, mp, field):
+        write_file(mp, "/c.h5", [DatasetSpec("rho", field, chunks=(8, 16, 16))])
+        back = read_dataset(mp, "/c.h5", "rho")
+        assert np.array_equal(back.astype(np.float32), field)
+
+    def test_compressed_roundtrip(self, mp, field):
+        write_file(mp, "/c.h5", [DatasetSpec("rho", field, chunks=(8, 16, 16),
+                                             compression="deflate")])
+        back = read_dataset(mp, "/c.h5", "rho")
+        assert np.array_equal(back.astype(np.float32), field)
+
+    def test_mixed_layout_file(self, mp, field, rng):
+        aux = rng.random((4, 4)).astype(np.float32)
+        write_file(mp, "/m.h5", [
+            DatasetSpec("rho", field, chunks=(8, 16, 16), compression="deflate"),
+            ("aux", aux),
+        ])
+        reader = Hdf5Reader(mp, "/m.h5")
+        assert reader.info("rho").is_chunked
+        assert not reader.info("aux").is_chunked
+        assert np.array_equal(reader.read("aux").astype(np.float32), aux)
+
+    def test_one_write_per_chunk(self, fs, field):
+        from repro.fusefs.mount import mount
+        offsets = []
+        fs.interposer.add_hook("ffis_write",
+                               lambda c: offsets.append(c.args["offset"]))
+        with mount(fs) as mp:
+            result = write_file(mp, "/c.h5",
+                                [DatasetSpec("rho", field, chunks=(8, 16, 16))])
+        chunk_addresses = [r.address for r in result.plan.datasets[0].chunk_records]
+        assert offsets[:len(chunk_addresses)] == chunk_addresses
+
+    def test_metadata_extent_covers_chunk_btree(self, mp, field):
+        result = write_file(mp, "/c.h5",
+                            [DatasetSpec("rho", field, chunks=(8, 16, 16))])
+        reader = Hdf5Reader(mp, "/c.h5")
+        assert reader.metadata_extent() == result.plan.metadata_size
+
+    def test_corrupted_compressed_chunk_crashes(self, mp, field):
+        result = write_file(mp, "/c.h5",
+                            [DatasetSpec("rho", field, chunks=(8, 16, 16),
+                                         compression="deflate")])
+        record = result.plan.datasets[0].chunk_records[1]
+        offset = record.address + record.stored_size // 2
+        raw = bytearray(mp.read_file("/c.h5"))
+        raw[offset] ^= 0xFF
+        with mp.open("/c.h5", "r+") as f:
+            f.pwrite(bytes(raw[offset:offset + 1]), offset)
+        with pytest.raises(FormatError):
+            Hdf5Reader(mp, "/c.h5").read("rho")
+
+    def test_corrupted_uncompressed_chunk_is_silent(self, mp, field):
+        """The contrast: without the filter the same flip is an SDC."""
+        result = write_file(mp, "/c.h5",
+                            [DatasetSpec("rho", field, chunks=(8, 16, 16))])
+        record = result.plan.datasets[0].chunk_records[1]
+        offset = record.address + 8
+        raw = bytearray(mp.read_file("/c.h5"))
+        raw[offset] ^= 0x08
+        with mp.open("/c.h5", "r+") as f:
+            f.pwrite(bytes(raw[offset:offset + 1]), offset)
+        back = Hdf5Reader(mp, "/c.h5").read("rho")
+        assert not np.array_equal(back.astype(np.float32), field)
+
+    def test_datatype_faults_still_apply(self, mp, field):
+        """Metadata corruption semantics are layout-independent: an
+        Exponent Bias fault scales a chunked dataset too."""
+        result = write_file(mp, "/c.h5",
+                            [DatasetSpec("rho", field, chunks=(8, 16, 16),
+                                         compression="deflate")])
+        span = next(s for s in result.fieldmap if "Exponent Bias" in s.name)
+        raw = bytearray(mp.read_file("/c.h5"))
+        raw[span.start] ^= 0x02   # bias 127 -> 125: x4
+        with mp.open("/c.h5", "r+") as f:
+            f.pwrite(bytes(raw[span.start:span.start + 1]), span.start)
+        back = Hdf5Reader(mp, "/c.h5").read("rho")
+        assert np.allclose(back, field.astype(np.float64) * 4.0)
+
+    def test_spec_validation(self, field):
+        with pytest.raises(ValueError):
+            DatasetSpec("x", field, compression="deflate")   # needs chunks
+        with pytest.raises(ValueError):
+            DatasetSpec("x", field, chunks=(4, 4))           # rank mismatch
+        with pytest.raises(ValueError):
+            DatasetSpec("x", field, chunks=(8, 16, 16), compression="lzma")
+
+    def test_repair_skips_ard_for_chunked(self, mp, field):
+        field = field / field.mean(dtype=np.float64)
+        field = field.astype(np.float32)
+        field /= np.float32(field.mean(dtype=np.float64))
+        write_file(mp, "/c.h5", [DatasetSpec("rho", field, chunks=(8, 16, 16))])
+        diagnosis = diagnose_dataset(mp, "/c.h5", "rho")
+        assert diagnosis.kind is DiagnosisKind.OK
+        report = repair_file(mp, "/c.h5", "rho")
+        assert report.success

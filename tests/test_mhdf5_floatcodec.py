@@ -1,0 +1,135 @@
+"""Unit and property tests for the generic float codec.
+
+This module is the mechanism behind the paper's Table IV, so it gets the
+heaviest property coverage: IEEE round-trips, equivalence with numpy's
+native encodings, and the documented corruption semantics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FormatError
+from repro.mhdf5.datatype import ByteOrder, MantissaNorm, ieee_f32le, ieee_f64le
+from repro.mhdf5.floatcodec import decode_floats, encode_floats
+
+finite_f32 = st.floats(width=32, allow_nan=False, allow_infinity=False,
+                       allow_subnormal=True)
+
+
+class TestIeeeEquivalence:
+    def test_f32_decode_matches_numpy(self, rng):
+        values = rng.lognormal(0, 1, 256).astype(np.float32)
+        decoded = decode_floats(values.tobytes(), ieee_f32le(), 256)
+        assert np.array_equal(decoded, values.astype(np.float64))
+
+    def test_f64_decode_matches_numpy(self, rng):
+        values = rng.normal(0, 100, 256)
+        decoded = decode_floats(values.tobytes(), ieee_f64le(), 256)
+        assert np.array_equal(decoded, values)
+
+    def test_f32_encode_matches_numpy(self, rng):
+        values = rng.lognormal(0, 1, 256).astype(np.float32).astype(np.float64)
+        assert encode_floats(values, ieee_f32le()) == values.astype(np.float32).tobytes()
+
+    def test_f64_encode_matches_numpy(self, rng):
+        values = rng.normal(0, 1, 64)
+        assert encode_floats(values, ieee_f64le()) == values.tobytes()
+
+    @given(st.lists(finite_f32, min_size=1, max_size=32))
+    @settings(max_examples=200, deadline=None)
+    def test_f32_roundtrip_property(self, values):
+        arr = np.array(values, dtype=np.float32).astype(np.float64)
+        raw = encode_floats(arr, ieee_f32le())
+        assert raw == arr.astype(np.float32).tobytes()
+        decoded = decode_floats(raw, ieee_f32le(), len(values))
+        assert np.array_equal(decoded, arr)
+
+    def test_special_values_decode(self):
+        specials = np.array([np.inf, -np.inf, np.nan, 0.0, -0.0], dtype=np.float32)
+        decoded = decode_floats(specials.tobytes(), ieee_f32le(), 5)
+        assert np.isposinf(decoded[0])
+        assert np.isneginf(decoded[1])
+        assert np.isnan(decoded[2])
+        assert decoded[3] == 0.0 and decoded[4] == 0.0
+
+    def test_subnormals_decode(self):
+        tiny = np.array([1e-41, -3e-42], dtype=np.float32)
+        decoded = decode_floats(tiny.tobytes(), ieee_f32le(), 2)
+        assert np.array_equal(decoded, tiny.astype(np.float64))
+
+    def test_big_endian_roundtrip(self, rng):
+        values = rng.normal(0, 1, 32).astype(np.float32)
+        dt = ieee_f32le().with_fields(byte_order=ByteOrder.BIG)
+        raw = encode_floats(values.astype(np.float64), dt)
+        assert raw == values.astype(">f4").tobytes()
+        assert np.array_equal(decode_floats(raw, dt, 32),
+                              values.astype(np.float64))
+
+
+class TestCorruptionSemantics:
+    """The documented Table IV mechanisms."""
+
+    def setup_method(self):
+        rng = np.random.default_rng(3)
+        self.values = rng.lognormal(0, 0.5, 512).astype(np.float32)
+        self.raw = self.values.tobytes()
+
+    def test_exponent_bias_scales_by_power_of_two(self):
+        for delta in (1, 4, 12):
+            dt = ieee_f32le().with_fields(exponent_bias=127 - delta)
+            decoded = decode_floats(self.raw, dt, 512)
+            ratio = decoded / self.values.astype(np.float64)
+            assert np.allclose(ratio, 2.0 ** delta)
+
+    def test_norm_none_drops_implied_bit(self):
+        dt = ieee_f32le().with_fields(mantissa_norm_raw=MantissaNorm.NONE.value)
+        decoded = decode_floats(self.raw, dt, 512)
+        golden = decode_floats(self.raw, ieee_f32le(), 512)
+        # value = (1 + f) * 2^e  becomes  f * 2^e: strictly smaller.
+        assert np.all(decoded <= golden)
+        assert decoded.mean() < 0.8 * golden.mean()
+
+    def test_mantissa_size_shift_gives_mild_distortion(self):
+        dt = ieee_f32le().with_fields(mantissa_size=22)
+        decoded = decode_floats(self.raw, dt, 512)
+        mean_ratio = decoded.mean() / self.values.mean(dtype=np.float64)
+        assert 1.0 < mean_ratio < 1.6   # the paper's 1.04..1.55 band
+
+    def test_short_raw_zero_fills(self):
+        decoded = decode_floats(self.raw[:100], ieee_f32le(), 512)
+        assert np.array_equal(decoded[:25],
+                              self.values[:25].astype(np.float64))
+        assert np.all(decoded[25:] == 0.0)
+
+    def test_out_of_range_geometry_rejected(self):
+        with pytest.raises(FormatError):
+            decode_floats(self.raw, ieee_f32le().with_fields(exponent_location=60), 8)
+        with pytest.raises(FormatError):
+            decode_floats(self.raw, ieee_f32le().with_fields(sign_location=32), 8)
+        with pytest.raises(FormatError):
+            decode_floats(self.raw, ieee_f32le().with_fields(mantissa_size=40), 8)
+
+    def test_bad_element_size_rejected(self):
+        with pytest.raises(FormatError):
+            decode_floats(self.raw, ieee_f32le().with_fields(size=9), 8)
+
+
+class TestEncodeValidation:
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            encode_floats(np.array([np.nan]), ieee_f32le())
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode_floats(np.array([1e39]), ieee_f32le())
+
+    def test_non_implied_norm_rejected(self):
+        dt = ieee_f32le().with_fields(mantissa_norm_raw=MantissaNorm.NONE.value)
+        with pytest.raises(ValueError):
+            encode_floats(np.array([1.0]), dt)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            decode_floats(b"", ieee_f32le(), -1)
+        assert len(decode_floats(b"", ieee_f32le(), 0)) == 0

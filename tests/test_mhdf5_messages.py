@@ -1,0 +1,236 @@
+"""Tests for datatype/dataspace/layout/superblock/btree/heap structures."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.mhdf5 import constants as C
+from repro.mhdf5.btree import (
+    BtreeEntry,
+    SymbolEntry,
+    btree_node_size,
+    decode_btree_node,
+    decode_snod,
+    encode_btree_node,
+    encode_snod,
+    snod_size,
+)
+from repro.mhdf5.codec import FieldReader, FieldWriter
+from repro.mhdf5.dataspace import DataspaceMessage
+from repro.mhdf5.datatype import ByteOrder, DatatypeMessage, MantissaNorm, ieee_f32le, ieee_f64le
+from repro.mhdf5.fieldmap import FieldClass
+from repro.mhdf5.heap import LocalHeap, decode_heap
+from repro.mhdf5.layout import ContiguousLayoutMessage
+from repro.mhdf5.superblock import Superblock
+
+
+def roundtrip(obj, decode, container="t"):
+    w = FieldWriter(container=container)
+    obj.encode(w)
+    return decode(FieldReader(w.getvalue())), w.getvalue()
+
+
+class TestDatatypeMessage:
+    def test_roundtrip_f32(self):
+        decoded, raw = roundtrip(ieee_f32le(), DatatypeMessage.decode)
+        assert decoded == ieee_f32le()
+        assert len(raw) == DatatypeMessage.ENCODED_SIZE
+
+    def test_roundtrip_f64(self):
+        decoded, _ = roundtrip(ieee_f64le(), DatatypeMessage.decode)
+        assert decoded == ieee_f64le()
+
+    def test_norm_bit5_is_in_bitfield_byte(self):
+        """Flipping bit 5 of byte 1 turns IMPLIED into NONE (the paper's
+        'Bit-5 of Mantissa Normalization')."""
+        w = FieldWriter()
+        ieee_f32le().encode(w)
+        raw = bytearray(w.getvalue())
+        raw[1] ^= 1 << 5
+        decoded = DatatypeMessage.decode(FieldReader(bytes(raw)))
+        assert decoded.mantissa_norm is MantissaNorm.NONE
+
+    def test_unknown_norm_degrades_to_none(self):
+        dt = ieee_f32le().with_fields(mantissa_norm_raw=3)
+        assert dt.mantissa_norm is MantissaNorm.ALWAYS_SET or dt.mantissa_norm_raw == 3
+        # raw value 3 is a valid enum (ALWAYS_SET|?) -- out-of-enum values
+        # can only arise masked to 2 bits, so all are defined.
+
+    def test_bad_class_rejected(self):
+        w = FieldWriter()
+        ieee_f32le().encode(w)
+        raw = bytearray(w.getvalue())
+        raw[0] = (C.DATATYPE_VERSION << 4) | C.DTCLASS_FIXED
+        with pytest.raises(FormatError):
+            DatatypeMessage.decode(FieldReader(bytes(raw)))
+
+    def test_bad_version_rejected(self):
+        w = FieldWriter()
+        ieee_f32le().encode(w)
+        raw = bytearray(w.getvalue())
+        raw[0] = (9 << 4) | C.DTCLASS_FLOAT
+        with pytest.raises(FormatError):
+            DatatypeMessage.decode(FieldReader(bytes(raw)))
+
+    def test_oversize_element_rejected(self):
+        w = FieldWriter()
+        DatatypeMessage(size=4).encode(w)
+        raw = bytearray(w.getvalue())
+        raw[4] = 16  # size field
+        with pytest.raises(FormatError):
+            DatatypeMessage.decode(FieldReader(bytes(raw)))
+
+
+class TestDataspace:
+    def test_roundtrip(self):
+        ds = DataspaceMessage(dims=(4, 5, 6))
+        decoded, raw = roundtrip(ds, DataspaceMessage.decode)
+        assert decoded == ds
+        assert len(raw) == ds.encoded_size()
+        assert decoded.npoints == 120
+
+    def test_zero_dimension_rejected(self):
+        w = FieldWriter()
+        DataspaceMessage(dims=(4,)).encode(w)
+        raw = bytearray(w.getvalue())
+        raw[8:16] = (0).to_bytes(8, "little")
+        with pytest.raises(FormatError):
+            DataspaceMessage.decode(FieldReader(bytes(raw)))
+
+    def test_huge_dimension_rejected(self):
+        w = FieldWriter()
+        DataspaceMessage(dims=(4,)).encode(w)
+        raw = bytearray(w.getvalue())
+        raw[8:16] = (1 << 50).to_bytes(8, "little")
+        with pytest.raises(FormatError):
+            DataspaceMessage.decode(FieldReader(bytes(raw)))
+
+
+class TestLayout:
+    def test_roundtrip(self):
+        ly = ContiguousLayoutMessage(data_address=2488, size=4096)
+        decoded, raw = roundtrip(ly, ContiguousLayoutMessage.decode)
+        assert decoded == ly
+        assert len(raw) == ContiguousLayoutMessage.ENCODED_SIZE
+
+    def test_wrong_class_rejected(self):
+        w = FieldWriter()
+        ContiguousLayoutMessage(data_address=0, size=0).encode(w)
+        raw = bytearray(w.getvalue())
+        raw[1] = 2  # chunked
+        with pytest.raises(FormatError):
+            ContiguousLayoutMessage.decode(FieldReader(bytes(raw)))
+
+
+class TestSuperblock:
+    def test_roundtrip(self):
+        sb = Superblock(end_of_file_address=1000, root_header_address=48,
+                        consistency_flags=1)
+        decoded, _ = roundtrip(sb, Superblock.decode)
+        assert decoded == sb
+
+    def test_signature_validated(self):
+        w = FieldWriter()
+        Superblock(1000, 48).encode(w)
+        raw = bytearray(w.getvalue())
+        raw[0] ^= 0xFF
+        with pytest.raises(FormatError):
+            Superblock.decode(FieldReader(bytes(raw)))
+
+    def test_nonzero_base_address_rejected(self):
+        w = FieldWriter()
+        Superblock(1000, 48).encode(w)
+        raw = bytearray(w.getvalue())
+        raw[16] = 1
+        with pytest.raises(FormatError):
+            Superblock.decode(FieldReader(bytes(raw)))
+
+
+class TestBtreeAndSnod:
+    def test_btree_roundtrip(self):
+        entries = [BtreeEntry(key_heap_offset=8, child_address=2048)]
+        w = FieldWriter()
+        encode_btree_node(w, entries)
+        raw = w.getvalue()
+        assert len(raw) == btree_node_size()
+        node = decode_btree_node(raw, 0)
+        assert node.entries == tuple(entries)
+
+    def test_btree_capacity_enforced(self):
+        entries = [BtreeEntry(0, 0)] * (2 * C.BTREE_K + 1)
+        with pytest.raises(ValueError):
+            encode_btree_node(FieldWriter(), entries)
+
+    def test_btree_bad_signature(self):
+        w = FieldWriter()
+        encode_btree_node(w, [BtreeEntry(0, 64)])
+        raw = bytearray(w.getvalue())
+        raw[0] ^= 1
+        with pytest.raises(FormatError):
+            decode_btree_node(bytes(raw), 0)
+
+    def test_btree_implausible_entry_count(self):
+        w = FieldWriter()
+        encode_btree_node(w, [BtreeEntry(0, 64)])
+        raw = bytearray(w.getvalue())
+        raw[6:8] = (5000).to_bytes(2, "little")
+        with pytest.raises(FormatError):
+            decode_btree_node(bytes(raw), 0)
+
+    def test_snod_roundtrip(self):
+        entries = [SymbolEntry(name_heap_offset=0, header_address=2296),
+                   SymbolEntry(name_heap_offset=16, header_address=2520)]
+        w = FieldWriter()
+        encode_snod(w, entries)
+        raw = w.getvalue()
+        assert len(raw) == snod_size()
+        node = decode_snod(raw, 0)
+        assert node.entries == tuple(entries)
+
+    def test_snod_bad_version(self):
+        w = FieldWriter()
+        encode_snod(w, [SymbolEntry(0, 0)])
+        raw = bytearray(w.getvalue())
+        raw[4] = 9
+        with pytest.raises(FormatError):
+            decode_snod(bytes(raw), 0)
+
+    def test_btree_is_dominant_metadata_structure(self):
+        """The sizing that gives the paper's ~72 % B-tree share."""
+        assert btree_node_size() == 1760
+        assert snod_size() == 328
+
+
+class TestLocalHeap:
+    def test_names_roundtrip(self):
+        heap = LocalHeap()
+        off_a = heap.add_name("baryon_density")
+        off_b = heap.add_name("velocity_x")
+        assert off_a != off_b
+        w = FieldWriter()
+        heap.encode(w, data_segment_address=32)
+        info = decode_heap(w.getvalue(), 0)
+        assert info.name_at(off_a) == "baryon_density"
+        assert info.name_at(off_b) == "velocity_x"
+
+    def test_duplicate_name_interned(self):
+        heap = LocalHeap()
+        assert heap.add_name("x") == heap.add_name("x")
+
+    def test_capacity_enforced(self):
+        heap = LocalHeap(data_size=16)
+        heap.add_name("0123456789")
+        with pytest.raises(ValueError):
+            heap.add_name("toolongforthisheap")
+
+    def test_bad_offset_is_format_error(self):
+        heap = LocalHeap()
+        heap.add_name("x")
+        w = FieldWriter()
+        heap.encode(w, data_segment_address=32)
+        info = decode_heap(w.getvalue(), 0)
+        with pytest.raises(FormatError):
+            info.name_at(10_000)
+
+    def test_nul_in_name_rejected(self):
+        with pytest.raises(ValueError):
+            LocalHeap().add_name("a\x00b")

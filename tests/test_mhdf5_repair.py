@@ -1,0 +1,119 @@
+"""Tests for the detection/auto-correction methodology (Sec. V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.mhdf5.datatype import MantissaNorm
+from repro.mhdf5.reader import Hdf5Reader
+from repro.mhdf5.repair import (
+    DiagnosisKind,
+    diagnose_dataset,
+    repair_file,
+)
+from repro.mhdf5.writer import write_file
+
+
+@pytest.fixture
+def written(mp, rng):
+    """A mean-1 field written to mini-HDF5 (the Nyx invariant)."""
+    rho = rng.lognormal(0, 0.5, (8, 8, 8))
+    rho /= rho.mean()
+    rho = rho.astype(np.float32)
+    rho /= np.float32(rho.mean(dtype=np.float64))
+    result = write_file(mp, "/f.h5", [("density", rho)])
+    return result, rho
+
+
+def corrupt_field(mp, result, substring, bit, byte=0):
+    span = next(s for s in result.fieldmap if substring in s.name)
+    data = bytearray(mp.read_file("/f.h5"))
+    data[span.start + byte] ^= 1 << bit
+    with mp.open("/f.h5", "r+") as f:
+        f.pwrite(bytes(data[span.start + byte : span.start + byte + 1]),
+                 span.start + byte)
+
+
+class TestDiagnosis:
+    def test_clean_file_is_ok(self, mp, written):
+        result, _ = written
+        d = diagnose_dataset(mp, "/f.h5", "density")
+        assert d.kind is DiagnosisKind.OK
+        assert d.observed_mean == pytest.approx(1.0, rel=1e-4)
+
+    def test_exponent_bias_diagnosed(self, mp, written):
+        result, _ = written
+        corrupt_field(mp, result, "Exponent Bias", 3)   # 127 -> 119: x2^8
+        d = diagnose_dataset(mp, "/f.h5", "density")
+        assert d.kind is DiagnosisKind.EXPONENT_BIAS
+        assert d.observed_mean == pytest.approx(256.0, rel=1e-3)
+
+    def test_mantissa_norm_diagnosed_as_geometry(self, mp, written):
+        result, _ = written
+        corrupt_field(mp, result, "Mantissa Normalization", 5)
+        d = diagnose_dataset(mp, "/f.h5", "density")
+        assert d.kind is DiagnosisKind.FLOAT_GEOMETRY
+        assert "normalization" in d.detail
+
+    def test_mantissa_size_diagnosed_as_geometry(self, mp, written):
+        result, _ = written
+        corrupt_field(mp, result, "Mantissa Size", 0)
+        d = diagnose_dataset(mp, "/f.h5", "density")
+        assert d.kind is DiagnosisKind.FLOAT_GEOMETRY
+
+    def test_ard_diagnosed_structurally(self, mp, written):
+        """The average stays 1 under an ARD shift -- only the structural
+        ARD == metadata-size check can see it (the paper's point)."""
+        result, _ = written
+        corrupt_field(mp, result, "Address of Raw Data", 5)
+        d = diagnose_dataset(mp, "/f.h5", "density")
+        assert d.kind is DiagnosisKind.ARD_MISMATCH
+
+    def test_data_corruption_is_unknown(self, mp, written):
+        """A mean shift with intact metadata is not a metadata fault."""
+        result, rho = written
+        start = result.plan.datasets[0].data_address
+        with mp.open("/f.h5", "r+") as f:
+            f.pwrite(b"\x00" * 512, start)     # zero a data stripe
+        d = diagnose_dataset(mp, "/f.h5", "density")
+        assert d.kind is DiagnosisKind.UNKNOWN
+
+
+class TestRepair:
+    @pytest.mark.parametrize("substring,bit", [
+        ("Exponent Bias", 3),
+        ("Exponent Bias", 0),
+        ("Mantissa Normalization", 5),
+        ("Mantissa Size", 0),
+        ("Mantissa Location", 0),
+        ("Address of Raw Data", 5),
+        ("Address of Raw Data", 3),
+    ])
+    def test_single_fault_repair(self, mp, written, substring, bit):
+        result, rho = written
+        corrupt_field(mp, result, substring, bit)
+        report = repair_file(mp, "/f.h5", "density")
+        assert report.success, f"{substring} bit {bit}: {report.actions}"
+        assert report.mean_after == pytest.approx(1.0, rel=1e-3)
+        back = Hdf5Reader(mp, "/f.h5").read("density")
+        assert np.array_equal(back.astype(np.float32), rho)
+
+    def test_repair_records_actions(self, mp, written):
+        result, _ = written
+        corrupt_field(mp, result, "Exponent Bias", 3)
+        report = repair_file(mp, "/f.h5", "density")
+        assert any(a.field_name == "exponent bias" and a.new_value == 127
+                   for a in report.actions)
+
+    def test_clean_file_repair_is_noop(self, mp, written):
+        report = repair_file(mp, "/f.h5", "density")
+        assert report.success
+        assert report.actions == []
+
+    def test_repaired_datatype_restored_exactly(self, mp, written):
+        result, _ = written
+        corrupt_field(mp, result, "Mantissa Size", 1)
+        repair_file(mp, "/f.h5", "density")
+        dt = Hdf5Reader(mp, "/f.h5").info("density").datatype
+        assert dt.mantissa_size == 23
+        assert dt.exponent_location == 23
+        assert dt.mantissa_norm is MantissaNorm.IMPLIED

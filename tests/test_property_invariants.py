@@ -1,0 +1,103 @@
+"""Cross-cutting property tests on the core scientific invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.nyx.halo_finder import find_halos
+from repro.fusefs.mount import mount
+from repro.fusefs.vfs import FFISFileSystem
+from repro.mhdf5.reader import Hdf5Reader
+from repro.mhdf5.writer import DatasetSpec, write_file
+
+
+@st.composite
+def density_fields(draw):
+    """Small random positive fields with a few injected peaks."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    nz = draw(st.integers(6, 12))
+    rng = np.random.default_rng(seed)
+    rho = rng.lognormal(0, 0.4, (nz, 8, 8))
+    for _ in range(draw(st.integers(0, 3))):
+        z, y, x = (rng.integers(0, s) for s in rho.shape)
+        rho[z, y, x] += rng.uniform(100, 1000)
+    return rho
+
+
+class TestHaloFinderInvariants:
+    @given(density_fields(), st.floats(0.25, 4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scale_invariance_of_structure(self, rho, factor):
+        """The threshold is relative to the average, so scaling the whole
+        field preserves the candidate set, halo count, and cell counts
+        (masses scale by the factor)."""
+        base = find_halos(rho, min_cells=2)
+        scaled = find_halos(rho * factor, min_cells=2)
+        assert scaled.n_candidates == base.n_candidates
+        assert len(scaled) == len(base)
+        for a, b in zip(base.halos, scaled.halos):
+            assert b.n_cells == a.n_cells
+            assert b.mass == pytest.approx(a.mass * factor, rel=1e-9)
+
+    @given(density_fields())
+    @settings(max_examples=40, deadline=None)
+    def test_halo_accounting(self, rho):
+        """Halos partition a subset of the candidates; each halo's cell
+        count is at least min_cells and masses are positive."""
+        catalog = find_halos(rho, min_cells=2)
+        assert sum(h.n_cells for h in catalog.halos) <= catalog.n_candidates
+        for halo in catalog.halos:
+            assert halo.n_cells >= 2
+            assert halo.mass > 0
+            for axis, extent in enumerate(rho.shape):
+                assert -0.5 <= halo.position[axis] <= extent - 0.5
+
+    @given(density_fields())
+    @settings(max_examples=25, deadline=None)
+    def test_rendering_roundtrip_is_stable(self, rho):
+        """to_text is a pure function of the catalog (bit-compare safe)."""
+        assert find_halos(rho).to_text() == find_halos(rho).to_text()
+
+
+class TestWriterInvariants:
+    shapes = st.sampled_from([(6, 5), (4, 4, 4), (12,), (3, 7, 2)])
+
+    @given(st.integers(0, 2**31 - 1), shapes, st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_any_shape_roundtrips(self, seed, shape, chunked):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(0, 10, shape).astype(np.float32)
+        fs = FFISFileSystem()
+        with mount(fs) as mp:
+            if chunked:
+                chunks = tuple(max(1, s // 2) for s in shape)
+                spec = DatasetSpec("d", data, chunks=chunks,
+                                   compression="deflate")
+            else:
+                spec = ("d", data)
+            result = write_file(mp, "/f.h5", [spec])
+            reader = Hdf5Reader(mp, "/f.h5")
+            back = reader.read("d")
+            assert np.array_equal(back.astype(np.float32), data)
+            # Field-map completeness holds for every layout.
+            fm = result.fieldmap
+            assert fm.extent == result.plan.metadata_size
+            assert all(fm.field_at(i) is not None
+                       for i in range(0, result.plan.metadata_size, 7))
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_metadata_blob_never_overlaps_data(self, seed):
+        rng = np.random.default_rng(seed)
+        arrays = [rng.random((4, 4)).astype(np.float32) for _ in range(3)]
+        fs = FFISFileSystem()
+        with mount(fs) as mp:
+            result = write_file(mp, "/f.h5",
+                                [(f"d{i}", a) for i, a in enumerate(arrays)])
+        for dp in result.plan.datasets:
+            assert dp.data_address >= result.plan.metadata_size
+        # Dataset extents are disjoint.
+        spans = sorted((dp.data_address, dp.data_address + dp.data_size)
+                       for dp in result.plan.datasets)
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2

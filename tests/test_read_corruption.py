@@ -1,0 +1,88 @@
+"""Tests for the CORDS-style read-path fault model (Related Work ext.)."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.config import CampaignConfig
+from repro.core.fault_models import ReadCorruptionFault, make_fault_model
+from repro.core.injector import FaultInjector
+from repro.core.outcomes import Outcome
+from repro.core.signature import FaultSignature
+from repro.errors import ConfigError
+from repro.fusefs.interposer import PrimitiveCall
+from repro.fusefs.mount import mount
+from repro.fusefs.vfs import FFISFileSystem
+from repro.util.bitops import hamming_distance
+from repro.util.rngstream import RngStream
+
+
+class TestModel:
+    def test_registered(self):
+        assert isinstance(make_fault_model("RC"), ReadCorruptionFault)
+        assert isinstance(make_fault_model("READ_CORRUPTION", n_bits=4),
+                          ReadCorruptionFault)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ReadCorruptionFault(n_bits=0)
+
+    def test_config_steers_primitive_to_read(self):
+        signature = CampaignConfig(fault_model="RC").signature()
+        assert signature.primitive == "ffis_read"
+
+    def test_noop_on_write_calls(self):
+        call = PrimitiveCall("ffis_write", {"buf": b"abc", "size": 3,
+                                            "offset": 0}, 0)
+        ReadCorruptionFault().apply(call, np.random.default_rng(0))
+        assert call.result_transform is None
+        assert call.args["buf"] == b"abc"
+
+
+class TestTransience:
+    def test_read_sees_corruption_device_stays_clean(self):
+        """The defining contrast with write-path models."""
+        fs = FFISFileSystem()
+        signature = FaultSignature(model=ReadCorruptionFault(),
+                                   primitive="ffis_read")
+        hook = FaultInjector(signature).arm(fs, 0, RngStream(1).generator())
+        payload = bytes(range(64))
+        with mount(fs) as mp:
+            mp.write_file("/f", payload)
+            first = mp.read_file("/f")     # instance 0: corrupted
+            second = mp.read_file("/f")    # re-read: clean
+        assert hook.fired
+        assert hamming_distance(first, payload) == 2
+        assert second == payload
+
+    def test_empty_read_survives(self):
+        fs = FFISFileSystem()
+        signature = FaultSignature(model=ReadCorruptionFault(),
+                                   primitive="ffis_read")
+        FaultInjector(signature).arm(fs, 0, RngStream(1).generator())
+        with mount(fs) as mp:
+            mp.write_file("/f", b"")
+            with mp.open("/f", "r") as f:
+                assert f.pread(16, 0) == b""
+
+
+class TestCampaign:
+    def test_montage_read_campaign(self):
+        """Montage reads intermediates constantly; RC campaigns run and
+        produce more benign outcomes than persistent write flips because
+        later stages re-read clean data."""
+        from repro.apps.montage import MontageApplication, SkyConfig
+        app = MontageApplication(seed=5, sky_config=SkyConfig(
+            canvas_shape=(64, 64), tile_shape=(40, 40), n_tiles=6))
+        rc = Campaign(app, CampaignConfig(fault_model="RC", n_runs=30,
+                                          seed=8)).run()
+        assert rc.profile.primitive == "ffis_read"
+        assert rc.tally.total == 30
+        assert rc.rate(Outcome.BENIGN) > 0.3
+
+    def test_nyx_has_no_reads_during_run(self, tiny_nyx):
+        """Nyx only writes during its run, so a read-targeted campaign
+        must refuse (nothing to inject into) rather than silently no-op."""
+        from repro.errors import FFISError
+        with pytest.raises(FFISError):
+            Campaign(tiny_nyx, CampaignConfig(fault_model="RC")).profile()

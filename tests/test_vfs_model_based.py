@@ -1,0 +1,103 @@
+"""Model-based property test: the VFS against a plain-dict reference.
+
+Hypothesis drives random operation sequences against both the real
+FFISFileSystem and a trivial in-memory model; any observable divergence
+(file contents, existence, sizes) is a bug in the substrate every
+experiment stands on.
+"""
+
+from typing import Dict
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.errors import FileExists, FileNotFound
+from repro.fusefs.mount import MountPoint
+from repro.fusefs.vfs import FFISFileSystem
+
+NAMES = ("a", "b", "c", "d")
+
+
+class VfsModel(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.fs = FFISFileSystem()
+        self.fs._set_mounted(True)
+        self.mp = MountPoint(self.fs)
+        self.model: Dict[str, bytearray] = {}
+
+    name = st.sampled_from(NAMES)
+    data = st.binary(max_size=48)
+    offset = st.integers(0, 64)
+
+    @rule(name=name, data=data)
+    def write_whole(self, name, data):
+        self.mp.write_file(f"/{name}", data)
+        self.model[name] = bytearray(data)
+
+    @rule(name=name, data=data, offset=offset)
+    def pwrite(self, name, data, offset):
+        if name not in self.model:
+            return
+        with self.mp.open(f"/{name}", "r+") as f:
+            f.pwrite(data, offset)
+        blob = self.model[name]
+        end = offset + len(data)
+        if len(blob) < end:
+            blob.extend(b"\x00" * (end - len(blob)))
+        blob[offset:end] = data
+
+    @rule(name=name, data=data)
+    def append(self, name, data):
+        if name not in self.model:
+            return
+        with self.mp.open(f"/{name}", "a") as f:
+            f.write(data)
+        self.model[name].extend(data)
+
+    @rule(name=name, size=st.integers(0, 64))
+    def truncate(self, name, size):
+        if name not in self.model:
+            return
+        self.mp.truncate(f"/{name}", size)
+        blob = self.model[name]
+        if size <= len(blob):
+            del blob[size:]
+        else:
+            blob.extend(b"\x00" * (size - len(blob)))
+
+    @rule(name=name)
+    def remove(self, name):
+        if name not in self.model:
+            with pytest.raises(FileNotFound):
+                self.mp.remove(f"/{name}")
+            return
+        self.mp.remove(f"/{name}")
+        del self.model[name]
+
+    @rule(src=name, dst=name)
+    def rename(self, src, dst):
+        if src == dst or src not in self.model:
+            return
+        if dst in self.model:
+            with pytest.raises(FileExists):
+                self.mp.rename(f"/{src}", f"/{dst}")
+            return
+        self.mp.rename(f"/{src}", f"/{dst}")
+        self.model[dst] = self.model.pop(src)
+
+    @invariant()
+    def contents_match(self):
+        listed = set(self.mp.listdir("/"))
+        assert listed == set(self.model), (listed, set(self.model))
+        for name, blob in self.model.items():
+            assert self.mp.read_file(f"/{name}") == bytes(blob)
+            assert self.mp.stat(f"/{name}").size == len(blob)
+
+
+VfsModel.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+TestVfsModelBased = VfsModel.TestCase

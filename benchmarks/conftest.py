@@ -22,6 +22,19 @@ import pytest
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def pytest_collection_modifyitems(items):
+    """Every bench is a full campaign workload: mark them all ``slow``.
+
+    The fast lane (``pytest -m "not slow"``) then runs only the unit
+    suite; the benches still gate the full sweep.  The hook sees the
+    whole session's items, so restrict to this directory.
+    """
+    bench_dir = os.path.dirname(__file__)
+    for item in items:
+        if str(item.fspath).startswith(bench_dir + os.sep):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)

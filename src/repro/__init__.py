@@ -23,6 +23,21 @@ Quickstart::
     app = NyxApplication(field_config=FieldConfig(shape=(32, 32, 32)))
     result = Campaign(app, CampaignConfig(fault_model="BF", n_runs=100)).run()
     print(result.summary())
+
+Campaigns are embarrassingly parallel and restartable.  ``workers``
+fans the runs out over a process pool (record-for-record identical to
+serial execution -- per-run RNG streams are derived by name, not call
+order), and ``results_path``/``resume`` checkpoint every completed run
+to a JSONL file so an interrupted campaign continues where it stopped::
+
+    config = CampaignConfig(fault_model="BF", n_runs=1000, workers=4,
+                            results_path="bf.jsonl", resume=True)
+    result = Campaign(app, config).run()     # Ctrl-C and re-run freely
+    print(result.summary())
+
+The same engine backs the CLI (``python -m repro campaign --app nyx
+--model BF --workers 4 --out bf.jsonl --resume``) and every experiment
+driver (``python -m repro run table3 --workers 4``).
 """
 
 from repro.core import (
@@ -38,8 +53,14 @@ from repro.core import (
     MetadataCampaign,
     Outcome,
     OutcomeTally,
+    ParallelExecutor,
     ReadCorruptionFault,
+    RunPlan,
+    RunSpec,
+    SerialExecutor,
     ShornWriteFault,
+    execute_plan,
+    load_records,
     make_fault_model,
 )
 from repro.fusefs import FFISFileSystem, MountPoint, mount
@@ -60,7 +81,13 @@ __all__ = [
     "ReadCorruptionFault",
     "Outcome",
     "OutcomeTally",
+    "ParallelExecutor",
+    "RunPlan",
+    "RunSpec",
+    "SerialExecutor",
     "ShornWriteFault",
+    "execute_plan",
+    "load_records",
     "make_fault_model",
     "FFISFileSystem",
     "MountPoint",

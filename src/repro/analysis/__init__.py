@@ -2,6 +2,7 @@
 
 from repro.analysis.stats import (
     RateEstimate,
+    as_tally,
     campaign_error_bars,
     normal_interval,
     rate_estimate,
@@ -29,6 +30,7 @@ from repro.analysis.projection import (
 
 __all__ = [
     "RateEstimate",
+    "as_tally",
     "campaign_error_bars",
     "normal_interval",
     "rate_estimate",

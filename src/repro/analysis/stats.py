@@ -10,9 +10,35 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Iterable, Mapping, Protocol, Union
 
-from repro.core.outcomes import Outcome, OutcomeTally
+from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
+
+
+class SupportsTally(Protocol):
+    """Anything exposing a live tally (e.g. the engine's ``TallySink``)."""
+
+    tally: OutcomeTally
+
+
+#: Anything the stats helpers can tabulate: a finished tally, a streaming
+#: sink with a ``tally`` attribute (e.g. the engine's ``TallySink``), or
+#: a (possibly lazy) iterable of run records.
+TallySource = Union[OutcomeTally, SupportsTally, Iterable[RunRecord]]
+
+
+def as_tally(source: TallySource) -> OutcomeTally:
+    """Coerce any tally source to an :class:`OutcomeTally`.
+
+    Record iterables are consumed in one streaming pass, so results read
+    lazily from a JSONL checkpoint never need to be resident.
+    """
+    if isinstance(source, OutcomeTally):
+        return source
+    sink_tally = getattr(source, "tally", None)
+    if isinstance(sink_tally, OutcomeTally):
+        return sink_tally
+    return OutcomeTally.from_records(source)
 
 #: Two-sided z value for 95 % confidence.
 Z_95 = 1.959963984540054
@@ -73,9 +99,14 @@ def rate_estimate(successes: int, n: int, method: str = "wilson") -> RateEstimat
     raise ValueError(f"unknown interval method {method!r}")
 
 
-def campaign_error_bars(tally: OutcomeTally,
+def campaign_error_bars(tally: TallySource,
                         method: str = "wilson") -> Dict[Outcome, RateEstimate]:
-    """Per-outcome rate estimates for one campaign tally."""
+    """Per-outcome rate estimates for one campaign tally.
+
+    Accepts a tally, a streaming ``TallySink``, or an iterable of run
+    records (e.g. ``load_records(path)`` from a checkpoint file).
+    """
+    tally = as_tally(tally)
     n = tally.total
     if n == 0:
         raise ValueError("empty tally")

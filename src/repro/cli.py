@@ -5,7 +5,13 @@ Subcommands:
 * ``experiments``                   -- list the paper's tables/figures
 * ``run <experiment-id>``           -- run one reproduction driver
 * ``campaign --app X --model Y``    -- run a custom campaign
+* ``campaign --app X --metadata-mode M`` -- per-byte metadata sweep
 * ``project --app X --model Y --uber U`` -- system-level rate projection
+
+Campaign-style subcommands share the engine knobs: ``--workers N`` fans
+runs out over a process pool (bit-identical to serial), ``--out F``
+streams each record to a JSONL checkpoint, and ``--resume`` continues an
+interrupted campaign from that file.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.analysis.projection import (
 from repro.analysis.stats import campaign_error_bars
 from repro.core.campaign import Campaign
 from repro.core.config import CampaignConfig
+from repro.core.metadata_campaign import MetadataCampaign
 from repro.core.outcomes import Outcome
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.params import montage_default, nyx_default, qmcpack_default
@@ -34,10 +41,31 @@ APP_FACTORIES = {
 }
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="worker processes (1 = serial; results are "
+                             "identical either way)")
+    parser.add_argument("--out", default=None, metavar="RESULTS.jsonl",
+                        help="stream every run record to this JSONL file")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip run indices already present in --out")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FFIS reproduction: storage-fault injection for HPC apps")
+    from repro import __version__
+
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("experiments", help="list the reproducible tables/figures")
@@ -45,15 +73,29 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one experiment driver")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS),
                      help="experiment id (e.g. table3, figure7)")
+    run.add_argument("--workers", type=_positive_int, default=1,
+                     help="worker processes for the driver's campaigns")
 
     campaign = sub.add_parser("campaign", help="run a fault-injection campaign")
     campaign.add_argument("--app", choices=sorted(APP_FACTORIES), required=True)
-    campaign.add_argument("--model", choices=["BF", "SW", "DW", "RC"], required=True)
-    campaign.add_argument("--runs", type=int, default=100)
+    campaign.add_argument("--model", choices=["BF", "SW", "DW", "RC"],
+                          help="fault model for an instance-targeted campaign")
+    # Defaults resolved in _cmd_campaign so flags that don't apply to the
+    # chosen campaign style are rejected instead of silently ignored.
+    campaign.add_argument("--runs", type=int, default=None,
+                          help="campaign size (default 100; --model only)")
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--phase", default=None,
                           help="restrict injection to one app phase "
-                               "(e.g. mProjExec)")
+                               "(e.g. mProjExec; --model only)")
+    campaign.add_argument("--metadata-mode", choices=["random-bit", "all-bits"],
+                          default=None,
+                          help="run a per-byte metadata sweep instead of an "
+                               "instance-targeted campaign")
+    campaign.add_argument("--stride", type=_positive_int, default=None,
+                          help="metadata sweep: corrupt every Nth byte "
+                               "(default 1; --metadata-mode only)")
+    _add_engine_options(campaign)
 
     project = sub.add_parser(
         "project", help="project campaign rates to system scale")
@@ -67,6 +109,7 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(default: the field-study upper bound 1e-9)")
     project.add_argument("--nodes", type=int, default=1000)
     project.add_argument("--runs-per-day", type=float, default=24.0)
+    _add_engine_options(project)
     return parser
 
 
@@ -76,10 +119,10 @@ def _cmd_experiments(out) -> int:
     return 0
 
 
-def _cmd_run(experiment_id: str, out) -> int:
-    experiment = get_experiment(experiment_id)
+def _cmd_run(args, out) -> int:
+    experiment = get_experiment(args.experiment)
     print(f"running {experiment.id}: {experiment.description}", file=out)
-    result = experiment.driver()
+    result = experiment.driver(workers=args.workers)
     print(result.render(), file=out)
     return 0
 
@@ -87,20 +130,64 @@ def _cmd_run(experiment_id: str, out) -> int:
 def _run_campaign(args) -> "CampaignResult":
     app = APP_FACTORIES[args.app]()
     config = CampaignConfig(fault_model=args.model, n_runs=args.runs,
-                            seed=args.seed, phase=args.phase)
+                            seed=args.seed, phase=args.phase,
+                            workers=args.workers, results_path=args.out,
+                            resume=args.resume)
     return Campaign(app, config).run()
 
 
-def _cmd_campaign(args, out) -> int:
-    result = _run_campaign(args)
-    print(result.summary(), file=out)
-    for outcome, estimate in campaign_error_bars(result.tally).items():
-        if result.tally.counts[outcome]:
+def _print_error_bars(tally, out) -> None:
+    for outcome, estimate in campaign_error_bars(tally).items():
+        if tally.counts[outcome]:
             print(f"  {outcome.value:<9} {estimate}", file=out)
+
+
+def _run_metadata_campaign(args, out) -> int:
+    app = APP_FACTORIES[args.app]()
+    campaign = MetadataCampaign(app, seed=args.seed,
+                                mode=args.metadata_mode, workers=args.workers)
+    # The discovery trace doubles as the golden run: writers that
+    # publish a field map (mini-HDF5) expose it afterwards, apps
+    # without one sweep unannotated.
+    located = campaign.locate_metadata_write()
+    write_result = getattr(app, "last_write_result", None)
+    campaign.fieldmap = getattr(write_result, "fieldmap", None)
+    result = campaign.run(byte_stride=args.stride, results_path=args.out,
+                          resume=args.resume, located=located)
+    print(result.summary(), file=out)
+    _print_error_bars(result.tally, out)
     return 0
 
 
-def _cmd_project(args, out) -> int:
+def _cmd_campaign(args, parser, out) -> int:
+    if args.resume and args.out is None:
+        parser.error("--resume requires --out")
+    if args.metadata_mode is not None:
+        if args.model is not None:
+            parser.error("--model and --metadata-mode are mutually exclusive")
+        if args.runs is not None:
+            parser.error("--runs applies to --model campaigns; a metadata "
+                         "sweep's size is the blob size / --stride")
+        if args.phase is not None:
+            parser.error("--phase applies to --model campaigns")
+        if args.stride is None:
+            args.stride = 1
+        return _run_metadata_campaign(args, out)
+    if args.model is None:
+        parser.error("one of --model or --metadata-mode is required")
+    if args.stride is not None:
+        parser.error("--stride requires --metadata-mode")
+    if args.runs is None:
+        args.runs = 100
+    result = _run_campaign(args)
+    print(result.summary(), file=out)
+    _print_error_bars(result.tally, out)
+    return 0
+
+
+def _cmd_project(args, parser, out) -> int:
+    if args.resume and args.out is None:
+        parser.error("--resume requires --out")
     result = _run_campaign(args)
     device = DeviceModel(uber=args.uber)
     projection = project_run(result, device)
@@ -119,15 +206,16 @@ def _cmd_project(args, out) -> int:
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
     if args.command == "experiments":
         return _cmd_experiments(out)
     if args.command == "run":
-        return _cmd_run(args.experiment, out)
+        return _cmd_run(args, out)
     if args.command == "campaign":
-        return _cmd_campaign(args, out)
+        return _cmd_campaign(args, parser, out)
     if args.command == "project":
-        return _cmd_project(args, out)
+        return _cmd_project(args, parser, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

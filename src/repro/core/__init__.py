@@ -15,8 +15,24 @@ from repro.core.config import CampaignConfig
 from repro.core.generator import FaultGenerator
 from repro.core.profiler import IOProfiler, ProfileResult
 from repro.core.injector import FaultInjector, InjectionHook
-from repro.core.campaign import Campaign, CampaignResult
+from repro.core.engine import (
+    ExecutionContext,
+    Executor,
+    JsonlSink,
+    ParallelExecutor,
+    ResultSink,
+    RunPlan,
+    RunSpec,
+    SerialExecutor,
+    TallySink,
+    execute_plan,
+    execute_run_spec,
+    load_records,
+    make_executor,
+)
+from repro.core.campaign import Campaign, CampaignResult, InjectionContext
 from repro.core.metadata_campaign import (
+    ByteCorruptionContext,
     MetadataCampaign,
     MetadataCampaignResult,
     MetadataWriteInfo,
@@ -45,4 +61,19 @@ __all__ = [
     "MetadataCampaign",
     "MetadataCampaignResult",
     "MetadataWriteInfo",
+    "ByteCorruptionContext",
+    "ExecutionContext",
+    "Executor",
+    "InjectionContext",
+    "JsonlSink",
+    "ParallelExecutor",
+    "ResultSink",
+    "RunPlan",
+    "RunSpec",
+    "SerialExecutor",
+    "TallySink",
+    "execute_plan",
+    "execute_run_spec",
+    "load_records",
+    "make_executor",
 ]

@@ -1,10 +1,17 @@
-"""The statistical fault-injection campaign runner (paper Fig. 4).
+"""The statistical fault-injection campaign planner (paper Fig. 4).
 
 For each run: pick a uniformly random dynamic instance of the target
 primitive (within the whole run or one named application phase), mount a
 fresh file system, execute the application with a one-shot injection hook
 armed, unmount, and classify the outcome against the golden record.  The
 mount/unmount-per-run discipline matches the paper's protocol.
+
+The per-run loop body lives in the campaign engine
+(:mod:`repro.core.engine`); :class:`Campaign` is a *planner* that turns
+its configuration into a declarative :class:`RunPlan` and hands it to an
+executor, so the same campaign runs serially or across worker processes
+with record-for-record identical results, optionally checkpointed to a
+resumable JSONL file.
 """
 
 from __future__ import annotations
@@ -15,8 +22,16 @@ from typing import Callable, List, Optional
 
 from repro.apps.base import GoldenRecord, HpcApplication
 from repro.core.config import CampaignConfig
+from repro.core.engine import (
+    ExecutionContext,
+    RunPlan,
+    RunSpec,
+    execute_plan,
+    execute_run_spec,
+    golden_digest,
+)
 from repro.core.generator import FaultGenerator
-from repro.core.injector import FaultInjector
+from repro.core.injector import FaultInjector, InjectionHook
 from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
 from repro.core.profiler import IOProfiler, ProfileResult
 from repro.core.signature import FaultSignature
@@ -26,6 +41,23 @@ from repro.fusefs.vfs import FFISFileSystem
 from repro.util.rngstream import RngStream
 
 FsFactory = Callable[[], FFISFileSystem]
+
+
+class InjectionContext(ExecutionContext):
+    """Arms the one-shot fault-model hook at the spec's target instance."""
+
+    not_fired_note = "[warning: fault never fired]"
+
+    def __init__(self, app: HpcApplication, golden: GoldenRecord,
+                 signature: FaultSignature,
+                 fs_factory: FsFactory = FFISFileSystem) -> None:
+        super().__init__(app, golden, fs_factory)
+        self.signature = signature
+        self.injector = FaultInjector(signature)
+
+    def arm(self, fs: FFISFileSystem, spec: RunSpec) -> InjectionHook:
+        rng = RngStream(spec.seed).generator()
+        return self.injector.arm(fs, spec.target_instance, rng)
 
 
 @dataclass
@@ -55,7 +87,7 @@ class CampaignResult:
 
 
 class Campaign:
-    """Runs the generator → profiler → injector loop for one app/config."""
+    """Plans the generator → profiler → injector runs for one app/config."""
 
     def __init__(self, app: HpcApplication, config: CampaignConfig,
                  fs_factory: FsFactory = FFISFileSystem) -> None:
@@ -78,57 +110,80 @@ class Campaign:
     def run_once(self, instance: int, run_rng_seed: int,
                  run_index: int, golden: GoldenRecord) -> RunRecord:
         """One injection run at a fixed instance (exposed for tests)."""
-        fs = self.fs_factory()
-        rng = RngStream(run_rng_seed).generator()
-        hook = self.injector.arm(fs, instance, rng)
-        record = RunRecord(run_index=run_index, outcome=Outcome.BENIGN,
-                           target_instance=instance, phase=self.config.phase)
-        try:
-            with mount(fs) as mp:
-                self.app.execute(mp)
-                outcome, detail = self.app.classify(golden, mp)
-            record.outcome = outcome
-            record.detail = f"{detail}; {hook.note}" if hook.note else detail
-        except FFISError:
-            raise  # framework misuse is never an experimental outcome
-        except Exception as exc:  # noqa: BLE001 - crash taxonomy by design
-            record.outcome = Outcome.CRASH
-            record.detail = f"{type(exc).__name__}: {exc}; {hook.note}"
-        if not hook.fired:
-            record.detail = (record.detail + " [warning: fault never fired]").strip()
-        return record
+        context = InjectionContext(self.app, golden, self.signature,
+                                   self.fs_factory)
+        spec = RunSpec(run_index=run_index, seed=run_rng_seed,
+                       target_instance=instance, phase=self.config.phase)
+        return execute_run_spec(context, spec)
 
-    # -- the campaign -----------------------------------------------------------------
+    # -- planning ---------------------------------------------------------------
 
-    def run(self, n_runs: Optional[int] = None,
-            progress: Optional[Callable[[int, int], None]] = None) -> CampaignResult:
-        start = time.perf_counter()
+    def plan(self, n_runs: Optional[int] = None,
+             profile: Optional[ProfileResult] = None,
+             golden: Optional[GoldenRecord] = None) -> RunPlan:
+        """The declarative run plan: instance picks and per-run seeds.
+
+        Instance selection draws from one named stream in run order and
+        every run's private seed is derived by name, so the plan -- and
+        therefore the records, under any executor -- depends only on the
+        configuration.
+        """
         n = n_runs if n_runs is not None else self.config.n_runs
-        profile = self.profile()
-        golden = self.capture_golden()
+        profile = profile if profile is not None else self.profile()
+        golden = golden if golden is not None else self.capture_golden()
         window = profile.window(self.config.phase)
         if len(window) == 0:
             raise FFISError(
                 f"phase {self.config.phase!r} executed no "
                 f"{self.signature.primitive} calls")
-
-        result = CampaignResult(app_name=self.app.name,
-                                signature=str(self.signature),
-                                phase=self.config.phase,
-                                profile=profile, golden=golden)
         stream = RngStream(self.config.seed, self.app.name,
                            self.signature.model.name, self.config.phase or "all")
         picker = stream.child("instances").generator()
-        for i in range(n):
-            instance = int(picker.integers(window.start, window.stop))
-            record = self.run_once(
-                instance=instance,
-                run_rng_seed=stream.child("run", i).seed,
-                run_index=i,
-                golden=golden,
-            )
-            result.records.append(record)
-            if progress is not None:
-                progress(i + 1, n)
+        specs = tuple(
+            RunSpec(run_index=i,
+                    seed=stream.child("run", i).seed,
+                    target_instance=int(picker.integers(window.start,
+                                                        window.stop)),
+                    phase=self.config.phase)
+            for i in range(n))
+        context = InjectionContext(self.app, golden, self.signature,
+                                   self.fs_factory)
+        return RunPlan(context=context, specs=specs)
+
+    def campaign_id(self, golden: GoldenRecord) -> str:
+        """Identity stamped on checkpoint lines so a resume can refuse a
+        results file that belongs to a different campaign.  Includes a
+        digest of the golden outputs: the app *name* can't distinguish
+        two differently-configured instances of the same application."""
+        return (f"{self.app.name}/{self.signature}"
+                f"/phase={self.config.phase or 'all'}"
+                f"/seed={self.config.seed}"
+                f"/golden={golden_digest(golden)}")
+
+    # -- the campaign -----------------------------------------------------------------
+
+    def run(self, n_runs: Optional[int] = None,
+            progress: Optional[Callable[[int, int], None]] = None,
+            workers: Optional[int] = None,
+            results_path: Optional[str] = None,
+            resume: Optional[bool] = None) -> CampaignResult:
+        """Execute the plan; keyword arguments override the config knobs."""
+        start = time.perf_counter()
+        profile = self.profile()
+        golden = self.capture_golden()
+        plan = self.plan(n_runs, profile=profile, golden=golden)
+        records = execute_plan(
+            plan,
+            workers=self.config.workers if workers is None else workers,
+            results_path=(self.config.results_path if results_path is None
+                          else results_path),
+            resume=self.config.resume if resume is None else resume,
+            campaign_id=self.campaign_id(golden),
+            progress=progress)
+        result = CampaignResult(app_name=self.app.name,
+                                signature=str(self.signature),
+                                phase=self.config.phase,
+                                records=records,
+                                profile=profile, golden=golden)
         result.elapsed_seconds = time.perf_counter() - start
         return result

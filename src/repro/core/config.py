@@ -19,6 +19,11 @@ class CampaignConfig:
     ``fraction``, ``tail_policy``).  ``phase`` restricts injection to one
     named application phase (Montage MT1..MT4); ``None`` targets every
     dynamic instance of the primitive uniformly (requirement R4).
+
+    The execution knobs map onto the campaign engine: ``workers`` > 1
+    fans the runs out over a process pool (bit-identical to serial),
+    ``results_path`` streams each record to a JSONL checkpoint, and
+    ``resume`` skips run indices already present in that file.
     """
 
     fault_model: str = "BF"
@@ -27,10 +32,17 @@ class CampaignConfig:
     n_runs: int = 1000
     seed: int = 0
     phase: Optional[str] = None
+    workers: int = 1
+    results_path: Optional[str] = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
             raise ConfigError(f"n_runs must be >= 1, got {self.n_runs}")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.resume and self.results_path is None:
+            raise ConfigError("resume=True requires results_path")
 
     def signature(self) -> FaultSignature:
         model = make_fault_model(self.fault_model, **self.model_params)
@@ -44,7 +56,7 @@ class CampaignConfig:
     @classmethod
     def from_dict(cls, raw: Dict[str, Any]) -> "CampaignConfig":
         known = {"fault_model", "model_params", "primitive", "n_runs",
-                 "seed", "phase"}
+                 "seed", "phase", "workers", "results_path", "resume"}
         unknown = set(raw) - known
         if unknown:
             raise ConfigError(f"unknown configuration keys: {sorted(unknown)}")

@@ -1,0 +1,54 @@
+"""The campaign execution engine: plan / execute / stream.
+
+Campaigns *plan* (declarative :class:`RunSpec` lists), executors *run*
+(serially or across processes, identically), sinks *stream* (tally,
+JSONL checkpoint with resume).  See the submodule docstrings for the
+contract each layer owns.
+"""
+
+from repro.core.engine.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.core.engine.plan import (
+    ArmedHook,
+    ExecutionContext,
+    RunPlan,
+    RunSpec,
+    golden_digest,
+)
+from repro.core.engine.runner import execute_plan, execute_run_spec
+from repro.core.engine.sink import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    ResultSink,
+    TallySink,
+    completed_indices,
+    load_records,
+    record_from_json,
+    record_to_json,
+)
+
+__all__ = [
+    "ArmedHook",
+    "ExecutionContext",
+    "Executor",
+    "JsonlSink",
+    "ParallelExecutor",
+    "ResultSink",
+    "RunPlan",
+    "RunSpec",
+    "SCHEMA_VERSION",
+    "SerialExecutor",
+    "TallySink",
+    "completed_indices",
+    "execute_plan",
+    "execute_run_spec",
+    "golden_digest",
+    "load_records",
+    "make_executor",
+    "record_from_json",
+    "record_to_json",
+]

@@ -1,0 +1,109 @@
+"""Pluggable executors: how a run plan's specs actually get executed.
+
+The :class:`Executor` ABC is the swappable backend seam (one plan, many
+execution strategies).  :class:`SerialExecutor` is the reference
+implementation -- a plain in-process loop.  :class:`ParallelExecutor`
+fans the same specs out over a :class:`concurrent.futures.\
+ProcessPoolExecutor`; the pool is initialized once per worker with the
+plan's (picklable) execution context, after which only the tiny specs
+travel over the queue.  ``map`` always yields records in plan order, so
+the two backends are record-for-record interchangeable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterator
+
+from repro.core.outcomes import RunRecord
+from repro.errors import ConfigError
+
+# Set once per pool worker by _init_worker; holds the plan's context so
+# work items stay spec-sized instead of shipping the application and
+# golden record with every run.
+_WORKER_CONTEXT = None
+
+
+def _init_worker(context) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_in_worker(spec) -> RunRecord:
+    from repro.core.engine.runner import execute_run_spec
+
+    return execute_run_spec(_WORKER_CONTEXT, spec)
+
+
+class Executor(ABC):
+    """Strategy for executing the specs of a :class:`RunPlan`."""
+
+    @abstractmethod
+    def map(self, plan) -> Iterator[RunRecord]:
+        """Yield one record per spec, in plan order, as they complete."""
+
+
+class SerialExecutor(Executor):
+    """The reference backend: execute specs one after another."""
+
+    def map(self, plan) -> Iterator[RunRecord]:
+        from repro.core.engine.runner import execute_run_spec
+
+        for spec in plan.specs:
+            yield execute_run_spec(plan.context, spec)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+class ParallelExecutor(Executor):
+    """Process-pool backend for embarrassingly parallel campaigns.
+
+    Requires the plan's context (application, golden record, fault
+    signature) to be picklable.  ``fork`` is preferred where available
+    so the workers inherit the parent's loaded numpy state cheaply;
+    determinism does not depend on the start method because every run
+    re-derives its generator from the spec's seed.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def _mp_context(self):
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def map(self, plan) -> Iterator[RunRecord]:
+        if not plan.specs:
+            return
+        pool = ProcessPoolExecutor(max_workers=self.workers,
+                                   mp_context=self._mp_context(),
+                                   initializer=_init_worker,
+                                   initargs=(plan.context,))
+        try:
+            futures = [pool.submit(_run_in_worker, spec)
+                       for spec in plan.specs]
+            for future in futures:
+                yield future.result()
+        finally:
+            # An abandoned iteration (Ctrl-C, sink failure) must not
+            # block on -- or silently discard -- the not-yet-started
+            # runs: cancel them and return as soon as the in-flight
+            # ones finish.  Resume re-executes whatever was cancelled.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParallelExecutor(workers={self.workers})"
+
+
+def make_executor(workers: int) -> Executor:
+    """The default backend for a worker count (1 == serial)."""
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    return SerialExecutor() if workers == 1 else ParallelExecutor(workers)

@@ -1,0 +1,124 @@
+"""Executing run specs: the one mount/execute/classify loop body.
+
+:func:`execute_run_spec` is the single implementation of the per-run
+bookkeeping that ``Campaign.run_once`` and ``MetadataCampaign.run_case``
+used to duplicate: arm the hook, mount a fresh file system, execute the
+application, classify against the golden record, fold crashes into the
+outcome taxonomy, and record whether the fault actually fired.
+
+:func:`execute_plan` drives a whole :class:`RunPlan` through an
+executor, streaming every finished record into the result sinks (tally,
+JSONL checkpoint) as it completes and skipping run indices already
+present in a resumed results file.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.engine.executor import Executor, make_executor
+from repro.core.engine.plan import ExecutionContext, RunPlan, RunSpec
+from repro.core.engine.sink import JsonlSink, ResultSink, load_records
+from repro.core.outcomes import Outcome, RunRecord
+from repro.errors import FFISError
+from repro.fusefs.mount import mount
+
+Progress = Callable[[int, int], None]
+
+
+def execute_run_spec(context: ExecutionContext, spec: RunSpec) -> RunRecord:
+    """Execute one planned run and classify its outcome.
+
+    This is deterministic in (context, spec): the only randomness is the
+    spec's private seed, so the same spec yields the same record whether
+    it runs in-process or in a pool worker.
+    """
+    fs = context.fs_factory()
+    hook = context.arm(fs, spec)
+    record = RunRecord(run_index=spec.run_index, outcome=Outcome.BENIGN,
+                       target_instance=spec.target_instance,
+                       phase=spec.phase, byte_offset=spec.byte_offset,
+                       bit_index=spec.bit_index, field_name=spec.field_name)
+    try:
+        with mount(fs) as mp:
+            context.app.execute(mp)
+            outcome, detail = context.app.classify(context.golden, mp)
+        record.outcome = outcome
+        record.detail = f"{detail}; {hook.note}" if hook.note else detail
+    except FFISError:
+        raise  # framework misuse is never an experimental outcome
+    except Exception as exc:  # noqa: BLE001 - crash taxonomy by design
+        record.outcome = Outcome.CRASH
+        detail = f"{type(exc).__name__}: {exc}"
+        record.detail = f"{detail}; {hook.note}" if hook.note else detail
+    record.fault_fired = bool(hook.fired)
+    if not record.fault_fired:
+        record.detail = (record.detail + " " + context.not_fired_note).strip()
+    return record
+
+
+def execute_plan(plan: RunPlan, *,
+                 executor: Optional[Executor] = None,
+                 workers: int = 1,
+                 results_path: Optional[str] = None,
+                 resume: bool = False,
+                 campaign_id: Optional[str] = None,
+                 progress: Optional[Progress] = None,
+                 sinks: Sequence[ResultSink] = ()) -> List[RunRecord]:
+    """Run every spec of *plan*, streaming records through the sinks.
+
+    * ``workers`` selects the executor (``>1`` forks a process pool)
+      unless an explicit ``executor`` is passed.
+    * ``results_path`` persists each record as one JSONL line the moment
+      it completes, so an interrupted campaign loses at most the runs in
+      flight.
+    * ``resume=True`` reads ``results_path`` first and executes only the
+      run indices not already recorded there; the returned list merges
+      old and new records in run order, identical to an uninterrupted
+      campaign.
+    * ``campaign_id`` stamps every persisted line with the campaign's
+      identity (app/model/seed/...); a resume against a checkpoint
+      stamped with a different identity is refused rather than merged.
+    """
+    if resume and results_path is None:
+        raise FFISError("resume=True requires results_path")
+    chosen = executor if executor is not None else make_executor(workers)
+
+    existing: List[RunRecord] = []
+    if resume and os.path.exists(results_path):
+        wanted = {spec.run_index for spec in plan.specs}
+        existing = [r for r in load_records(results_path, campaign_id)
+                    if r.run_index in wanted]
+    done = {record.run_index for record in existing}
+    pending = plan if not done else plan.subset(
+        [spec for spec in plan.specs if spec.run_index not in done])
+
+    all_sinks: List[ResultSink] = list(sinks)
+    if results_path is not None:
+        all_sinks.append(JsonlSink(results_path, append=bool(existing),
+                                   campaign_id=campaign_id))
+
+    records: List[RunRecord] = list(existing)
+    total = len(plan)
+    completed = len(existing)
+    stream = chosen.map(pending)
+    try:
+        for record in stream:
+            for sink in all_sinks:
+                sink.emit(record)
+            records.append(record)
+            completed += 1
+            if progress is not None:
+                progress(completed, total)
+    finally:
+        # Tear the executor down before closing the sinks so an
+        # interrupted parallel campaign cancels its pending runs
+        # promptly instead of racing a closed checkpoint file.
+        close = getattr(stream, "close", None)
+        if close is not None:
+            close()
+        for sink in all_sinks:
+            sink.close()
+    records.sort(key=lambda record: record.run_index)
+    return records

@@ -1,0 +1,173 @@
+"""Streaming result sinks: tally, JSONL persistence, checkpoint/resume.
+
+Records leave the executor one at a time; sinks consume them as a
+stream so a million-run campaign never needs its records resident to be
+tabulated or persisted.  The JSONL schema (one record per line, schema
+version stamped on every line) is the stable on-disk contract: a
+checkpointed campaign resumes by reading the completed run indices back
+out of the file and executing only the remainder.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional, Set
+
+from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
+from repro.errors import FFISError
+
+#: Bump when a RunRecord field changes meaning; readers reject newer
+#: schemas instead of misinterpreting them.
+SCHEMA_VERSION = 1
+
+_RECORD_KEYS = ("v", "run_index", "outcome", "target_instance", "phase",
+                "detail", "byte_offset", "bit_index", "field_name",
+                "fault_fired")
+
+
+def record_to_json(record: RunRecord) -> Dict[str, Any]:
+    """The stable JSONL representation of one run record."""
+    return {
+        "v": SCHEMA_VERSION,
+        "run_index": record.run_index,
+        "outcome": record.outcome.value,
+        "target_instance": record.target_instance,
+        "phase": record.phase,
+        "detail": record.detail,
+        "byte_offset": record.byte_offset,
+        "bit_index": record.bit_index,
+        "field_name": record.field_name,
+        "fault_fired": record.fault_fired,
+    }
+
+
+def record_from_json(raw: Dict[str, Any]) -> RunRecord:
+    version = raw.get("v", SCHEMA_VERSION)
+    if version > SCHEMA_VERSION:
+        raise FFISError(
+            f"results file uses schema v{version}; this build reads up to "
+            f"v{SCHEMA_VERSION}")
+    return RunRecord(
+        run_index=int(raw["run_index"]),
+        outcome=Outcome(raw["outcome"]),
+        target_instance=int(raw.get("target_instance", -1)),
+        phase=raw.get("phase"),
+        detail=raw.get("detail", ""),
+        byte_offset=raw.get("byte_offset"),
+        bit_index=raw.get("bit_index"),
+        field_name=raw.get("field_name"),
+        fault_fired=bool(raw.get("fault_fired", True)),
+    )
+
+
+def load_records(path: str, campaign_id: Optional[str] = None) -> List[RunRecord]:
+    """Read a JSONL results file back into records.
+
+    A truncated final line (the run in flight when a campaign was
+    killed) is silently dropped; corruption anywhere else is an error.
+    When *campaign_id* is given, any line stamped with a *different*
+    campaign identity is rejected -- resuming run 17 of a BF campaign
+    from a DW checkpoint would silently merge unrelated science.
+    Unstamped lines (written by bare sinks) are accepted as-is.
+    """
+    records: List[RunRecord] = []
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            raw = json.loads(line)
+            record = record_from_json(raw)
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            if lineno == len(lines) - 1:
+                break  # partial final write from an interrupted campaign
+            raise FFISError(
+                f"{path}:{lineno + 1}: undecodable results line: {exc}"
+            ) from exc
+        stamped = raw.get("campaign")
+        if campaign_id is not None and stamped is not None \
+                and stamped != campaign_id:
+            raise FFISError(
+                f"{path}:{lineno + 1}: checkpoint belongs to campaign "
+                f"{stamped!r}, not {campaign_id!r}; refusing to merge "
+                "unrelated results (use a different --out file)")
+        records.append(record)
+    return records
+
+
+def completed_indices(path: str) -> Set[int]:
+    """Run indices already present in a results file."""
+    return {record.run_index for record in load_records(path)}
+
+
+def _trim_partial_tail(path: str) -> None:
+    """Drop an unterminated final line before appending to a checkpoint.
+
+    A campaign killed mid-``emit`` leaves a partial record with no
+    trailing newline; appending straight after it would weld two records
+    onto one undecodable line and poison every later resume.  The
+    partial record is the run that was in flight -- re-executing it is
+    exactly what resume does anyway.
+    """
+    try:
+        f = open(path, "rb+")
+    except FileNotFoundError:
+        return
+    with f:
+        data = f.read()
+        if not data or data.endswith(b"\n"):
+            return
+        cut = data.rfind(b"\n")
+        f.truncate(cut + 1 if cut >= 0 else 0)
+
+
+class ResultSink(ABC):
+    """Consumer of the executor's record stream."""
+
+    @abstractmethod
+    def emit(self, record: RunRecord) -> None:
+        """Consume one completed record."""
+
+    def close(self) -> None:
+        """Flush/release resources; called exactly once by the engine."""
+
+
+class TallySink(ResultSink):
+    """Streaming outcome tally -- statistics without retaining records."""
+
+    def __init__(self) -> None:
+        self.tally = OutcomeTally()
+
+    def emit(self, record: RunRecord) -> None:
+        self.tally.add_record(record)
+
+
+class JsonlSink(ResultSink):
+    """Appends each record to a JSONL file the moment it completes.
+
+    Every line is flushed immediately: the file is the campaign's
+    checkpoint, so durability per record matters more than throughput
+    (the application runs dwarf the write cost).
+    """
+
+    def __init__(self, path: str, append: bool = False,
+                 campaign_id: Optional[str] = None) -> None:
+        self.path = path
+        self.campaign_id = campaign_id
+        if append:
+            _trim_partial_tail(path)
+        self._f = open(path, "a" if append else "w", encoding="utf-8")
+
+    def emit(self, record: RunRecord) -> None:
+        raw = record_to_json(record)
+        if self.campaign_id is not None:
+            raw["campaign"] = self.campaign_id
+        self._f.write(json.dumps(raw, sort_keys=True))
+        self._f.write("\n")
+        self._f.flush()
+
+    def close(self) -> None:
+        if not self._f.closed:
+            self._f.close()

@@ -12,6 +12,11 @@ then the close/unlock.  The campaign:
 3. classifies each run and annotates it with the metadata field owning
    the byte (via the writer's :class:`FieldMap`), reproducing Table III
    and the per-field symptom analysis of Table IV.
+
+Like :class:`repro.core.campaign.Campaign`, this is a *planner* over the
+campaign engine: the byte/bit sweep becomes a declarative spec list, so
+the exhaustive ~2,500-run Table III sweep parallelizes across worker
+processes and checkpoints to a resumable JSONL file.
 """
 
 from __future__ import annotations
@@ -21,6 +26,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.apps.base import GoldenRecord, HpcApplication
+from repro.core.engine import (
+    ExecutionContext,
+    RunPlan,
+    RunSpec,
+    execute_plan,
+    execute_run_spec,
+    golden_digest,
+)
 from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
 from repro.errors import FFISError
 from repro.fusefs.interposer import PrimitiveCall
@@ -50,6 +63,7 @@ class _ByteCorruptionHook:
         self.byte_offset = byte_offset
         self.bit = bit
         self.fired = False
+        self.note = ""
 
     def __call__(self, call: PrimitiveCall) -> None:
         if call.primitive != "ffis_write" or call.seqno != self.write_index:
@@ -60,6 +74,24 @@ class _ByteCorruptionHook:
         self.fired = True
         call.args["buf"] = flip_bit(buf, 8 * self.byte_offset + self.bit)
         return None
+
+
+class ByteCorruptionContext(ExecutionContext):
+    """Arms the single-byte corruption named by the spec."""
+
+    not_fired_note = "[warning: corruption never applied]"
+
+    def __init__(self, app: HpcApplication, golden: GoldenRecord,
+                 write_index: int,
+                 fs_factory: FsFactory = FFISFileSystem) -> None:
+        super().__init__(app, golden, fs_factory)
+        self.write_index = write_index
+
+    def arm(self, fs: FFISFileSystem, spec: RunSpec) -> _ByteCorruptionHook:
+        hook = _ByteCorruptionHook(self.write_index, spec.byte_offset,
+                                   spec.bit_index)
+        fs.interposer.add_hook("ffis_write", hook)
+        return hook
 
 
 @dataclass
@@ -74,6 +106,10 @@ class MetadataCampaignResult:
     @property
     def tally(self) -> OutcomeTally:
         return OutcomeTally.from_records(self.records)
+
+    def summary(self) -> str:
+        return (f"{self.app_name}/metadata[{self.mode}]: {self.tally} "
+                f"({len(self.records)} runs)")
 
     def fields_by_outcome(self) -> Dict[Outcome, List[str]]:
         """Distinct field names observed per outcome, in frequency order
@@ -97,14 +133,17 @@ class MetadataCampaign:
 
     def __init__(self, app: HpcApplication, fieldmap: Optional[FieldMap] = None,
                  fs_factory: FsFactory = FFISFileSystem, seed: int = 0,
-                 mode: str = "random-bit") -> None:
+                 mode: str = "random-bit", workers: int = 1) -> None:
         if mode not in ("random-bit", "all-bits"):
             raise FFISError(f"unknown metadata campaign mode {mode!r}")
+        if workers < 1:
+            raise FFISError(f"workers must be >= 1, got {workers}")
         self.app = app
         self.fieldmap = fieldmap
         self.fs_factory = fs_factory
         self.seed = seed
         self.mode = mode
+        self.workers = workers
 
     # -- discovery ---------------------------------------------------------------
 
@@ -130,59 +169,86 @@ class MetadataCampaign:
 
     # -- one case ---------------------------------------------------------------
 
-    def run_case(self, info: MetadataWriteInfo, golden: GoldenRecord,
-                 byte_offset: int, bit: int, run_index: int) -> RunRecord:
-        fs = self.fs_factory()
-        hook = _ByteCorruptionHook(info.write_index, byte_offset, bit)
-        fs.interposer.add_hook("ffis_write", hook)
-        record = RunRecord(run_index=run_index, outcome=Outcome.BENIGN,
-                           target_instance=info.write_index,
-                           byte_offset=byte_offset, bit_index=bit)
+    def _spec(self, info: MetadataWriteInfo, byte_offset: int, bit: int,
+              run_index: int) -> RunSpec:
+        field_name: Optional[str] = None
         if self.fieldmap is not None:
             span = self.fieldmap.field_at(info.file_offset + byte_offset)
-            record.field_name = span.qualified_name if span else "unmapped"
-        try:
-            with mount(fs) as mp:
-                self.app.execute(mp)
-                outcome, detail = self.app.classify(golden, mp)
-            record.outcome = outcome
-            record.detail = detail
-        except FFISError:
-            raise
-        except Exception as exc:  # noqa: BLE001 - crash taxonomy by design
-            record.outcome = Outcome.CRASH
-            record.detail = f"{type(exc).__name__}: {exc}"
-        if not hook.fired:
-            record.detail += " [warning: corruption never applied]"
-        return record
+            field_name = span.qualified_name if span else "unmapped"
+        return RunSpec(run_index=run_index, target_instance=info.write_index,
+                       byte_offset=byte_offset, bit_index=bit,
+                       field_name=field_name)
+
+    def run_case(self, info: MetadataWriteInfo, golden: GoldenRecord,
+                 byte_offset: int, bit: int, run_index: int) -> RunRecord:
+        context = ByteCorruptionContext(self.app, golden, info.write_index,
+                                        self.fs_factory)
+        return execute_run_spec(
+            context, self._spec(info, byte_offset, bit, run_index))
+
+    # -- planning ---------------------------------------------------------------
+
+    def plan(self, byte_stride: int = 1,
+             located: Optional[Tuple[MetadataWriteInfo, GoldenRecord]] = None,
+             ) -> RunPlan:
+        """The sweep as a declarative spec list (every ``byte_stride``-th
+        byte; one seed-derived bit per byte in ``random-bit`` mode, all 8
+        in ``all-bits``)."""
+        info, golden = located if located is not None \
+            else self.locate_metadata_write()
+        stream = RngStream(self.seed, "metadata", self.app.name)
+        specs: List[RunSpec] = []
+        for byte_offset in range(0, info.size, byte_stride):
+            if self.mode == "all-bits":
+                bits = range(8)
+            else:
+                bits = [int(stream.child(byte_offset).generator()
+                            .integers(0, 8))]
+            for bit in bits:
+                specs.append(self._spec(info, byte_offset, bit, len(specs)))
+        context = ByteCorruptionContext(self.app, golden, info.write_index,
+                                        self.fs_factory)
+        return RunPlan(context=context, specs=tuple(specs))
+
+    def campaign_id(self, byte_stride: int, golden: GoldenRecord) -> str:
+        """Identity stamped on checkpoint lines; includes the stride
+        (run index *i* names a different byte under a different stride)
+        and the golden-output digest (the app name can't distinguish two
+        differently-configured instances)."""
+        return (f"{self.app.name}/metadata[{self.mode}]"
+                f"/stride={byte_stride}/seed={self.seed}"
+                f"/golden={golden_digest(golden)}")
 
     # -- the sweep -----------------------------------------------------------------
 
     def run(self, byte_stride: int = 1,
-            progress: Optional[Callable[[int, int], None]] = None) -> MetadataCampaignResult:
+            progress: Optional[Callable[[int, int], None]] = None,
+            workers: Optional[int] = None,
+            results_path: Optional[str] = None,
+            resume: bool = False,
+            located: Optional[Tuple[MetadataWriteInfo, GoldenRecord]] = None,
+            ) -> MetadataCampaignResult:
         """Sweep the metadata bytes (every ``byte_stride``-th byte).
 
         ``random-bit`` flips one seed-derived bit per byte (one case per
         byte, the paper's case count); ``all-bits`` runs all 8 bits.
+        Pass ``located`` to reuse an earlier :meth:`locate_metadata_write`
+        (e.g. after harvesting the writer's field map from that run)
+        instead of tracing the application again.
         """
         start = time.perf_counter()
-        info, golden = self.locate_metadata_write()
+        info, golden = located if located is not None \
+            else self.locate_metadata_write()
+        plan = self.plan(byte_stride, located=(info, golden))
+        records = execute_plan(
+            plan,
+            workers=self.workers if workers is None else workers,
+            results_path=results_path,
+            resume=resume,
+            campaign_id=self.campaign_id(byte_stride, golden),
+            progress=progress)
         result = MetadataCampaignResult(app_name=self.app.name, mode=self.mode,
+                                        records=records,
                                         metadata=info, fieldmap=self.fieldmap)
-        offsets = range(0, info.size, byte_stride)
-        total = len(offsets) * (8 if self.mode == "all-bits" else 1)
-        stream = RngStream(self.seed, "metadata", self.app.name)
-        done = 0
-        for byte_offset in offsets:
-            if self.mode == "all-bits":
-                bits = range(8)
-            else:
-                bits = [int(stream.child(byte_offset).generator().integers(0, 8))]
-            for bit in bits:
-                record = self.run_case(info, golden, byte_offset, bit, done)
-                result.records.append(record)
-                done += 1
-                if progress is not None:
-                    progress(done, total)
         result.elapsed_seconds = time.perf_counter() - start
         return result

@@ -38,6 +38,10 @@ class RunRecord:
     byte_offset: Optional[int] = None
     bit_index: Optional[int] = None
     field_name: Optional[str] = None
+    #: Whether the armed fault actually triggered during the run.  A
+    #: never-fired run is trivially benign and inflates masking rates;
+    #: tallies count these separately so campaigns can audit them.
+    fault_fired: bool = True
 
 
 @dataclass
@@ -45,15 +49,29 @@ class OutcomeTally:
     """Counts per outcome with convenience accessors."""
 
     counts: Dict[Outcome, int] = field(default_factory=lambda: {o: 0 for o in Outcome})
+    #: Runs whose armed fault never triggered (still counted under their
+    #: outcome; this is an auditing side-channel, not a fifth outcome).
+    not_fired: int = 0
 
     def add(self, outcome: Outcome) -> None:
         self.counts[outcome] += 1
+
+    def add_record(self, record: RunRecord) -> None:
+        self.add(record.outcome)
+        if not record.fault_fired:
+            self.not_fired += 1
+
+    def merge(self, other: "OutcomeTally") -> None:
+        """Fold another (e.g. per-shard) tally into this one."""
+        for outcome, count in other.counts.items():
+            self.counts[outcome] += count
+        self.not_fired += other.not_fired
 
     @classmethod
     def from_records(cls, records: Iterable[RunRecord]) -> "OutcomeTally":
         tally = cls()
         for record in records:
-            tally.add(record.outcome)
+            tally.add_record(record)
         return tally
 
     @property
@@ -72,4 +90,6 @@ class OutcomeTally:
     def __str__(self) -> str:
         parts = [f"{o.value}={self.counts[o]} ({100 * self.rate(o):.1f}%)"
                  for o in Outcome if self.counts[o]]
+        if self.not_fired:
+            parts.append(f"not-fired={self.not_fired}")
         return ", ".join(parts) if parts else "empty"

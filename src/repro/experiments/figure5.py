@@ -51,10 +51,13 @@ def _decode_with_bit(app: NyxApplication, info, byte_offset: int, bit: int) -> n
 
 
 def run_figure5(app: Optional[NyxApplication] = None,
-                bias_bit: int = 3, ard_bit: int = 5) -> Figure5Result:
+                bias_bit: int = 3, ard_bit: int = 5,
+                workers: int = 1) -> Figure5Result:
+    """``workers`` is part of the uniform driver interface; this figure
+    decodes two targeted corruptions, serially."""
     if app is None:
         app = nyx_default()
-    campaign = MetadataCampaign(app)
+    campaign = MetadataCampaign(app, workers=workers)
     info, _ = campaign.locate_metadata_write()
     fieldmap = app.last_write_result.fieldmap
 

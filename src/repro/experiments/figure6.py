@@ -37,10 +37,13 @@ class Figure6Result:
         )
 
 
-def run_figure6(app: Optional[NyxApplication] = None, bit: int = 1) -> Figure6Result:
+def run_figure6(app: Optional[NyxApplication] = None, bit: int = 1,
+                workers: int = 1) -> Figure6Result:
+    """``workers`` is part of the uniform driver interface; this figure
+    decodes one targeted corruption, serially."""
     if app is None:
         app = nyx_default()
-    campaign = MetadataCampaign(app)
+    campaign = MetadataCampaign(app, workers=workers)
     info, _ = campaign.locate_metadata_write()
     fieldmap = app.last_write_result.fieldmap
     span = next(s for s in fieldmap if "Mantissa Size" in s.name)

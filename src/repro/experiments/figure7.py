@@ -56,17 +56,19 @@ class Figure7Result:
 
 def run_figure7_cell(app: HpcApplication, fault_model: str,
                      n_runs: Optional[int] = None, seed: int = 1,
-                     phase: Optional[str] = None) -> CampaignResult:
+                     phase: Optional[str] = None,
+                     workers: int = 1) -> CampaignResult:
     """One cell of the grid (exposed for benches that time single cells)."""
     runs = n_runs if n_runs is not None else default_runs()
     config = CampaignConfig(fault_model=fault_model, n_runs=runs,
-                            seed=seed, phase=phase)
+                            seed=seed, phase=phase, workers=workers)
     return Campaign(app, config).run()
 
 
 def run_figure7(n_runs: Optional[int] = None, seed: int = 1,
                 include_montage_stages: bool = True,
-                apps: Optional[Dict[str, HpcApplication]] = None) -> Figure7Result:
+                apps: Optional[Dict[str, HpcApplication]] = None,
+                workers: int = 1) -> Figure7Result:
     result = Figure7Result()
     if apps is None:
         apps = {"NYX": nyx_default(), "QMC": qmcpack_default(),
@@ -74,11 +76,14 @@ def run_figure7(n_runs: Optional[int] = None, seed: int = 1,
 
     for fm in FAULT_MODELS:
         if "NYX" in apps:
-            result.cells[f"NYX-{fm}"] = run_figure7_cell(apps["NYX"], fm, n_runs, seed)
+            result.cells[f"NYX-{fm}"] = run_figure7_cell(
+                apps["NYX"], fm, n_runs, seed, workers=workers)
         if "QMC" in apps:
-            result.cells[f"QMC-{fm}"] = run_figure7_cell(apps["QMC"], fm, n_runs, seed)
+            result.cells[f"QMC-{fm}"] = run_figure7_cell(
+                apps["QMC"], fm, n_runs, seed, workers=workers)
         if "MT" in apps and include_montage_stages:
             for i, stage in enumerate(MONTAGE_STAGES, start=1):
                 result.cells[f"MT{i}-{fm}"] = run_figure7_cell(
-                    apps["MT"], fm, n_runs, seed, phase=stage)
+                    apps["MT"], fm, n_runs, seed, phase=stage,
+                    workers=workers)
     return result

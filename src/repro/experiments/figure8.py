@@ -43,14 +43,16 @@ class Figure8Result:
 
 def run_figure8(app: Optional[NyxApplication] = None,
                 seed: int = 8, n_bins: int = 8,
-                max_tries: int = 64) -> Figure8Result:
+                max_tries: int = 64, workers: int = 1) -> Figure8Result:
     """Inject dropped data writes until one visibly reshapes the histogram.
 
     Every dropped write is an SDC (the average shifts); the figure wants
     the *mass-distribution* view, which moves when the dropped block
     overlaps halo cells -- the paper's "halos with larger mass ... are
     more susceptible".  The search mirrors how such a case would be
-    picked from campaign records for visualization.
+    picked from campaign records for visualization.  It stops at the
+    first qualifying instance, so it stays serial; ``workers`` is part
+    of the uniform driver interface.
     """
     if app is None:
         app = nyx_default()

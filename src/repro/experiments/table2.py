@@ -69,7 +69,9 @@ def _package_loc(package) -> int:
     return total
 
 
-def run_table2() -> Table2Result:
+def run_table2(workers: int = 1) -> Table2Result:
+    """``workers`` is part of the uniform driver interface; this table
+    profiles each application once and runs serially."""
     result = Table2Result()
     signature = FaultSignature(model=BitFlipFault())
     specs = [

@@ -60,14 +60,22 @@ def fieldmap_for(app: NyxApplication):
 
 
 def run_table3(app: Optional[NyxApplication] = None, byte_stride: int = 1,
-               seed: int = 0) -> Table3Result:
+               seed: int = 0, workers: int = 1,
+               results_path: Optional[str] = None,
+               resume: bool = False) -> Table3Result:
     """Sweep every ``byte_stride``-th metadata byte (1 == the paper's
-    exhaustive per-byte campaign, ~2.5k application runs)."""
+    exhaustive per-byte campaign, ~2.5k application runs).
+
+    The sweep is embarrassingly parallel: ``workers`` fans it out over
+    processes, and ``results_path``/``resume`` checkpoint it to JSONL.
+    """
     if app is None:
         app = nyx_small()
     fieldmap = fieldmap_for(app)
-    campaign = MetadataCampaign(app, fieldmap=fieldmap, seed=seed)
-    result = campaign.run(byte_stride=byte_stride)
+    campaign = MetadataCampaign(app, fieldmap=fieldmap, seed=seed,
+                                workers=workers)
+    result = campaign.run(byte_stride=byte_stride, results_path=results_path,
+                          resume=resume)
     # Strip the per-field container prefixes for compact reporting.
     examples: Dict[Outcome, List[str]] = {}
     for outcome, names in result.fields_by_outcome().items():

@@ -1,0 +1,404 @@
+"""Tests for the campaign execution engine: plans, executors, sinks.
+
+The determinism contract is the load-bearing one: a campaign must
+produce record-for-record identical results whether it runs serially,
+across worker processes, or split over an interrupted-then-resumed pair
+of invocations.
+"""
+
+import io
+import json
+import pickle
+
+import pytest
+
+from repro.analysis.stats import as_tally, campaign_error_bars
+from repro.cli import main
+from repro.core.campaign import Campaign, InjectionContext
+from repro.core.config import CampaignConfig
+from repro.core.engine import (
+    JsonlSink,
+    ParallelExecutor,
+    RunSpec,
+    SerialExecutor,
+    TallySink,
+    completed_indices,
+    execute_plan,
+    load_records,
+    make_executor,
+    record_from_json,
+    record_to_json,
+)
+from repro.core.metadata_campaign import MetadataCampaign
+from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
+from repro.errors import ConfigError, FFISError
+
+
+@pytest.fixture
+def bf_config():
+    return CampaignConfig(fault_model="BF", n_runs=6, seed=11)
+
+
+class TestRunSpec:
+    def test_picklable(self):
+        spec = RunSpec(run_index=4, seed=99, target_instance=2, phase="mAdd",
+                       byte_offset=7, bit_index=3, field_name="f")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_plan_is_declarative(self, tiny_nyx, bf_config):
+        plan = Campaign(tiny_nyx, bf_config).plan()
+        assert len(plan) == 6
+        assert [spec.run_index for spec in plan] == list(range(6))
+        # Replanning yields the same specs: nothing depends on call order.
+        again = Campaign(tiny_nyx, bf_config).plan()
+        assert plan.specs == again.specs
+
+
+class TestExecutorEquivalence:
+    def test_parallel_matches_serial_records(self, tiny_nyx, bf_config):
+        serial = Campaign(tiny_nyx, bf_config).run()
+        parallel = Campaign(tiny_nyx, bf_config).run(workers=2)
+        assert serial.records == parallel.records
+
+    def test_explicit_executors_interchangeable(self, tiny_nyx, bf_config):
+        plan = Campaign(tiny_nyx, bf_config).plan()
+        serial = list(SerialExecutor().map(plan))
+        parallel = list(ParallelExecutor(workers=3).map(plan))
+        assert serial == parallel
+
+    def test_metadata_sweep_parallel_matches_serial(self, tiny_nyx):
+        serial = MetadataCampaign(tiny_nyx, seed=5).run(byte_stride=256)
+        parallel = MetadataCampaign(tiny_nyx, seed=5, workers=2).run(
+            byte_stride=256)
+        assert serial.records == parallel.records
+
+    def test_make_executor(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(4), ParallelExecutor)
+        with pytest.raises(ConfigError):
+            make_executor(0)
+        with pytest.raises(ConfigError):
+            ParallelExecutor(workers=0)
+
+    def test_config_validates_engine_knobs(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(workers=0)
+        with pytest.raises(ConfigError):
+            CampaignConfig(resume=True)
+        config = CampaignConfig.from_dict(
+            {"fault_model": "BF", "workers": 4,
+             "results_path": "r.jsonl", "resume": True})
+        assert config.workers == 4
+
+
+class TestCheckpointResume:
+    def test_resume_completes_exactly_the_remainder(self, tiny_nyx,
+                                                    bf_config, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        fresh = Campaign(tiny_nyx, bf_config).run()
+        # "Kill" the campaign after 2 of 6 runs ...
+        Campaign(tiny_nyx, bf_config).run(n_runs=2, results_path=path)
+        assert completed_indices(path) == {0, 1}
+        # ... and resume: only runs 2..5 execute, the merge is identical.
+        seen = []
+        resumed = Campaign(tiny_nyx, bf_config).run(
+            results_path=path, resume=True,
+            progress=lambda i, n: seen.append((i, n)))
+        assert seen == [(3, 6), (4, 6), (5, 6), (6, 6)]
+        assert resumed.records == fresh.records
+        assert load_records(path) == fresh.records
+
+    def test_resume_with_nothing_left(self, tiny_nyx, bf_config, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        Campaign(tiny_nyx, bf_config).run(results_path=path)
+        seen = []
+        resumed = Campaign(tiny_nyx, bf_config).run(
+            results_path=path, resume=True,
+            progress=lambda i, n: seen.append((i, n)))
+        assert seen == []
+        assert len(resumed.records) == 6
+
+    def test_truncated_final_line_is_dropped(self, tiny_nyx, bf_config,
+                                             tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        Campaign(tiny_nyx, bf_config).run(n_runs=3, results_path=path)
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"v": 1, "run_index": 3, "outc')   # killed mid-write
+        assert completed_indices(path) == {0, 1, 2}
+        resumed = Campaign(tiny_nyx, bf_config).run(results_path=path,
+                                                    resume=True)
+        assert resumed.records == Campaign(tiny_nyx, bf_config).run().records
+        # The appended records must not have merged onto the partial
+        # line: the checkpoint stays fully decodable and re-resumable.
+        assert load_records(path) == resumed.records
+        again = Campaign(tiny_nyx, bf_config).run(results_path=path,
+                                                  resume=True)
+        assert again.records == resumed.records
+
+    def test_resume_requires_results_path(self, tiny_nyx):
+        campaign = MetadataCampaign(tiny_nyx, seed=5)
+        with pytest.raises(FFISError):
+            campaign.run(byte_stride=256, resume=True)
+
+    def test_resume_refuses_foreign_checkpoint(self, tiny_nyx, bf_config,
+                                               tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        Campaign(tiny_nyx, bf_config).run(n_runs=2, results_path=path)
+        other = CampaignConfig(fault_model="DW", n_runs=6, seed=11)
+        with pytest.raises(FFISError, match="refusing to merge"):
+            Campaign(tiny_nyx, other).run(results_path=path, resume=True)
+        # Different stride on a metadata sweep is a different campaign too.
+        meta_path = str(tmp_path / "meta.jsonl")
+        MetadataCampaign(tiny_nyx, seed=5).run(byte_stride=256,
+                                               results_path=meta_path)
+        with pytest.raises(FFISError, match="refusing to merge"):
+            MetadataCampaign(tiny_nyx, seed=5).run(byte_stride=128,
+                                                   results_path=meta_path,
+                                                   resume=True)
+
+    def test_resume_refuses_differently_configured_app(self, tiny_nyx,
+                                                       bf_config, tmp_path):
+        """Same app *name*, different golden outputs -> different campaign."""
+        from repro.apps.nyx import FieldConfig, NyxApplication
+
+        path = str(tmp_path / "results.jsonl")
+        Campaign(tiny_nyx, bf_config).run(n_runs=2, results_path=path)
+        other = NyxApplication(seed=78, field_config=FieldConfig(
+            shape=(16, 16, 16), n_halos=2, halo_amplitude=(800.0, 1500.0),
+            halo_radius=(0.6, 0.8)), min_cells=3)
+        with pytest.raises(FFISError, match="refusing to merge"):
+            Campaign(other, bf_config).run(results_path=path, resume=True)
+
+    def test_interrupted_parallel_campaign_keeps_checkpoint(self, tiny_nyx,
+                                                            bf_config,
+                                                            tmp_path):
+        """A consumer-side failure mid-stream must surface, leave the
+        checkpoint decodable, and allow a clean resume."""
+        path = str(tmp_path / "results.jsonl")
+
+        def explode(done, total):
+            if done >= 2:
+                raise RuntimeError("simulated interrupt")
+
+        with pytest.raises(RuntimeError):
+            Campaign(tiny_nyx, bf_config).run(results_path=path,
+                                              workers=2, progress=explode)
+        partial = load_records(path)
+        assert len(partial) >= 2
+        resumed = Campaign(tiny_nyx, bf_config).run(results_path=path,
+                                                    resume=True)
+        assert resumed.records == Campaign(tiny_nyx, bf_config).run().records
+
+    def test_resume_accepts_unstamped_legacy_checkpoint(self, tiny_nyx,
+                                                        bf_config, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        sink = JsonlSink(path)   # bare sink: no campaign stamp
+        for record in Campaign(tiny_nyx, bf_config).run(n_runs=2).records:
+            sink.emit(record)
+        sink.close()
+        resumed = Campaign(tiny_nyx, bf_config).run(results_path=path,
+                                                    resume=True)
+        assert len(resumed.records) == 6
+
+    def test_mid_file_corruption_is_an_error(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        good = json.dumps(record_to_json(RunRecord(0, Outcome.BENIGN)))
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("not json\n" + good + "\n")
+        with pytest.raises(FFISError):
+            load_records(path)
+
+    def test_overwrite_without_resume(self, tiny_nyx, bf_config, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        Campaign(tiny_nyx, bf_config).run(n_runs=4, results_path=path)
+        Campaign(tiny_nyx, bf_config).run(n_runs=2, results_path=path)
+        assert completed_indices(path) == {0, 1}
+
+
+class TestJsonlSchema:
+    def test_schema_is_stable(self):
+        record = RunRecord(run_index=3, outcome=Outcome.SDC,
+                           target_instance=7, phase="mAdd", detail="d",
+                           byte_offset=5, bit_index=2, field_name="f",
+                           fault_fired=False)
+        assert record_to_json(record) == {
+            "v": 1,
+            "run_index": 3,
+            "outcome": "sdc",
+            "target_instance": 7,
+            "phase": "mAdd",
+            "detail": "d",
+            "byte_offset": 5,
+            "bit_index": 2,
+            "field_name": "f",
+            "fault_fired": False,
+        }
+
+    def test_round_trip(self):
+        record = RunRecord(run_index=1, outcome=Outcome.CRASH,
+                           target_instance=4, detail="boom")
+        assert record_from_json(record_to_json(record)) == record
+
+    def test_legacy_lines_default_fault_fired(self):
+        raw = record_to_json(RunRecord(0, Outcome.BENIGN))
+        del raw["fault_fired"]
+        assert record_from_json(raw).fault_fired is True
+
+    def test_newer_schema_rejected(self):
+        raw = record_to_json(RunRecord(0, Outcome.BENIGN))
+        raw["v"] = 99
+        with pytest.raises(FFISError):
+            record_from_json(raw)
+
+
+class TestSinksAndStreamedTallies:
+    def test_tally_sink_matches_from_records(self, tiny_nyx, bf_config):
+        campaign = Campaign(tiny_nyx, bf_config)
+        sink = TallySink()
+        records = execute_plan(campaign.plan(), sinks=[sink])
+        assert sink.tally == OutcomeTally.from_records(records)
+
+    def test_error_bars_accept_streams(self, tiny_nyx, bf_config, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        result = Campaign(tiny_nyx, bf_config).run(results_path=path)
+        from_tally = campaign_error_bars(result.tally)
+        from_records = campaign_error_bars(iter(load_records(path)))
+        assert from_tally == from_records
+        sink = TallySink()
+        for record in result.records:
+            sink.emit(record)
+        assert campaign_error_bars(sink) == from_tally
+        assert as_tally(sink) == result.tally
+
+    def test_jsonl_sink_append_mode(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        first = JsonlSink(path)
+        first.emit(RunRecord(0, Outcome.BENIGN))
+        first.close()
+        second = JsonlSink(path, append=True)
+        second.emit(RunRecord(1, Outcome.SDC))
+        second.close()
+        assert [r.run_index for r in load_records(path)] == [0, 1]
+
+
+class TestFaultFired:
+    def test_never_fired_is_flagged(self, tiny_nyx, tiny_nyx_golden):
+        campaign = Campaign(tiny_nyx, CampaignConfig(fault_model="BF",
+                                                     n_runs=1))
+        # Instance far beyond the run's dynamic writes: the armed hook
+        # can never trigger, the run is fault-free.
+        record = campaign.run_once(instance=10_000, run_rng_seed=1,
+                                   run_index=0, golden=tiny_nyx_golden)
+        assert record.fault_fired is False
+        assert record.outcome is Outcome.BENIGN
+        assert "[warning: fault never fired]" in record.detail
+
+    def test_fired_runs_are_not_flagged(self, tiny_nyx):
+        result = Campaign(tiny_nyx, CampaignConfig(fault_model="DW",
+                                                   n_runs=3, seed=3)).run()
+        assert all(record.fault_fired for record in result.records)
+        assert result.tally.not_fired == 0
+
+    def test_tally_counts_not_fired(self):
+        records = [RunRecord(0, Outcome.BENIGN, fault_fired=False),
+                   RunRecord(1, Outcome.SDC)]
+        tally = OutcomeTally.from_records(records)
+        assert tally.not_fired == 1
+        assert tally.total == 2
+        assert "not-fired=1" in str(tally)
+
+    def test_merge_folds_shard_tallies(self):
+        a = OutcomeTally.from_records([RunRecord(0, Outcome.SDC)])
+        b = OutcomeTally.from_records(
+            [RunRecord(1, Outcome.BENIGN, fault_fired=False)])
+        a.merge(b)
+        assert a.total == 2
+        assert a.counts[Outcome.SDC] == 1
+        assert a.not_fired == 1
+
+    def test_roundtrips_through_jsonl(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        sink = JsonlSink(path)
+        sink.emit(RunRecord(0, Outcome.BENIGN, fault_fired=False))
+        sink.close()
+        assert load_records(path)[0].fault_fired is False
+
+
+class TestContextPicklable:
+    def test_injection_context_round_trips(self, tiny_nyx, tiny_nyx_golden,
+                                           bf_config):
+        campaign = Campaign(tiny_nyx, bf_config)
+        context = InjectionContext(tiny_nyx, tiny_nyx_golden,
+                                   campaign.signature)
+        clone = pickle.loads(pickle.dumps(context))
+        assert clone.app.name == tiny_nyx.name
+        assert clone.signature.primitive == campaign.signature.primitive
+
+
+class TestCliEngineSurface:
+    def run_cli(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            self.run_cli("--version")
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_campaign_workers_and_out(self, tmp_path):
+        path = str(tmp_path / "cli.jsonl")
+        code, text = self.run_cli("campaign", "--app", "nyx", "--model", "DW",
+                                  "--runs", "4", "--seed", "9",
+                                  "--workers", "2", "--out", path)
+        assert code == 0
+        assert "nyx/DW" in text
+        assert len(load_records(path)) == 4
+
+    def test_campaign_resume(self, tmp_path):
+        path = str(tmp_path / "cli.jsonl")
+        self.run_cli("campaign", "--app", "nyx", "--model", "DW",
+                     "--runs", "2", "--seed", "9", "--out", path)
+        code, text = self.run_cli("campaign", "--app", "nyx", "--model", "DW",
+                                  "--runs", "5", "--seed", "9",
+                                  "--out", path, "--resume")
+        assert code == 0
+        assert sorted(completed_indices(path)) == [0, 1, 2, 3, 4]
+
+    def test_campaign_metadata_mode(self):
+        code, text = self.run_cli("campaign", "--app", "nyx",
+                                  "--metadata-mode", "random-bit",
+                                  "--stride", "512")
+        assert code == 0
+        assert "nyx/metadata[random-bit]" in text
+
+    def test_model_and_metadata_mode_exclusive(self):
+        with pytest.raises(SystemExit):
+            self.run_cli("campaign", "--app", "nyx", "--model", "BF",
+                         "--metadata-mode", "random-bit")
+
+    def test_model_or_metadata_mode_required(self):
+        with pytest.raises(SystemExit):
+            self.run_cli("campaign", "--app", "nyx")
+
+    def test_resume_requires_out(self):
+        with pytest.raises(SystemExit):
+            self.run_cli("campaign", "--app", "nyx", "--model", "BF",
+                         "--runs", "2", "--resume")
+
+    def test_inapplicable_flags_rejected(self):
+        with pytest.raises(SystemExit):   # --runs is --model-only
+            self.run_cli("campaign", "--app", "nyx",
+                         "--metadata-mode", "random-bit", "--runs", "50")
+        with pytest.raises(SystemExit):   # --phase is --model-only
+            self.run_cli("campaign", "--app", "nyx",
+                         "--metadata-mode", "random-bit", "--phase", "mAdd")
+        with pytest.raises(SystemExit):   # --stride is metadata-only
+            self.run_cli("campaign", "--app", "nyx", "--model", "BF",
+                         "--runs", "2", "--stride", "4")
+
+    def test_run_accepts_workers(self):
+        code, text = self.run_cli("run", "table1", "--workers", "1")
+        assert code == 0
+        assert "Bitflip" in text

@@ -54,12 +54,17 @@ from repro.core import (
     Outcome,
     OutcomeTally,
     ParallelExecutor,
+    ProfileGoldenCache,
     ReadCorruptionFault,
     RunPlan,
     RunSpec,
     SerialExecutor,
     ShornWriteFault,
+    SweepCell,
+    SweepPlan,
+    SweepResult,
     execute_plan,
+    execute_sweep,
     load_records,
     make_fault_model,
 )
@@ -82,11 +87,16 @@ __all__ = [
     "Outcome",
     "OutcomeTally",
     "ParallelExecutor",
+    "ProfileGoldenCache",
     "RunPlan",
     "RunSpec",
     "SerialExecutor",
     "ShornWriteFault",
+    "SweepCell",
+    "SweepPlan",
+    "SweepResult",
     "execute_plan",
+    "execute_sweep",
     "load_records",
     "make_fault_model",
     "FFISFileSystem",

@@ -6,17 +6,21 @@ Subcommands:
 * ``run <experiment-id>``           -- run one reproduction driver
 * ``campaign --app X --model Y``    -- run a custom campaign
 * ``campaign --app X --metadata-mode M`` -- per-byte metadata sweep
+* ``sweep --app X --app Y --model M ...`` -- fused multi-campaign grid
 * ``project --app X --model Y --uber U`` -- system-level rate projection
 
 Campaign-style subcommands share the engine knobs: ``--workers N`` fans
 runs out over a process pool (bit-identical to serial), ``--out F``
 streams each record to a JSONL checkpoint, and ``--resume`` continues an
-interrupted campaign from that file.
+interrupted campaign from that file.  ``run`` forwards the same knobs to
+drivers that execute fused sweeps (e.g. ``repro run figure7 --workers 4
+--out sweep.jsonl --resume``).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional
 
@@ -29,8 +33,9 @@ from repro.analysis.projection import (
 from repro.analysis.stats import campaign_error_bars
 from repro.core.campaign import Campaign
 from repro.core.config import CampaignConfig
+from repro.core.engine import ProfileGoldenCache, SweepPlan, execute_sweep
 from repro.core.metadata_campaign import MetadataCampaign
-from repro.core.outcomes import Outcome
+from repro.core.outcomes import Outcome, OutcomeTally
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.params import montage_default, nyx_default, qmcpack_default
 
@@ -75,6 +80,29 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="experiment id (e.g. table3, figure7)")
     run.add_argument("--workers", type=_positive_int, default=1,
                      help="worker processes for the driver's campaigns")
+    run.add_argument("--out", default=None, metavar="RESULTS.jsonl",
+                     help="checkpoint the driver's sweep to this JSONL "
+                          "file (drivers with campaign sweeps only)")
+    run.add_argument("--resume", action="store_true",
+                     help="re-execute only the (cell, run) pairs missing "
+                          "from --out")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a fused sweep: a grid of apps x fault models "
+                      "sharing one profile/golden cache and worker pool")
+    sweep.add_argument("--app", action="append", required=True,
+                       choices=sorted(APP_FACTORIES), metavar="APP",
+                       help="application under test (repeatable)")
+    sweep.add_argument("--model", action="append", required=True,
+                       choices=["BF", "SW", "DW", "RC"], metavar="MODEL",
+                       help="fault model (repeatable)")
+    sweep.add_argument("--runs", type=_positive_int, default=100,
+                       help="runs per cell (default 100)")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--phase", default=None,
+                       help="restrict every cell's injection to one "
+                            "app phase (e.g. mAdd)")
+    _add_engine_options(sweep)
 
     campaign = sub.add_parser("campaign", help="run a fault-injection campaign")
     campaign.add_argument("--app", choices=sorted(APP_FACTORIES), required=True)
@@ -119,11 +147,50 @@ def _cmd_experiments(out) -> int:
     return 0
 
 
-def _cmd_run(args, out) -> int:
+def _cmd_run(args, parser, out) -> int:
     experiment = get_experiment(args.experiment)
+    kwargs = {"workers": args.workers}
+    if args.resume and args.out is None:
+        parser.error("--resume requires --out")
+    if args.out is not None:
+        params = inspect.signature(experiment.driver).parameters
+        if "results_path" not in params:
+            parser.error(f"{experiment.id} runs no campaign sweep; "
+                         "--out/--resume do not apply")
+        kwargs["results_path"] = args.out
+        kwargs["resume"] = args.resume
     print(f"running {experiment.id}: {experiment.description}", file=out)
-    result = experiment.driver(workers=args.workers)
+    result = experiment.driver(**kwargs)
     print(result.render(), file=out)
+    return 0
+
+
+def _cmd_sweep(args, parser, out) -> int:
+    if args.resume and args.out is None:
+        parser.error("--resume requires --out")
+    apps = {name: APP_FACTORIES[name]() for name in dict.fromkeys(args.app)}
+    models = list(dict.fromkeys(args.model))
+    cache = ProfileGoldenCache()
+    cells, campaigns = [], {}
+    for name, app in apps.items():
+        for model in models:
+            label = f"{name}-{model}"
+            config = CampaignConfig(fault_model=model, n_runs=args.runs,
+                                    seed=args.seed, phase=args.phase)
+            campaign = Campaign(app, config)
+            cells.append(campaign.plan_cell(label, cache))
+            campaigns[label] = campaign
+    result = execute_sweep(SweepPlan(cells=tuple(cells)),
+                           workers=args.workers, results_path=args.out,
+                           resume=args.resume)
+    for label in campaigns:
+        records = result.records[label]
+        tally = OutcomeTally.from_records(records)
+        print(f"{label}: {tally} ({len(records)} runs)", file=out)
+    print(f"fused sweep: {len(cells)} cells, {result.total} records "
+          f"({result.executed} executed, {result.total - result.executed} "
+          f"resumed), {cache.fault_free_runs()} shared fault-free runs for "
+          f"{len(apps)} app(s), {result.elapsed_seconds:.1f}s", file=out)
     return 0
 
 
@@ -211,7 +278,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "experiments":
         return _cmd_experiments(out)
     if args.command == "run":
-        return _cmd_run(args, out)
+        return _cmd_run(args, parser, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, parser, out)
     if args.command == "campaign":
         return _cmd_campaign(args, parser, out)
     if args.command == "project":

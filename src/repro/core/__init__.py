@@ -20,14 +20,20 @@ from repro.core.engine import (
     Executor,
     JsonlSink,
     ParallelExecutor,
+    ProfileGoldenCache,
     ResultSink,
     RunPlan,
     RunSpec,
     SerialExecutor,
+    SweepCell,
+    SweepPlan,
+    SweepResult,
     TallySink,
     execute_plan,
     execute_run_spec,
+    execute_sweep,
     load_records,
+    load_records_by_campaign,
     make_executor,
 )
 from repro.core.campaign import Campaign, CampaignResult, InjectionContext
@@ -67,13 +73,19 @@ __all__ = [
     "InjectionContext",
     "JsonlSink",
     "ParallelExecutor",
+    "ProfileGoldenCache",
     "ResultSink",
     "RunPlan",
     "RunSpec",
     "SerialExecutor",
+    "SweepCell",
+    "SweepPlan",
+    "SweepResult",
     "TallySink",
     "execute_plan",
     "execute_run_spec",
+    "execute_sweep",
     "load_records",
+    "load_records_by_campaign",
     "make_executor",
 ]

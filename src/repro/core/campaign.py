@@ -24,8 +24,10 @@ from repro.apps.base import GoldenRecord, HpcApplication
 from repro.core.config import CampaignConfig
 from repro.core.engine import (
     ExecutionContext,
+    ProfileGoldenCache,
     RunPlan,
     RunSpec,
+    SweepCell,
     execute_plan,
     execute_run_spec,
     golden_digest,
@@ -95,7 +97,6 @@ class Campaign:
         self.config = config
         self.fs_factory = fs_factory
         self.signature: FaultSignature = FaultGenerator().generate(config)
-        self.injector = FaultInjector(self.signature)
 
     # -- pieces -----------------------------------------------------------------
 
@@ -159,6 +160,22 @@ class Campaign:
                 f"/phase={self.config.phase or 'all'}"
                 f"/seed={self.config.seed}"
                 f"/golden={golden_digest(golden)}")
+
+    def plan_cell(self, key: str, cache: ProfileGoldenCache,
+                  n_runs: Optional[int] = None) -> SweepCell:
+        """This campaign as one cell of a fused sweep.
+
+        Plans against the sweep's shared profile/golden cache, so
+        however many cells target the same application instance, its
+        fault-free profile and golden capture each run exactly once per
+        sweep instead of once per cell.
+        """
+        profile = cache.profile(self.app, self.fs_factory,
+                                self.signature.primitive, self.profile)
+        golden = cache.golden(self.app, self.fs_factory, self.capture_golden)
+        plan = self.plan(n_runs, profile=profile, golden=golden)
+        return SweepCell(key=key, plan=plan,
+                         campaign_id=self.campaign_id(golden))
 
     # -- the campaign -----------------------------------------------------------------
 

@@ -27,8 +27,16 @@ from repro.core.engine.sink import (
     TallySink,
     completed_indices,
     load_records,
+    load_records_by_campaign,
     record_from_json,
     record_to_json,
+)
+from repro.core.engine.sweep import (
+    ProfileGoldenCache,
+    SweepCell,
+    SweepPlan,
+    SweepResult,
+    execute_sweep,
 )
 
 __all__ = [
@@ -37,17 +45,23 @@ __all__ = [
     "Executor",
     "JsonlSink",
     "ParallelExecutor",
+    "ProfileGoldenCache",
     "ResultSink",
     "RunPlan",
     "RunSpec",
     "SCHEMA_VERSION",
     "SerialExecutor",
+    "SweepCell",
+    "SweepPlan",
+    "SweepResult",
     "TallySink",
     "completed_indices",
     "execute_plan",
     "execute_run_spec",
+    "execute_sweep",
     "golden_digest",
     "load_records",
+    "load_records_by_campaign",
     "make_executor",
     "record_from_json",
     "record_to_json",

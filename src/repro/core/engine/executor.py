@@ -8,21 +8,27 @@ ProcessPoolExecutor`; the pool is initialized once per worker with the
 plan's (picklable) execution context, after which only the tiny specs
 travel over the queue.  ``map`` always yields records in plan order, so
 the two backends are record-for-record interchangeable.
+
+Both backends also speak the fused-sweep protocol: ``map_tagged`` runs
+``(cell key, spec)`` pairs against a *dictionary* of execution contexts,
+which is how many campaigns share one worker pool (one pool
+initialization, interleaved dispatch) instead of running back to back.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 from abc import ABC, abstractmethod
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterator
+from typing import Iterable, Iterator, Mapping, Tuple
 
 from repro.core.outcomes import RunRecord
 from repro.errors import ConfigError
 
-# Set once per pool worker by _init_worker; holds the plan's context so
-# work items stay spec-sized instead of shipping the application and
-# golden record with every run.
+# Set once per pool worker by _init_worker; holds the plan's context (or
+# a sweep's key -> context mapping) so work items stay spec-sized
+# instead of shipping the application and golden record with every run.
 _WORKER_CONTEXT = None
 
 
@@ -37,12 +43,29 @@ def _run_in_worker(spec) -> RunRecord:
     return execute_run_spec(_WORKER_CONTEXT, spec)
 
 
+def _run_tagged_in_worker(item) -> Tuple[str, RunRecord]:
+    from repro.core.engine.runner import execute_run_spec
+
+    key, spec = item
+    return key, execute_run_spec(_WORKER_CONTEXT[key], spec)
+
+
 class Executor(ABC):
     """Strategy for executing the specs of a :class:`RunPlan`."""
 
     @abstractmethod
     def map(self, plan) -> Iterator[RunRecord]:
         """Yield one record per spec, in plan order, as they complete."""
+
+    @abstractmethod
+    def map_tagged(self, contexts: Mapping[str, object],
+                   items: Iterable[tuple]) -> Iterator[Tuple[str, RunRecord]]:
+        """Yield ``(key, record)`` per ``(key, spec)`` item, in item order.
+
+        Each item's spec executes under ``contexts[key]``; one executor
+        (and, for the parallel backend, one worker pool) serves every
+        cell of a fused sweep.
+        """
 
 
 class SerialExecutor(Executor):
@@ -53,6 +76,12 @@ class SerialExecutor(Executor):
 
         for spec in plan.specs:
             yield execute_run_spec(plan.context, spec)
+
+    def map_tagged(self, contexts, items) -> Iterator[Tuple[str, RunRecord]]:
+        from repro.core.engine.runner import execute_run_spec
+
+        for key, spec in items:
+            yield key, execute_run_spec(contexts[key], spec)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialExecutor()"
@@ -66,7 +95,16 @@ class ParallelExecutor(Executor):
     so the workers inherit the parent's loaded numpy state cheaply;
     determinism does not depend on the start method because every run
     re-derives its generator from the spec's seed.
+
+    Submission is windowed: at most ``workers * IN_FLIGHT_PER_WORKER``
+    futures exist at any moment, so a million-run plan streams through
+    in constant memory instead of materializing O(n) futures upfront.
     """
+
+    #: In-flight futures allowed per worker.  Enough to keep every
+    #: worker busy while the parent consumes results; small enough that
+    #: resident futures stay O(workers) for arbitrarily long plans.
+    IN_FLIGHT_PER_WORKER = 4
 
     def __init__(self, workers: int) -> None:
         if workers < 1:
@@ -82,15 +120,25 @@ class ParallelExecutor(Executor):
     def map(self, plan) -> Iterator[RunRecord]:
         if not plan.specs:
             return
+        yield from self._stream(plan.context, _run_in_worker, plan.specs)
+
+    def map_tagged(self, contexts, items) -> Iterator[Tuple[str, RunRecord]]:
+        yield from self._stream(dict(contexts), _run_tagged_in_worker, items)
+
+    def _stream(self, payload, worker_fn, items) -> Iterator:
         pool = ProcessPoolExecutor(max_workers=self.workers,
                                    mp_context=self._mp_context(),
                                    initializer=_init_worker,
-                                   initargs=(plan.context,))
+                                   initargs=(payload,))
+        window = self.workers * self.IN_FLIGHT_PER_WORKER
+        pending = deque()
         try:
-            futures = [pool.submit(_run_in_worker, spec)
-                       for spec in plan.specs]
-            for future in futures:
-                yield future.result()
+            for item in items:
+                pending.append(pool.submit(worker_fn, item))
+                if len(pending) >= window:
+                    yield pending.popleft().result()
+            while pending:
+                yield pending.popleft().result()
         finally:
             # An abandoned iteration (Ctrl-C, sink failure) must not
             # block on -- or silently discard -- the not-yet-started

@@ -9,17 +9,18 @@ outcome taxonomy, and record whether the fault actually fired.
 :func:`execute_plan` drives a whole :class:`RunPlan` through an
 executor, streaming every finished record into the result sinks (tally,
 JSONL checkpoint) as it completes and skipping run indices already
-present in a resumed results file.
+present in a resumed results file.  It is implemented as a single-cell
+:func:`repro.core.engine.sweep.execute_sweep`, so campaign-level and
+sweep-level checkpoints share one on-disk format and one resume path.
 """
 
 from __future__ import annotations
 
-import os
 from typing import Callable, List, Optional, Sequence
 
-from repro.core.engine.executor import Executor, make_executor
+from repro.core.engine.executor import Executor
 from repro.core.engine.plan import ExecutionContext, RunPlan, RunSpec
-from repro.core.engine.sink import JsonlSink, ResultSink, load_records
+from repro.core.engine.sink import ResultSink
 from repro.core.outcomes import Outcome, RunRecord
 from repro.errors import FFISError
 from repro.fusefs.mount import mount
@@ -81,44 +82,10 @@ def execute_plan(plan: RunPlan, *,
       identity (app/model/seed/...); a resume against a checkpoint
       stamped with a different identity is refused rather than merged.
     """
-    if resume and results_path is None:
-        raise FFISError("resume=True requires results_path")
-    chosen = executor if executor is not None else make_executor(workers)
+    from repro.core.engine.sweep import SweepCell, SweepPlan, execute_sweep
 
-    existing: List[RunRecord] = []
-    if resume and os.path.exists(results_path):
-        wanted = {spec.run_index for spec in plan.specs}
-        existing = [r for r in load_records(results_path, campaign_id)
-                    if r.run_index in wanted]
-    done = {record.run_index for record in existing}
-    pending = plan if not done else plan.subset(
-        [spec for spec in plan.specs if spec.run_index not in done])
-
-    all_sinks: List[ResultSink] = list(sinks)
-    if results_path is not None:
-        all_sinks.append(JsonlSink(results_path, append=bool(existing),
-                                   campaign_id=campaign_id))
-
-    records: List[RunRecord] = list(existing)
-    total = len(plan)
-    completed = len(existing)
-    stream = chosen.map(pending)
-    try:
-        for record in stream:
-            for sink in all_sinks:
-                sink.emit(record)
-            records.append(record)
-            completed += 1
-            if progress is not None:
-                progress(completed, total)
-    finally:
-        # Tear the executor down before closing the sinks so an
-        # interrupted parallel campaign cancels its pending runs
-        # promptly instead of racing a closed checkpoint file.
-        close = getattr(stream, "close", None)
-        if close is not None:
-            close()
-        for sink in all_sinks:
-            sink.close()
-    records.sort(key=lambda record: record.run_index)
-    return records
+    cell = SweepCell(key="plan", plan=plan, campaign_id=campaign_id)
+    result = execute_sweep(SweepPlan(cells=(cell,)), executor=executor,
+                           workers=workers, results_path=results_path,
+                           resume=resume, progress=progress, sinks=sinks)
+    return result.records[cell.key]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from abc import ABC, abstractmethod
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
 from repro.errors import FFISError
@@ -61,19 +61,20 @@ def record_from_json(raw: Dict[str, Any]) -> RunRecord:
     )
 
 
-def load_records(path: str, campaign_id: Optional[str] = None) -> List[RunRecord]:
-    """Read a JSONL results file back into records.
+def _iter_stamped_records(path: str) -> Iterator[Tuple[int, Optional[str], RunRecord]]:
+    """Yield ``(lineno, campaign_stamp, record)`` for every results line.
 
-    A truncated final line (the run in flight when a campaign was
-    killed) is silently dropped; corruption anywhere else is an error.
-    When *campaign_id* is given, any line stamped with a *different*
-    campaign identity is rejected -- resuming run 17 of a BF campaign
-    from a DW checkpoint would silently merge unrelated science.
-    Unstamped lines (written by bare sinks) are accepted as-is.
+    A truncated final line is dropped only when the file lacks a
+    trailing newline -- that is the one case where the writer was
+    provably killed mid-``emit``.  A final line that *is*
+    newline-terminated was fully written, so failing to decode it means
+    the checkpoint is genuinely corrupt: that raises, like corruption
+    anywhere else, instead of silently shrinking a resumed campaign.
     """
-    records: List[RunRecord] = []
-    with open(path, "r", encoding="utf-8") as f:
-        lines = f.read().splitlines()
+    with open(path, "rb") as f:
+        data = f.read()
+    terminated = data.endswith(b"\n")
+    lines = data.decode("utf-8").splitlines()
     for lineno, line in enumerate(lines):
         if not line.strip():
             continue
@@ -81,12 +82,26 @@ def load_records(path: str, campaign_id: Optional[str] = None) -> List[RunRecord
             raw = json.loads(line)
             record = record_from_json(raw)
         except (json.JSONDecodeError, KeyError, ValueError) as exc:
-            if lineno == len(lines) - 1:
-                break  # partial final write from an interrupted campaign
+            if lineno == len(lines) - 1 and not terminated:
+                break  # partial final write from a killed campaign
             raise FFISError(
                 f"{path}:{lineno + 1}: undecodable results line: {exc}"
             ) from exc
-        stamped = raw.get("campaign")
+        yield lineno, raw.get("campaign"), record
+
+
+def load_records(path: str, campaign_id: Optional[str] = None) -> List[RunRecord]:
+    """Read a JSONL results file back into records.
+
+    An unterminated final line (the run in flight when a campaign was
+    killed) is silently dropped; corruption anywhere else is an error.
+    When *campaign_id* is given, any line stamped with a *different*
+    campaign identity is rejected -- resuming run 17 of a BF campaign
+    from a DW checkpoint would silently merge unrelated science.
+    Unstamped lines (written by bare sinks) are accepted as-is.
+    """
+    records: List[RunRecord] = []
+    for lineno, stamped, record in _iter_stamped_records(path):
         if campaign_id is not None and stamped is not None \
                 and stamped != campaign_id:
             raise FFISError(
@@ -95,6 +110,15 @@ def load_records(path: str, campaign_id: Optional[str] = None) -> List[RunRecord
                 "unrelated results (use a different --out file)")
         records.append(record)
     return records
+
+
+def load_records_by_campaign(path: str) -> Dict[Optional[str], List[RunRecord]]:
+    """Records of a multiplexed sweep checkpoint, grouped by their
+    per-line campaign stamp (``None`` groups unstamped legacy lines)."""
+    groups: Dict[Optional[str], List[RunRecord]] = {}
+    for _, stamped, record in _iter_stamped_records(path):
+        groups.setdefault(stamped, []).append(record)
+    return groups
 
 
 def completed_indices(path: str) -> Set[int]:
@@ -161,9 +185,19 @@ class JsonlSink(ResultSink):
         self._f = open(path, "a" if append else "w", encoding="utf-8")
 
     def emit(self, record: RunRecord) -> None:
+        self.emit_stamped(record, self.campaign_id)
+
+    def emit_stamped(self, record: RunRecord,
+                     campaign_id: Optional[str]) -> None:
+        """Append one record under an explicit per-record stamp.
+
+        This is the multiplexing primitive: a fused sweep writes every
+        cell's records to one file, each line stamped with its own
+        campaign identity, so resume can split the stream back apart.
+        """
         raw = record_to_json(record)
-        if self.campaign_id is not None:
-            raw["campaign"] = self.campaign_id
+        if campaign_id is not None:
+            raw["campaign"] = campaign_id
         self._f.write(json.dumps(raw, sort_keys=True))
         self._f.write("\n")
         self._f.flush()

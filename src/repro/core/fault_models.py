@@ -62,9 +62,16 @@ class BitFlipFault(FaultModel):
 
     def apply(self, call: PrimitiveCall, rng: np.random.Generator) -> Optional[CallDecision]:
         if call.primitive in ("ffis_mknod", "ffis_chmod"):
-            field = "mode" if bool(rng.integers(0, 2)) or "dev" not in call.args else "dev"
+            # Fig. 3b: the flip lands at a uniformly random position of
+            # the whole 32-bit mode/dev integer -- sampling fewer bits
+            # would shelter the high half of the field from corruption.
+            fields = [name for name in ("mode", "dev") if name in call.args]
+            if len(fields) == 1:
+                field = fields[0]
+            else:
+                field = fields[int(rng.integers(0, len(fields)))]
             value = int(call.args[field])
-            start = int(rng.integers(0, 16))
+            start = int(rng.integers(0, 32))
             for k in range(self.n_bits):
                 value ^= 1 << ((start + k) % 32)
             call.args[field] = value

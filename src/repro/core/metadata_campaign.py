@@ -28,8 +28,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.apps.base import GoldenRecord, HpcApplication
 from repro.core.engine import (
     ExecutionContext,
+    ProfileGoldenCache,
     RunPlan,
     RunSpec,
+    SweepCell,
     execute_plan,
     execute_run_spec,
     golden_digest,
@@ -218,6 +220,21 @@ class MetadataCampaign:
         return (f"{self.app.name}/metadata[{self.mode}]"
                 f"/stride={byte_stride}/seed={self.seed}"
                 f"/golden={golden_digest(golden)}")
+
+    def plan_cell(self, key: str, cache: ProfileGoldenCache,
+                  byte_stride: int = 1) -> SweepCell:
+        """This sweep as one cell of a fused multi-campaign sweep.
+
+        The metadata-write trace (which doubles as the golden capture)
+        comes from the sweep's shared cache, so many cells over the
+        same application -- different modes or strides, or alongside
+        instance-targeted campaign cells -- trace it exactly once.
+        """
+        info, golden = cache.locate(self.app, self.fs_factory,
+                                    self.locate_metadata_write)
+        plan = self.plan(byte_stride, located=(info, golden))
+        return SweepCell(key=key, plan=plan,
+                         campaign_id=self.campaign_id(byte_stride, golden))
 
     # -- the sweep -----------------------------------------------------------------
 

@@ -20,7 +20,7 @@ from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
-from repro.experiments.figure7 import run_figure7, run_figure7_cell
+from repro.experiments.figure7 import plan_figure7, run_figure7, run_figure7_cell
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9
 from repro.experiments.registry import EXPERIMENTS, get_experiment
@@ -37,6 +37,7 @@ __all__ = [
     "run_table4",
     "run_figure5",
     "run_figure6",
+    "plan_figure7",
     "run_figure7",
     "run_figure7_cell",
     "run_figure8",

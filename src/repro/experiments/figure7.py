@@ -1,18 +1,25 @@
-"""Figure 7 -- the full characterization grid.
+"""Figure 7 -- the full characterization grid, as one fused sweep.
 
 {NYX, QMC, MT1..MT4} x {BF, SW, DW} outcome breakdowns, the paper's
-headline result.  Campaign sizes follow ``REPRO_FI_RUNS``.
+headline result.  The 18 cells execute as a single
+:class:`repro.core.engine.SweepPlan`: each distinct application is
+profiled and golden-captured exactly once (the twelve Montage stage x
+model cells share one fault-free pair instead of re-running it twelve
+times), every cell's specs interleave through one worker pool, and the
+whole grid checkpoints to one multiplexed JSONL file with sweep-level
+kill/resume.  Campaign sizes follow ``REPRO_FI_RUNS``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.tables import render_outcome_grid, render_table
 from repro.apps.base import HpcApplication
 from repro.core.campaign import Campaign, CampaignResult
 from repro.core.config import CampaignConfig
+from repro.core.engine import ProfileGoldenCache, SweepCell, SweepPlan, execute_sweep
 from repro.core.outcomes import Outcome
 from repro.experiments.params import (
     default_runs,
@@ -20,6 +27,7 @@ from repro.experiments.params import (
     nyx_default,
     qmcpack_default,
 )
+from repro.fusefs.vfs import FFISFileSystem
 
 FAULT_MODELS = ("BF", "SW", "DW")
 MONTAGE_STAGES = ("mProjExec", "mDiffExec", "mBgExec", "mAdd")
@@ -42,6 +50,10 @@ PAPER_NOTES = {
 @dataclass
 class Figure7Result:
     cells: Dict[str, CampaignResult] = field(default_factory=dict)
+    #: Fault-free application executions the fused sweep paid for
+    #: (profiles + golden captures; one pair per distinct app).
+    fault_free_runs: int = 0
+    elapsed_seconds: float = 0.0
 
     def cell(self, label: str) -> CampaignResult:
         return self.cells[label]
@@ -65,25 +77,77 @@ def run_figure7_cell(app: HpcApplication, fault_model: str,
     return Campaign(app, config).run()
 
 
-def run_figure7(n_runs: Optional[int] = None, seed: int = 1,
-                include_montage_stages: bool = True,
-                apps: Optional[Dict[str, HpcApplication]] = None,
-                workers: int = 1) -> Figure7Result:
-    result = Figure7Result()
+def plan_figure7(n_runs: Optional[int] = None, seed: int = 1,
+                 include_montage_stages: bool = True,
+                 apps: Optional[Dict[str, HpcApplication]] = None,
+                 fs_factory: Callable[[], FFISFileSystem] = FFISFileSystem,
+                 cache: Optional[ProfileGoldenCache] = None,
+                 ) -> Tuple[SweepPlan, Dict[str, Campaign], ProfileGoldenCache]:
+    """The grid as a fused sweep plan (cells in the grid's label order).
+
+    Returns the plan plus the per-label campaigns and the shared cache,
+    so callers can reassemble :class:`CampaignResult` objects (and
+    their profile/golden) after execution without re-running anything.
+    """
+    runs = n_runs if n_runs is not None else default_runs()
     if apps is None:
         apps = {"NYX": nyx_default(), "QMC": qmcpack_default(),
                 "MT": montage_default()}
+    cache = cache if cache is not None else ProfileGoldenCache()
+    cells: List[SweepCell] = []
+    campaigns: Dict[str, Campaign] = {}
+
+    def add(label: str, app: HpcApplication, fault_model: str,
+            phase: Optional[str] = None) -> None:
+        config = CampaignConfig(fault_model=fault_model, n_runs=runs,
+                                seed=seed, phase=phase)
+        campaign = Campaign(app, config, fs_factory)
+        cells.append(campaign.plan_cell(label, cache))
+        campaigns[label] = campaign
 
     for fm in FAULT_MODELS:
         if "NYX" in apps:
-            result.cells[f"NYX-{fm}"] = run_figure7_cell(
-                apps["NYX"], fm, n_runs, seed, workers=workers)
+            add(f"NYX-{fm}", apps["NYX"], fm)
         if "QMC" in apps:
-            result.cells[f"QMC-{fm}"] = run_figure7_cell(
-                apps["QMC"], fm, n_runs, seed, workers=workers)
+            add(f"QMC-{fm}", apps["QMC"], fm)
         if "MT" in apps and include_montage_stages:
             for i, stage in enumerate(MONTAGE_STAGES, start=1):
-                result.cells[f"MT{i}-{fm}"] = run_figure7_cell(
-                    apps["MT"], fm, n_runs, seed, phase=stage,
-                    workers=workers)
+                add(f"MT{i}-{fm}", apps["MT"], fm, phase=stage)
+    return SweepPlan(cells=tuple(cells)), campaigns, cache
+
+
+def run_figure7(n_runs: Optional[int] = None, seed: int = 1,
+                include_montage_stages: bool = True,
+                apps: Optional[Dict[str, HpcApplication]] = None,
+                workers: int = 1,
+                results_path: Optional[str] = None,
+                resume: bool = False,
+                fs_factory: Callable[[], FFISFileSystem] = FFISFileSystem,
+                progress: Optional[Callable[[int, int], None]] = None,
+                ) -> Figure7Result:
+    """Run the grid fused: one sweep execution instead of 18 campaigns.
+
+    ``results_path`` checkpoints the whole grid to one multiplexed
+    JSONL file and ``resume=True`` re-executes only the missing
+    (cell, run index) pairs of a killed sweep.
+    """
+    plan, campaigns, cache = plan_figure7(
+        n_runs, seed, include_montage_stages, apps, fs_factory)
+    sweep = execute_sweep(plan, workers=workers, results_path=results_path,
+                          resume=resume, progress=progress)
+
+    result = Figure7Result(fault_free_runs=cache.fault_free_runs(),
+                           elapsed_seconds=sweep.elapsed_seconds)
+    for label, campaign in campaigns.items():
+        # Cache hits: the plan phase already paid for these.
+        profile = cache.profile(campaign.app, campaign.fs_factory,
+                                campaign.signature.primitive, campaign.profile)
+        golden = cache.golden(campaign.app, campaign.fs_factory,
+                              campaign.capture_golden)
+        result.cells[label] = CampaignResult(
+            app_name=campaign.app.name,
+            signature=str(campaign.signature),
+            phase=campaign.config.phase,
+            records=sweep.records[label],
+            profile=profile, golden=golden)
     return result

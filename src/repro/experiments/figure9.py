@@ -16,6 +16,7 @@ import numpy as np
 from repro.apps.montage import MontageApplication
 from repro.core.campaign import Campaign
 from repro.core.config import CampaignConfig
+from repro.core.injector import FaultInjector
 from repro.core.outcomes import Outcome
 from repro.errors import FFISError
 from repro.experiments.params import montage_default
@@ -62,12 +63,13 @@ def run_figure9(app: Optional[MontageApplication] = None,
     golden = campaign.capture_golden()
     window = profile.window("mAdd")
     golden_min = golden.analysis["min"]
+    injector = FaultInjector(campaign.signature)
 
     for i, instance in enumerate(window):
         if i >= max_tries:
             break
         fs = FFISFileSystem()
-        campaign.injector.arm(fs, instance, RngStream(seed, i).generator())
+        injector.arm(fs, instance, RngStream(seed, i).generator())
         with mount(fs) as mp:
             try:
                 app.execute(mp)

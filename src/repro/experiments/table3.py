@@ -68,14 +68,17 @@ def run_table3(app: Optional[NyxApplication] = None, byte_stride: int = 1,
 
     The sweep is embarrassingly parallel: ``workers`` fans it out over
     processes, and ``results_path``/``resume`` checkpoint it to JSONL.
+    The metadata-write trace doubles as both the golden capture and the
+    field-map harvest, so the driver pays for exactly one fault-free
+    run, like a fused-sweep cell.
     """
     if app is None:
         app = nyx_small()
-    fieldmap = fieldmap_for(app)
-    campaign = MetadataCampaign(app, fieldmap=fieldmap, seed=seed,
-                                workers=workers)
+    campaign = MetadataCampaign(app, seed=seed, workers=workers)
+    located = campaign.locate_metadata_write()
+    campaign.fieldmap = app.last_write_result.fieldmap
     result = campaign.run(byte_stride=byte_stride, results_path=results_path,
-                          resume=resume)
+                          resume=resume, located=located)
     # Strip the per-field container prefixes for compact reporting.
     examples: Dict[Outcome, List[str]] = {}
     for outcome, names in result.fields_by_outcome().items():

@@ -61,6 +61,39 @@ class TestBitFlip:
         BitFlipFault().apply(call, np.random.default_rng(3))
         assert (call.args["mode"], call.args["dev"]) != (0o644, 0)
 
+    def test_mknod_flip_covers_all_32_bits(self):
+        """Fig. 3b's uniform-position model: the whole 32-bit mode/dev
+        field must be reachable (a regression capped ``start`` at 16,
+        sheltering bits 17..31 from corruption forever)."""
+        hit = set()
+        for seed in range(600):
+            call = PrimitiveCall("ffis_mknod",
+                                 {"path": "/n", "mode": 0, "dev": 0}, 0)
+            BitFlipFault(n_bits=1).apply(call, np.random.default_rng(seed))
+            flipped = call.args["mode"] | call.args["dev"]
+            hit |= {i for i in range(32) if flipped >> i & 1}
+        assert hit == set(range(32))
+
+    def test_chmod_flip_covers_all_32_bits(self):
+        """chmod carries only ``mode``; the full field is still fair game."""
+        hit = set()
+        for seed in range(600):
+            call = PrimitiveCall("ffis_chmod", {"path": "/n", "mode": 0}, 0)
+            BitFlipFault(n_bits=1).apply(call, np.random.default_rng(seed))
+            hit |= {i for i in range(32) if call.args["mode"] >> i & 1}
+            assert "dev" not in call.args
+        assert hit == set(range(32))
+
+    def test_mknod_targets_both_fields(self):
+        """With both fields present, the pick must not collapse to one."""
+        targets = set()
+        for seed in range(40):
+            call = PrimitiveCall("ffis_mknod",
+                                 {"path": "/n", "mode": 0, "dev": 0}, 0)
+            BitFlipFault(n_bits=1).apply(call, np.random.default_rng(seed))
+            targets.add("mode" if call.args["mode"] else "dev")
+        assert targets == {"mode", "dev"}
+
     def test_invalid_nbits(self):
         with pytest.raises(ConfigError):
             BitFlipFault(n_bits=0)

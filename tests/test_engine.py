@@ -91,6 +91,80 @@ class TestExecutorEquivalence:
         assert config.workers == 4
 
 
+class _InstrumentedFuture:
+    def __init__(self, pool, value):
+        self._pool, self._value = pool, value
+
+    def result(self):
+        self._pool.outstanding -= 1
+        return self._value
+
+
+class _InstrumentedPool:
+    """In-process ProcessPoolExecutor stand-in counting live futures."""
+
+    last = None
+
+    def __init__(self, max_workers=None, mp_context=None,
+                 initializer=None, initargs=()):
+        if initializer is not None:
+            initializer(*initargs)
+        self.outstanding = 0
+        self.max_outstanding = 0
+        self.submissions = 0
+        _InstrumentedPool.last = self
+
+    def submit(self, fn, item):
+        self.outstanding += 1
+        self.submissions += 1
+        self.max_outstanding = max(self.max_outstanding, self.outstanding)
+        return _InstrumentedFuture(self, fn(item))
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestBoundedSubmission:
+    """The parallel backend must stream specs through a bounded window,
+    not materialize O(n) futures upfront (the million-run scale target)."""
+
+    @pytest.fixture(autouse=True)
+    def _instrument(self, monkeypatch):
+        from repro.core.engine import executor as executor_module
+        from repro.core.engine import runner as runner_module
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor",
+                            _InstrumentedPool)
+        monkeypatch.setattr(
+            runner_module, "execute_run_spec",
+            lambda context, spec: RunRecord(spec.run_index, Outcome.BENIGN))
+
+    def test_in_flight_futures_stay_bounded(self):
+        from repro.core.engine import RunPlan
+
+        n = 500
+        plan = RunPlan(context=None,
+                       specs=tuple(RunSpec(run_index=i) for i in range(n)))
+        executor = ParallelExecutor(workers=2)
+        records = list(executor.map(plan))
+        pool = _InstrumentedPool.last
+        assert [r.run_index for r in records] == list(range(n))
+        assert pool.submissions == n
+        assert pool.max_outstanding <= \
+            2 * ParallelExecutor.IN_FLIGHT_PER_WORKER
+
+    def test_tagged_stream_is_bounded_too(self):
+        n = 300
+        items = [("cell", RunSpec(run_index=i)) for i in range(n)]
+        executor = ParallelExecutor(workers=3)
+        results = list(executor.map_tagged({"cell": None}, iter(items)))
+        pool = _InstrumentedPool.last
+        assert [r.run_index for _, r in results] == list(range(n))
+        assert {key for key, _ in results} == {"cell"}
+        assert pool.max_outstanding <= \
+            3 * ParallelExecutor.IN_FLIGHT_PER_WORKER
+
+
 class TestCheckpointResume:
     def test_resume_completes_exactly_the_remainder(self, tiny_nyx,
                                                     bf_config, tmp_path):
@@ -207,6 +281,32 @@ class TestCheckpointResume:
             f.write("not json\n" + good + "\n")
         with pytest.raises(FFISError):
             load_records(path)
+
+    def test_corrupt_terminated_final_line_is_an_error(self, tmp_path):
+        """A final line ending in a newline was *fully written* -- a
+        decode failure there is real corruption, not a partial write,
+        and must not silently shrink a resumed campaign."""
+        path = str(tmp_path / "results.jsonl")
+        good = json.dumps(record_to_json(RunRecord(0, Outcome.BENIGN)))
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(good + "\n" + '{"v": 1, "run_index": 1, "outc\n')
+        with pytest.raises(FFISError, match="undecodable"):
+            load_records(path)
+
+    def test_schema_invalid_terminated_final_line_is_an_error(self, tmp_path):
+        """Decodable JSON missing required record keys is corrupt too."""
+        path = str(tmp_path / "results.jsonl")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write('{"v": 1, "outcome": "benign"}\n')   # no run_index
+        with pytest.raises(FFISError, match="undecodable"):
+            load_records(path)
+
+    def test_unterminated_final_line_is_still_forgiven(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        good = json.dumps(record_to_json(RunRecord(0, Outcome.BENIGN)))
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(good + "\n" + '{"v": 1, "run_index": 1, "outc')
+        assert [r.run_index for r in load_records(path)] == [0]
 
     def test_overwrite_without_resume(self, tiny_nyx, bf_config, tmp_path):
         path = str(tmp_path / "results.jsonl")

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, Mapping, Protocol, Union
 
 from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
@@ -117,3 +118,59 @@ def mean_half_width(estimates: Mapping[Outcome, RateEstimate]) -> float:
     """Average CI half-width across outcomes (the paper's "error bar")."""
     values = list(estimates.values())
     return sum(e.half_width for e in values) / len(values)
+
+
+def record_fault_count(record: RunRecord) -> int:
+    """The nominal fault count *k* a record was produced under.
+
+    Scenario-stamped records report their scenario's k (``k=3`` -> 3,
+    ``burst=4`` -> 4, decay -> its byte count); legacy single-fault
+    records are k=1.  The stamp is authoritative over ``instances``
+    because colliding draws can collapse a k-fault plan to fewer
+    distinct points without changing the scenario being measured.
+    """
+    return _stamp_fault_count(getattr(record, "scenario", None))
+
+
+@lru_cache(maxsize=None)
+def _stamp_fault_count(stamp) -> int:
+    # A million-record stream carries only a handful of distinct stamps;
+    # parse each stamp once, not once per record.
+    from repro.core.scenario import parse_scenario
+
+    if stamp is None:
+        return 1
+    try:
+        return parse_scenario(stamp).fault_count
+    except Exception as exc:
+        from repro.errors import FFISError
+
+        raise FFISError(
+            f"record stamped with unknown scenario {stamp!r}: {exc}") from exc
+
+
+def per_k_tallies(records: Iterable[RunRecord]) -> Dict[int, OutcomeTally]:
+    """Group a record stream into one :class:`OutcomeTally` per fault
+    count k (streaming single pass; records never need to be resident)."""
+    tallies: Dict[int, OutcomeTally] = {}
+    for record in records:
+        k = record_fault_count(record)
+        tallies.setdefault(k, OutcomeTally()).add_record(record)
+    return dict(sorted(tallies.items()))
+
+
+def sdc_vs_k(source: Union[Iterable[RunRecord], Mapping[int, OutcomeTally]],
+             outcome: Outcome = Outcome.SDC,
+             method: str = "wilson") -> Dict[int, RateEstimate]:
+    """The outcome-rate-vs-fault-count curve of a multi-fault sweep.
+
+    Accepts either a record stream (grouped by :func:`per_k_tallies`)
+    or pre-grouped per-k tallies; returns one interval estimate per k,
+    in ascending k order.
+    """
+    if isinstance(source, Mapping):
+        tallies = dict(sorted(source.items()))
+    else:
+        tallies = per_k_tallies(source)
+    return {k: rate_estimate(t.counts[outcome], t.total, method)
+            for k, t in tallies.items() if t.total}

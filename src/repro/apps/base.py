@@ -82,6 +82,10 @@ class HpcApplication(ABC):
         finally:
             end = interposer.count("ffis_write")
             self._phase_log.append(PhaseSpan(name, start, end))
+            # Between-stage seam: at-rest fault scenarios decay persisted
+            # bytes here, after this stage's writes and before the next
+            # stage reads them.
+            interposer.notify_phase_end(name)
 
     @property
     def recorded_phases(self) -> List[PhaseSpan]:

@@ -35,6 +35,8 @@ from repro.core.campaign import Campaign
 from repro.core.config import CampaignConfig
 from repro.core.engine import ProfileGoldenCache, SweepPlan, execute_sweep
 from repro.core.metadata_campaign import MetadataCampaign
+from repro.core.scenario import parse_scenario
+from repro.errors import ConfigError
 from repro.core.outcomes import Outcome, OutcomeTally
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.params import montage_default, nyx_default, qmcpack_default
@@ -102,6 +104,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--phase", default=None,
                        help="restrict every cell's injection to one "
                             "app phase (e.g. mAdd)")
+    sweep.add_argument("--scenario", action="append", default=None,
+                       metavar="SPEC",
+                       help="fault scenario axis of the grid (repeatable; "
+                            "single | k=K[,window=W] | burst=N | "
+                            "decay[:bytes=N][,region=LO-HI][,after=PHASE]; "
+                            "default single)")
     _add_engine_options(sweep)
 
     campaign = sub.add_parser("campaign", help="run a fault-injection campaign")
@@ -116,6 +124,11 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--phase", default=None,
                           help="restrict injection to one app phase "
                                "(e.g. mProjExec; --model only)")
+    campaign.add_argument("--scenario", default=None, metavar="SPEC",
+                          help="fault scenario (single | k=K[,window=W] | "
+                               "burst=N | decay[:bytes=N][,region=LO-HI]"
+                               "[,after=PHASE]; e.g. --scenario k=3,window=8; "
+                               "--model campaigns only)")
     campaign.add_argument("--metadata-mode", choices=["random-bit", "all-bits"],
                           default=None,
                           help="run a per-byte metadata sweep instead of an "
@@ -165,21 +178,35 @@ def _cmd_run(args, parser, out) -> int:
     return 0
 
 
+def _parse_scenario_arg(parser, spec: str):
+    """Validate a --scenario spec, reporting bad ones as argparse errors."""
+    try:
+        return parse_scenario(spec)
+    except ConfigError as exc:
+        parser.error(str(exc))
+
+
 def _cmd_sweep(args, parser, out) -> int:
     if args.resume and args.out is None:
         parser.error("--resume requires --out")
     apps = {name: APP_FACTORIES[name]() for name in dict.fromkeys(args.app)}
     models = list(dict.fromkeys(args.model))
+    scenarios = [_parse_scenario_arg(parser, spec)
+                 for spec in dict.fromkeys(args.scenario or ["single"])]
     cache = ProfileGoldenCache()
     cells, campaigns = [], {}
     for name, app in apps.items():
         for model in models:
-            label = f"{name}-{model}"
-            config = CampaignConfig(fault_model=model, n_runs=args.runs,
-                                    seed=args.seed, phase=args.phase)
-            campaign = Campaign(app, config)
-            cells.append(campaign.plan_cell(label, cache))
-            campaigns[label] = campaign
+            for scenario in scenarios:
+                label = f"{name}-{model}"
+                if not scenario.legacy:
+                    label += f"-{scenario.stamp()}"
+                config = CampaignConfig(fault_model=model, n_runs=args.runs,
+                                        seed=args.seed, phase=args.phase,
+                                        scenario=scenario)
+                campaign = Campaign(app, config)
+                cells.append(campaign.plan_cell(label, cache))
+                campaigns[label] = campaign
     result = execute_sweep(SweepPlan(cells=tuple(cells)),
                            workers=args.workers, results_path=args.out,
                            resume=args.resume)
@@ -198,6 +225,7 @@ def _run_campaign(args) -> "CampaignResult":
     app = APP_FACTORIES[args.app]()
     config = CampaignConfig(fault_model=args.model, n_runs=args.runs,
                             seed=args.seed, phase=args.phase,
+                            scenario=getattr(args, "scenario", None),
                             workers=args.workers, results_path=args.out,
                             resume=args.resume)
     return Campaign(app, config).run()
@@ -237,6 +265,8 @@ def _cmd_campaign(args, parser, out) -> int:
                          "sweep's size is the blob size / --stride")
         if args.phase is not None:
             parser.error("--phase applies to --model campaigns")
+        if args.scenario is not None:
+            parser.error("--scenario applies to --model campaigns")
         if args.stride is None:
             args.stride = 1
         return _run_metadata_campaign(args, out)
@@ -244,6 +274,8 @@ def _cmd_campaign(args, parser, out) -> int:
         parser.error("one of --model or --metadata-mode is required")
     if args.stride is not None:
         parser.error("--stride requires --metadata-mode")
+    if args.scenario is not None:
+        args.scenario = _parse_scenario_arg(parser, args.scenario)
     if args.runs is None:
         args.runs = 100
     result = _run_campaign(args)

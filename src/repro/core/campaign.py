@@ -23,6 +23,7 @@ from typing import Callable, List, Optional
 from repro.apps.base import GoldenRecord, HpcApplication
 from repro.core.config import CampaignConfig
 from repro.core.engine import (
+    ArmedHook,
     ExecutionContext,
     ProfileGoldenCache,
     RunPlan,
@@ -33,8 +34,8 @@ from repro.core.engine import (
     golden_digest,
 )
 from repro.core.generator import FaultGenerator
-from repro.core.injector import FaultInjector, InjectionHook
 from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
+from repro.core.scenario import FaultScenario, SingleFault, as_scenario
 from repro.core.profiler import IOProfiler, ProfileResult
 from repro.core.signature import FaultSignature
 from repro.errors import FFISError
@@ -46,20 +47,25 @@ FsFactory = Callable[[], FFISFileSystem]
 
 
 class InjectionContext(ExecutionContext):
-    """Arms the one-shot fault-model hook at the spec's target instance."""
+    """Arms the scenario's fault-model hook(s) at the spec's points.
+
+    With the default :class:`SingleFault` scenario this is exactly the
+    classic one-shot hook at ``spec.target_instance`` -- same RNG
+    stream, same hook, same records as the pre-scenario engine.
+    """
 
     not_fired_note = "[warning: fault never fired]"
 
     def __init__(self, app: HpcApplication, golden: GoldenRecord,
                  signature: FaultSignature,
-                 fs_factory: FsFactory = FFISFileSystem) -> None:
+                 fs_factory: FsFactory = FFISFileSystem,
+                 scenario: Optional[FaultScenario] = None) -> None:
         super().__init__(app, golden, fs_factory)
         self.signature = signature
-        self.injector = FaultInjector(signature)
+        self.scenario = scenario if scenario is not None else SingleFault()
 
-    def arm(self, fs: FFISFileSystem, spec: RunSpec) -> InjectionHook:
-        rng = RngStream(spec.seed).generator()
-        return self.injector.arm(fs, spec.target_instance, rng)
+    def arm(self, fs: FFISFileSystem, spec: RunSpec) -> ArmedHook:
+        return self.scenario.arm(fs, self.signature, spec)
 
 
 @dataclass
@@ -72,6 +78,8 @@ class CampaignResult:
     records: List[RunRecord] = field(default_factory=list)
     profile: Optional[ProfileResult] = None
     golden: Optional[GoldenRecord] = None
+    #: Scenario stamp for non-legacy scenarios (``None`` == single fault).
+    scenario: Optional[str] = None
     elapsed_seconds: float = 0.0
 
     @property
@@ -83,6 +91,8 @@ class CampaignResult:
 
     def summary(self) -> str:
         label = f"{self.app_name}/{self.signature}"
+        if self.scenario:
+            label += f" <{self.scenario}>"
         if self.phase:
             label += f" [{self.phase}]"
         return f"{label}: {self.tally} ({len(self.records)} runs)"
@@ -97,6 +107,7 @@ class Campaign:
         self.config = config
         self.fs_factory = fs_factory
         self.signature: FaultSignature = FaultGenerator().generate(config)
+        self.scenario: FaultScenario = as_scenario(config.scenario)
 
     # -- pieces -----------------------------------------------------------------
 
@@ -132,34 +143,49 @@ class Campaign:
         n = n_runs if n_runs is not None else self.config.n_runs
         profile = profile if profile is not None else self.profile()
         golden = golden if golden is not None else self.capture_golden()
+        scenario = self.scenario
         window = profile.window(self.config.phase)
-        if len(window) == 0:
+        if len(window) == 0 and scenario.needs_window:
             raise FFISError(
                 f"phase {self.config.phase!r} executed no "
                 f"{self.signature.primitive} calls")
         stream = RngStream(self.config.seed, self.app.name,
                            self.signature.model.name, self.config.phase or "all")
         picker = stream.child("instances").generator()
-        specs = tuple(
-            RunSpec(run_index=i,
-                    seed=stream.child("run", i).seed,
-                    target_instance=int(picker.integers(window.start,
-                                                        window.stop)),
-                    phase=self.config.phase)
-            for i in range(n))
+        specs = []
+        for i in range(n):
+            points = scenario.pick(picker, window)
+            common = dict(run_index=i, seed=stream.child("run", i).seed,
+                          target_instance=points[0] if points else -1,
+                          phase=self.config.phase)
+            if scenario.legacy:
+                # Legacy single-fault specs carry no scenario stamp, so
+                # records and checkpoint lines stay bit-identical to the
+                # pre-scenario engine.
+                specs.append(RunSpec(**common))
+            else:
+                specs.append(RunSpec(instances=points,
+                                     scenario=scenario.stamp(), **common))
         context = InjectionContext(self.app, golden, self.signature,
-                                   self.fs_factory)
-        return RunPlan(context=context, specs=specs)
+                                   self.fs_factory, scenario)
+        return RunPlan(context=context, specs=tuple(specs))
 
     def campaign_id(self, golden: GoldenRecord) -> str:
         """Identity stamped on checkpoint lines so a resume can refuse a
         results file that belongs to a different campaign.  Includes a
         digest of the golden outputs: the app *name* can't distinguish
-        two differently-configured instances of the same application."""
-        return (f"{self.app.name}/{self.signature}"
+        two differently-configured instances of the same application.
+        Non-legacy scenarios append their stamp (run index *i* plans
+        different injection points under a different scenario); the
+        legacy single-fault identity is unchanged, so PR 2-era
+        checkpoints resume under this loader."""
+        base = (f"{self.app.name}/{self.signature}"
                 f"/phase={self.config.phase or 'all'}"
                 f"/seed={self.config.seed}"
                 f"/golden={golden_digest(golden)}")
+        if self.scenario.legacy:
+            return base
+        return f"{base}/scenario={self.scenario.stamp()}"
 
     def plan_cell(self, key: str, cache: ProfileGoldenCache,
                   n_runs: Optional[int] = None) -> SweepCell:
@@ -201,6 +227,8 @@ class Campaign:
                                 signature=str(self.signature),
                                 phase=self.config.phase,
                                 records=records,
-                                profile=profile, golden=golden)
+                                profile=profile, golden=golden,
+                                scenario=None if self.scenario.legacy
+                                else self.scenario.stamp())
         result.elapsed_seconds = time.perf_counter() - start
         return result

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.core.fault_models import make_fault_model
+from repro.core.scenario import FaultScenario, as_scenario
 from repro.core.signature import FaultSignature
 from repro.errors import ConfigError
 
@@ -20,6 +21,12 @@ class CampaignConfig:
     named application phase (Montage MT1..MT4); ``None`` targets every
     dynamic instance of the primitive uniformly (requirement R4).
 
+    ``scenario`` selects how many injection points each run plans: a
+    :class:`repro.core.scenario.FaultScenario` instance or a spec string
+    (``"single"``, ``"k=3,window=16"``, ``"burst=4"``,
+    ``"decay:bytes=8"``).  ``None``/``"single"`` is the paper's
+    single-fault model, bit-identical to the pre-scenario engine.
+
     The execution knobs map onto the campaign engine: ``workers`` > 1
     fans the runs out over a process pool (bit-identical to serial),
     ``results_path`` streams each record to a JSONL checkpoint, and
@@ -32,11 +39,13 @@ class CampaignConfig:
     n_runs: int = 1000
     seed: int = 0
     phase: Optional[str] = None
+    scenario: Union[None, str, FaultScenario] = None
     workers: int = 1
     results_path: Optional[str] = None
     resume: bool = False
 
     def __post_init__(self) -> None:
+        self.scenario = as_scenario(self.scenario)
         if self.n_runs < 1:
             raise ConfigError(f"n_runs must be >= 1, got {self.n_runs}")
         if self.workers < 1:
@@ -56,7 +65,8 @@ class CampaignConfig:
     @classmethod
     def from_dict(cls, raw: Dict[str, Any]) -> "CampaignConfig":
         known = {"fault_model", "model_params", "primitive", "n_runs",
-                 "seed", "phase", "workers", "results_path", "resume"}
+                 "seed", "phase", "scenario", "workers", "results_path",
+                 "resume"}
         unknown = set(raw) - known
         if unknown:
             raise ConfigError(f"unknown configuration keys: {sorted(unknown)}")

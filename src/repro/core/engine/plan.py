@@ -48,6 +48,14 @@ class RunSpec:
     campaign master seed by name, so specs carry no generator state).
     The metadata-sweep fields (``byte_offset``/``bit_index``/
     ``field_name``) are ``None`` for instance-targeted campaigns.
+
+    Multi-fault scenarios (:mod:`repro.core.scenario`) stamp the spec
+    with their planned injection points (``instances``) and compact
+    textual identity (``scenario``); both stay ``None`` for legacy
+    single-fault plans, whose specs -- and therefore records and
+    checkpoint lines -- are bit-identical to the pre-scenario engine.
+    ``target_instance`` remains the first planned point for
+    backward-compatible reports.
     """
 
     run_index: int
@@ -57,6 +65,12 @@ class RunSpec:
     byte_offset: Optional[int] = None
     bit_index: Optional[int] = None
     field_name: Optional[str] = None
+    instances: Optional[Tuple[int, ...]] = None
+    scenario: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.instances is not None and not isinstance(self.instances, tuple):
+            object.__setattr__(self, "instances", tuple(self.instances))
 
 
 class ArmedHook(Protocol):
@@ -95,6 +109,15 @@ class ExecutionContext(ABC):
     @abstractmethod
     def arm(self, fs: FFISFileSystem, spec: RunSpec) -> ArmedHook:
         """Attach this plan's corruption hook for *spec* to a fresh fs."""
+
+    def post_execute(self, mp, spec: RunSpec, hook: ArmedHook) -> None:
+        """At-rest seam: runs after the application's last stage and
+        before classification.  The default gives hooks with a
+        ``finalize`` method (at-rest decay) their primitive-free firing
+        point; contexts may override for custom between-stage faults."""
+        finalize = getattr(hook, "finalize", None)
+        if finalize is not None:
+            finalize()
 
 
 @dataclass(frozen=True)

@@ -40,10 +40,15 @@ def execute_run_spec(context: ExecutionContext, spec: RunSpec) -> RunRecord:
     record = RunRecord(run_index=spec.run_index, outcome=Outcome.BENIGN,
                        target_instance=spec.target_instance,
                        phase=spec.phase, byte_offset=spec.byte_offset,
-                       bit_index=spec.bit_index, field_name=spec.field_name)
+                       bit_index=spec.bit_index, field_name=spec.field_name,
+                       instances=spec.instances, scenario=spec.scenario)
     try:
         with mount(fs) as mp:
             context.app.execute(mp)
+            # At-rest seam: scenarios that corrupt persisted bytes with
+            # no primitive in flight fire here, between the last
+            # application stage and its post-analysis.
+            context.post_execute(mp, spec, hook)
             outcome, detail = context.app.classify(context.golden, mp)
         record.outcome = outcome
         record.detail = f"{detail}; {hook.note}" if hook.note else detail

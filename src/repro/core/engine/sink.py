@@ -18,18 +18,26 @@ from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
 from repro.errors import FFISError
 
 #: Bump when a RunRecord field changes meaning; readers reject newer
-#: schemas instead of misinterpreting them.
-SCHEMA_VERSION = 1
+#: schemas instead of misinterpreting them.  v1 is the single-fault
+#: schema; v2 adds the multi-fault ``scenario``/``instances`` stamp.
+SCHEMA_VERSION = 2
 
 _RECORD_KEYS = ("v", "run_index", "outcome", "target_instance", "phase",
                 "detail", "byte_offset", "bit_index", "field_name",
-                "fault_fired")
+                "fault_fired", "instances", "scenario")
 
 
 def record_to_json(record: RunRecord) -> Dict[str, Any]:
-    """The stable JSONL representation of one run record."""
-    return {
-        "v": SCHEMA_VERSION,
+    """The stable JSONL representation of one run record.
+
+    Each line is stamped with the *minimal* schema version able to
+    represent it: legacy single-fault records keep the exact v1 layout
+    (byte-identical to pre-scenario checkpoints, which is what lets the
+    golden-fixture compatibility tests compare whole files), and only
+    scenario-stamped records carry the v2 keys.
+    """
+    raw = {
+        "v": 1,
         "run_index": record.run_index,
         "outcome": record.outcome.value,
         "target_instance": record.target_instance,
@@ -40,6 +48,12 @@ def record_to_json(record: RunRecord) -> Dict[str, Any]:
         "field_name": record.field_name,
         "fault_fired": record.fault_fired,
     }
+    if record.scenario is not None or record.instances is not None:
+        raw["v"] = 2
+        raw["scenario"] = record.scenario
+        raw["instances"] = (None if record.instances is None
+                            else list(record.instances))
+    return raw
 
 
 def record_from_json(raw: Dict[str, Any]) -> RunRecord:
@@ -48,6 +62,7 @@ def record_from_json(raw: Dict[str, Any]) -> RunRecord:
         raise FFISError(
             f"results file uses schema v{version}; this build reads up to "
             f"v{SCHEMA_VERSION}")
+    instances = raw.get("instances")
     return RunRecord(
         run_index=int(raw["run_index"]),
         outcome=Outcome(raw["outcome"]),
@@ -58,6 +73,9 @@ def record_from_json(raw: Dict[str, Any]) -> RunRecord:
         bit_index=raw.get("bit_index"),
         field_name=raw.get("field_name"),
         fault_fired=bool(raw.get("fault_fired", True)),
+        instances=None if instances is None
+        else tuple(int(i) for i in instances),
+        scenario=raw.get("scenario"),
     )
 
 

@@ -1,8 +1,16 @@
-"""The fault injector: arm a one-shot corruption at a chosen instance."""
+"""The fault injector: arm corruptions at chosen dynamic instances.
+
+:class:`InjectionHook` is the paper's single-fault-per-run model -- the
+fault model fires at exactly one dynamic instance.  :class:`MultiShotHook`
+generalizes it for composable scenarios (:mod:`repro.core.scenario`):
+one hook, a *set* of instances, and a per-point RNG substream derived by
+name from the run's seed so serial, parallel, and fused-sweep execution
+stay record-identical.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -10,6 +18,16 @@ from repro.core.signature import FaultSignature
 from repro.errors import FFISError
 from repro.fusefs.interposer import CallDecision, PrimitiveCall
 from repro.fusefs.vfs import FFISFileSystem
+from repro.util.rngstream import RngStream
+
+
+def _applied_notes(call: PrimitiveCall, before: int) -> str:
+    """Every note the model appended during one application, joined.
+
+    Joining *all* new notes (not just the last one) keeps multi-note
+    corruptions fully described in the run record.
+    """
+    return "; ".join(call.notes[before:])
 
 
 class InjectionHook:
@@ -34,8 +52,62 @@ class InjectionHook:
         if call.seqno != self.instance or self.fired:
             return None
         self.fired = True
+        before = len(call.notes)
         decision = self.signature.model.apply(call, self.rng)
-        self.note = "; ".join(call.notes[-1:])
+        self.note = _applied_notes(call, before)
+        return decision
+
+
+class MultiShotHook:
+    """Hook that fires the fault model at a *set* of dynamic instances.
+
+    Point ``j`` -- in ascending-seqno order, which is the firing order
+    within a mount session -- draws its model RNG from a stream derived
+    by name from the run's seed: ``RngStream(seed)`` for point 0 (the
+    exact single-fault stream, so a one-point scenario is bit-identical
+    to :class:`InjectionHook`) and ``RngStream(seed, "point", j)`` for
+    later points.  Derivation by name keeps every point's draws
+    independent of execution backend and of how many points fired.
+    """
+
+    def __init__(self, signature: FaultSignature, instances: Sequence[int],
+                 seed: int) -> None:
+        points = tuple(sorted(set(int(i) for i in instances or ())))
+        if not points:
+            raise FFISError("MultiShotHook needs at least one instance")
+        if points[0] < 0:
+            raise FFISError(f"instances must be >= 0, got {points[0]}")
+        self.signature = signature
+        self.instances = points
+        self.seed = seed
+        self._point_index = {inst: j for j, inst in enumerate(points)}
+        self._remaining = set(points)
+        self.fired = False
+        self.fired_count = 0
+        self._notes: list = []
+
+    @property
+    def note(self) -> str:
+        return "; ".join(self._notes)
+
+    def _point_rng(self, j: int) -> np.random.Generator:
+        stream = RngStream(self.seed)
+        if j > 0:
+            stream = stream.child("point", j)
+        return stream.generator()
+
+    def __call__(self, call: PrimitiveCall) -> Optional[CallDecision]:
+        if call.seqno not in self._remaining:
+            return None
+        self._remaining.discard(call.seqno)
+        j = self._point_index[call.seqno]
+        before = len(call.notes)
+        decision = self.signature.model.apply(call, self._point_rng(j))
+        applied = _applied_notes(call, before)
+        if applied:
+            self._notes.append(applied)
+        self.fired = True
+        self.fired_count += 1
         return decision
 
 
@@ -49,5 +121,12 @@ class FaultInjector:
             rng: np.random.Generator) -> InjectionHook:
         """Attach a one-shot hook for *instance*; returns it for inspection."""
         hook = InjectionHook(self.signature, instance, rng)
+        fs.interposer.add_hook(self.signature.primitive, hook)
+        return hook
+
+    def arm_many(self, fs: FFISFileSystem, instances: Sequence[int],
+                 seed: int) -> MultiShotHook:
+        """Attach one multi-shot hook covering every instance in *instances*."""
+        hook = MultiShotHook(self.signature, instances, seed)
         fs.interposer.add_hook(self.signature.primitive, hook)
         return hook

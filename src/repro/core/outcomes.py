@@ -42,6 +42,12 @@ class RunRecord:
     #: never-fired run is trivially benign and inflates masking rates;
     #: tallies count these separately so campaigns can audit them.
     fault_fired: bool = True
+    #: Multi-fault scenarios: the planned injection points and the
+    #: scenario's compact stamp (e.g. ``"k=3,window=16"``).  Both are
+    #: ``None`` for legacy single-fault runs, whose records -- and JSONL
+    #: lines -- stay bit-identical to the pre-scenario engine.
+    instances: Optional[tuple] = None
+    scenario: Optional[str] = None
 
 
 @dataclass

@@ -1,0 +1,152 @@
+"""Multi-fault characterization: outcome rates vs fault count k.
+
+The paper's grid (Fig. 7) holds the fault count fixed at one per run;
+this driver sweeps it.  For each application (Nyx, QMCPACK, Montage) and
+each k in ``K_VALUES``, a campaign injects k faults per run -- k=1 via
+the legacy :class:`~repro.core.scenario.SingleFault` scenario
+(bit-identical to the Fig. 7 cells), k>1 via
+:class:`~repro.core.scenario.KFaults` -- and the per-app SDC-vs-k curve
+is tabulated from the same interval estimates the paper quotes.
+
+Like Fig. 7, the whole grid executes as one fused
+:class:`~repro.core.engine.SweepPlan`: every application's fault-free
+profile and golden capture run exactly once across all k cells, all
+cells' specs interleave through one worker pool, and the grid
+checkpoints to one multiplexed JSONL file with sweep-level kill/resume
+(``repro run multifault --workers N --out sweep.jsonl --resume``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.stats import sdc_vs_k
+from repro.analysis.tables import render_outcome_grid, render_table
+from repro.apps.base import HpcApplication
+from repro.core.campaign import Campaign, CampaignResult
+from repro.core.config import CampaignConfig
+from repro.core.engine import ProfileGoldenCache, SweepCell, SweepPlan, execute_sweep
+from repro.core.outcomes import Outcome
+from repro.core.scenario import FaultScenario, KFaults, SingleFault
+from repro.experiments.params import (
+    default_runs,
+    montage_default,
+    nyx_default,
+    qmcpack_default,
+)
+from repro.fusefs.vfs import FFISFileSystem
+
+#: Faults per run swept by the grid; k=1 is the paper's baseline.
+K_VALUES = (1, 2, 4, 8)
+
+
+def _scenario_for(k: int) -> FaultScenario:
+    return SingleFault() if k == 1 else KFaults(k=k)
+
+
+@dataclass
+class MultifaultResult:
+    """Per-cell results plus the per-application SDC-vs-k curves."""
+
+    cells: Dict[str, CampaignResult] = field(default_factory=dict)
+    k_values: Tuple[int, ...] = K_VALUES
+    fault_free_runs: int = 0
+    elapsed_seconds: float = 0.0
+
+    def cell(self, label: str) -> CampaignResult:
+        return self.cells[label]
+
+    def app_labels(self) -> List[str]:
+        seen = dict.fromkeys(label.rsplit("-k", 1)[0] for label in self.cells)
+        return list(seen)
+
+    def curve(self, app_label: str, outcome: Outcome = Outcome.SDC):
+        """The outcome-rate-vs-k interval estimates for one application."""
+        records = []
+        for k in self.k_values:
+            records.extend(self.cells[f"{app_label}-k{k}"].records)
+        return sdc_vs_k(records, outcome=outcome)
+
+    def render(self) -> str:
+        grid = render_outcome_grid(
+            self.cells, title="Multi-fault scenarios: outcomes vs fault count")
+        rows = []
+        for app_label in self.app_labels():
+            curve = self.curve(app_label)
+            rows.append([app_label] + [str(curve[k]) for k in self.k_values])
+        curves = render_table(
+            ["app"] + [f"SDC @ k={k}" for k in self.k_values], rows,
+            title="SDC rate vs fault count")
+        return grid + "\n" + curves
+
+
+def plan_multifault(n_runs: Optional[int] = None, seed: int = 1,
+                    fault_model: str = "BF",
+                    k_values: Tuple[int, ...] = K_VALUES,
+                    apps: Optional[Dict[str, HpcApplication]] = None,
+                    fs_factory: Callable[[], FFISFileSystem] = FFISFileSystem,
+                    cache: Optional[ProfileGoldenCache] = None,
+                    ) -> Tuple[SweepPlan, Dict[str, Campaign], ProfileGoldenCache]:
+    """The apps x k grid as a fused sweep plan.
+
+    Returns the plan plus per-label campaigns and the shared cache so
+    callers can reassemble :class:`CampaignResult` objects (and their
+    profile/golden) after execution without re-running anything.
+    """
+    runs = n_runs if n_runs is not None else default_runs()
+    if apps is None:
+        apps = {"NYX": nyx_default(), "QMC": qmcpack_default(),
+                "MT": montage_default()}
+    cache = cache if cache is not None else ProfileGoldenCache()
+    cells: List[SweepCell] = []
+    campaigns: Dict[str, Campaign] = {}
+    for app_label, app in apps.items():
+        for k in k_values:
+            label = f"{app_label}-k{k}"
+            config = CampaignConfig(fault_model=fault_model, n_runs=runs,
+                                    seed=seed, scenario=_scenario_for(k))
+            campaign = Campaign(app, config, fs_factory)
+            cells.append(campaign.plan_cell(label, cache))
+            campaigns[label] = campaign
+    return SweepPlan(cells=tuple(cells)), campaigns, cache
+
+
+def run_multifault(n_runs: Optional[int] = None, seed: int = 1,
+                   fault_model: str = "BF",
+                   k_values: Tuple[int, ...] = K_VALUES,
+                   apps: Optional[Dict[str, HpcApplication]] = None,
+                   workers: int = 1,
+                   results_path: Optional[str] = None,
+                   resume: bool = False,
+                   fs_factory: Callable[[], FFISFileSystem] = FFISFileSystem,
+                   progress: Optional[Callable[[int, int], None]] = None,
+                   ) -> MultifaultResult:
+    """Run the apps x k grid fused through one sweep execution.
+
+    ``results_path`` checkpoints the whole grid to one multiplexed JSONL
+    file; ``resume=True`` re-executes only the missing (cell, run index)
+    pairs of a killed sweep.
+    """
+    plan, campaigns, cache = plan_multifault(
+        n_runs, seed, fault_model, k_values, apps, fs_factory)
+    sweep = execute_sweep(plan, workers=workers, results_path=results_path,
+                          resume=resume, progress=progress)
+    result = MultifaultResult(k_values=tuple(k_values),
+                              fault_free_runs=cache.fault_free_runs(),
+                              elapsed_seconds=sweep.elapsed_seconds)
+    for label, campaign in campaigns.items():
+        # Cache hits: the plan phase already paid for these.
+        profile = cache.profile(campaign.app, campaign.fs_factory,
+                                campaign.signature.primitive, campaign.profile)
+        golden = cache.golden(campaign.app, campaign.fs_factory,
+                              campaign.capture_golden)
+        result.cells[label] = CampaignResult(
+            app_name=campaign.app.name,
+            signature=str(campaign.signature),
+            phase=campaign.config.phase,
+            records=sweep.records[label],
+            profile=profile, golden=golden,
+            scenario=None if campaign.scenario.legacy
+            else campaign.scenario.stamp())
+    return result

@@ -14,6 +14,7 @@ from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9
+from repro.experiments.multifault import run_multifault
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
                    run_figure8, "benchmarks/test_figure8_mass_distribution.py"),
         Experiment("figure9", "Faulty Montage mosaic (black-stripe artifact)",
                    run_figure9, "benchmarks/test_figure9_montage_fault.py"),
+        Experiment("multifault", "Outcome rates vs fault count k (scenarios)",
+                   run_multifault, "tests/test_multifault.py"),
     )
 }
 

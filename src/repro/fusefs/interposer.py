@@ -66,6 +66,7 @@ class Interposer:
     def __init__(self) -> None:
         self._hooks: Dict[str, List[Hook]] = {}
         self._global_hooks: List[Hook] = []
+        self._phase_listeners: List[Callable[[str], None]] = []
         self._counters: Dict[str, int] = {}
 
     # -- registration --------------------------------------------------------
@@ -81,9 +82,22 @@ class Interposer:
     def remove_hook(self, primitive: str, hook: Hook) -> None:
         self._hooks.get(primitive, []).remove(hook)
 
+    def add_phase_listener(self, listener: Callable[[str], None]) -> None:
+        """Register a callback fired when the application ends a named
+        phase.  Phase boundaries are the only primitive-free events the
+        instrumentation layer exposes; at-rest fault scenarios corrupt
+        persisted bytes there, between stages, with no call in flight."""
+        self._phase_listeners.append(listener)
+
+    def notify_phase_end(self, name: str) -> None:
+        """Tell listeners the application just finished phase *name*."""
+        for listener in list(self._phase_listeners):
+            listener(name)
+
     def clear_hooks(self) -> None:
         self._hooks.clear()
         self._global_hooks.clear()
+        self._phase_listeners.clear()
 
     # -- dispatch -------------------------------------------------------------
 

@@ -1,0 +1,143 @@
+"""Edge-path coverage for the observation hooks and profile windows.
+
+The profiler side of the scenario engine: counting hooks attached to
+non-write primitives, trace summarization, and the empty-profile-window
+paths (a phase that performs no writes is a planning error for
+instance-targeted scenarios but perfectly fine for at-rest decay, which
+needs no dynamic-instance window at all).
+"""
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.config import CampaignConfig
+from repro.core.outcomes import Outcome
+from repro.core.profiler import IOProfiler, ProfileResult
+from repro.core.signature import FaultSignature
+from repro.core.fault_models import BitFlipFault
+from repro.apps.base import GoldenRecord, HpcApplication
+from repro.errors import FFISError
+from repro.fusefs.mount import MountPoint, mount
+from repro.fusefs.profiler_hooks import CountingHook, TraceHook
+from repro.fusefs.vfs import FFISFileSystem
+
+
+class IdlePhaseApp(HpcApplication):
+    """Writes only in stage1; its 'idle' phase executes zero writes."""
+
+    name = "idle-phase"
+
+    def run(self, mp: MountPoint) -> None:
+        with self.phase("stage1"):
+            mp.write_file("/a.bin", b"payload" * 8, block_size=16)
+        with self.phase("idle"):
+            mp.read_file("/a.bin")      # reads only: no ffis_write window
+
+    def output_paths(self) -> List[str]:
+        return ["/a.bin"]
+
+    def analyze(self, mp: MountPoint) -> Dict[str, object]:
+        return {"n": len(mp.read_file("/a.bin"))}
+
+    def classify(self, golden: GoldenRecord, mp: MountPoint) -> Tuple[Outcome, str]:
+        if self.outputs_identical(golden, mp):
+            return Outcome.BENIGN, "identical"
+        return Outcome.SDC, "differs"
+
+
+class SilentApp(IdlePhaseApp):
+    """Performs no writes at all (nothing to profile)."""
+
+    name = "silent"
+
+    def run(self, mp: MountPoint) -> None:
+        with self.phase("quiet"):
+            mp.makedirs("/d")
+
+    def output_paths(self) -> List[str]:
+        return []
+
+    def analyze(self, mp: MountPoint) -> Dict[str, object]:
+        return {}
+
+
+class TestCountingHook:
+    def test_counts_non_write_primitives_without_bytes(self):
+        fs = FFISFileSystem()
+        hook = CountingHook()
+        fs.interposer.add_hook("ffis_mknod", hook)
+        with mount(fs) as mp:
+            mp.mknod("/a")
+            mp.mknod("/b")
+        assert hook.count == 2
+        assert hook.bytes_written == 0
+
+    def test_accumulates_write_bytes(self):
+        fs = FFISFileSystem()
+        hook = CountingHook()
+        fs.interposer.add_hook("ffis_write", hook)
+        with mount(fs) as mp:
+            mp.write_file("/a.bin", b"x" * 100, block_size=40)
+        assert hook.count == 3
+        assert hook.bytes_written == 100
+
+
+class TestTraceHook:
+    def test_buffers_summarized_by_default(self):
+        fs = FFISFileSystem()
+        hook = TraceHook()
+        fs.interposer.add_hook("ffis_write", hook)
+        with mount(fs) as mp:
+            mp.write_file("/a.bin", b"secret-bytes")
+        (record,) = hook.records
+        assert record.primitive == "ffis_write"
+        assert record.summary["buf"] == "<12 bytes>"
+
+    def test_keep_buffers_retains_contents(self):
+        fs = FFISFileSystem()
+        hook = TraceHook(keep_buffers=True)
+        fs.interposer.add_hook("ffis_write", hook)
+        with mount(fs) as mp:
+            mp.write_file("/a.bin", b"secret-bytes")
+        assert hook.records[0].summary["buf"] == b"secret-bytes"
+
+
+class TestEmptyProfileWindows:
+    def signature(self):
+        return FaultSignature(model=BitFlipFault())
+
+    def test_profile_records_the_empty_phase_window(self):
+        profile = IOProfiler().profile(IdlePhaseApp(), self.signature())
+        assert len(profile.window("stage1")) > 0
+        assert len(profile.window("idle")) == 0
+
+    def test_unknown_phase_raises(self):
+        profile = IOProfiler().profile(IdlePhaseApp(), self.signature())
+        with pytest.raises(FFISError, match="no phase named"):
+            profile.window("missing")
+
+    def test_profiler_rejects_a_write_free_app(self):
+        with pytest.raises(FFISError, match="never executed"):
+            IOProfiler().profile(SilentApp(), self.signature())
+
+    def test_instance_scenarios_refuse_an_empty_window(self):
+        config = CampaignConfig(fault_model="BF", n_runs=2, seed=1,
+                                phase="idle")
+        with pytest.raises(FFISError, match="executed no"):
+            Campaign(IdlePhaseApp(), config).plan()
+
+    def test_decay_scenario_tolerates_an_empty_window(self):
+        """At-rest decay plans no injection points, so a write-free
+        phase window is not an error for it."""
+        config = CampaignConfig(fault_model="BF", n_runs=2, seed=1,
+                                phase="idle", scenario="decay:bytes=2")
+        result = Campaign(IdlePhaseApp(), config).run()
+        assert len(result.records) == 2
+        assert all(r.fault_fired for r in result.records)
+
+    def test_window_none_spans_the_whole_run(self):
+        profile = ProfileResult(primitive="ffis_write", total_count=9,
+                                bytes_written=0)
+        assert profile.window(None) == range(9)

@@ -2,13 +2,15 @@
 """Montage under per-stage fault injection (the paper's MT1..MT4 study).
 
 Shows (1) the fault-free pipeline and its mosaic statistics, (2) the
-per-stage outcome profile under each fault model, and (3) the Fig. 9
-black-stripe artifact a dropped mAdd write produces.
+per-stage outcome grid under each fault model -- one declarative
+:class:`~repro.StudySpec` whose 12 cells (4 stages x 3 models) share a
+single fault-free profile/golden capture through the fused study engine
+-- and (3) the Fig. 9 black-stripe artifact a dropped mAdd write
+produces.
 """
 
-from repro import Campaign, CampaignConfig, FFISFileSystem, mount
+from repro import FFISFileSystem, ModelSpec, StudySpec, TargetSpec, mount
 from repro.apps.montage import MontageApplication, STAGES
-from repro.experiments import run_figure9
 
 N_RUNS = 50
 
@@ -25,29 +27,43 @@ def fault_free(app: MontageApplication) -> None:
               f"mean={golden.analysis['mean']:.2f}\n")
 
 
-def per_stage_campaigns(app: MontageApplication) -> None:
-    print(f"per-stage campaigns ({N_RUNS} runs per cell):")
-    header = f"  {'':<4}" + "".join(f"{s:<14}" for s in STAGES)
-    print(header)
-    for fault_model in ("BF", "SW", "DW"):
-        cells = []
-        for stage in STAGES:
-            config = CampaignConfig(fault_model=fault_model, n_runs=N_RUNS,
-                                    seed=3, phase=stage)
-            result = Campaign(app, config).run()
-            from repro.core.outcomes import Outcome
-            cells.append(f"sdc={100 * result.rate(Outcome.SDC):>4.0f}%")
-        print(f"  {fault_model:<4}" + "".join(f"{c:<14}" for c in cells))
-    print()
+def stage_grid_spec(n_runs: int = N_RUNS) -> StudySpec:
+    """The per-stage grid as data: stages x fault models, model-major
+    like the paper's Fig. 7 ordering."""
+    return StudySpec(
+        name="montage-stages",
+        targets=tuple(TargetSpec(app="montage", label=f"MT{i}", phase=stage)
+                      for i, stage in enumerate(STAGES, start=1)),
+        models=tuple(ModelSpec(model=fm) for fm in ("BF", "SW", "DW")),
+        order="model", runs=n_runs, seed=3)
+
+
+def per_stage_study(app: MontageApplication, n_runs: int = N_RUNS) -> None:
+    from repro.study import Study
+
+    spec = stage_grid_spec(n_runs)
+    print(f"per-stage study ({n_runs} runs per cell, "
+          f"{len(spec.cells())} cells fused):")
+    results = Study(spec, apps={"montage": app}).run()
+    print(results.render())
+    print(results.footer() + "\n")
 
 
 def black_stripe(app: MontageApplication) -> None:
+    from repro.experiments import run_figure9
+
     result = run_figure9(app)
     print(result.render())
 
 
-if __name__ == "__main__":
-    app = MontageApplication(seed=2021)
+def main(n_runs: int = N_RUNS,
+         app: MontageApplication = None) -> None:
+    if app is None:
+        app = MontageApplication(seed=2021)
     fault_free(app)
-    per_stage_campaigns(app)
+    per_stage_study(app, n_runs)
     black_stripe(app)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,19 +1,23 @@
 #!/usr/bin/env python
-"""Quickstart: inject storage faults into an HPC application in ~20 lines.
+"""Quickstart: a declarative fault-injection study in ~15 lines.
 
-Runs the Nyx workload under all three fault models (a scaled-down version
-of the paper's Fig. 7 Nyx rows) and prints the outcome breakdown with
-95 % confidence intervals.
+One serializable :class:`~repro.StudySpec` describes the whole study --
+the Nyx workload under all three fault models (a scaled-down version of
+the paper's Fig. 7 Nyx rows) -- and running it returns a uniform
+:class:`~repro.ResultSet` with the outcome breakdown and 95 % confidence
+intervals.  The same spec could be saved as TOML and run with
+``python -m repro study run --file quickstart.toml``.
 """
 
-from repro import Campaign, CampaignConfig, Outcome
-from repro.analysis.stats import campaign_error_bars
-from repro.apps.nyx import FieldConfig, NyxApplication
+from repro import ModelSpec, Outcome, StudySpec, TargetSpec, register_app
 
 N_RUNS = 100
 
 
-def main() -> None:
+def main(n_runs: int = N_RUNS, shape=(32, 32, 32)) -> None:
+    from repro.apps.nyx import FieldConfig, NyxApplication
+    from repro.study import Study
+
     # The application under test: a cosmological density snapshot whose
     # post-analysis (the halo finder) defines benign/SDC/detected.
     #
@@ -22,18 +26,27 @@ def main() -> None:
     # and halos occupy more of the volume than in the paper's 512^3 box
     # (higher shorn-write SDC).  The benchmarks use the 64^3 workload
     # whose rates track the paper -- see EXPERIMENTS.md.
-    app = NyxApplication(seed=2021, field_config=FieldConfig(shape=(32, 32, 32)))
+    register_app("nyx-demo", lambda: NyxApplication(
+        seed=2021, field_config=FieldConfig(shape=tuple(shape))))
 
-    print(f"Nyx under storage faults ({N_RUNS} injections per model)\n")
-    for fault_model in ("BF", "SW", "DW"):
-        config = CampaignConfig(fault_model=fault_model, n_runs=N_RUNS, seed=1)
-        result = Campaign(app, config).run()
-        bars = campaign_error_bars(result.tally)
-        print(f"{fault_model}:")
+    # The study is data: one target x three fault models.  New studies
+    # mean editing this spec (or a TOML file), not writing a driver.
+    spec = StudySpec(
+        name="quickstart",
+        targets=(TargetSpec(app="nyx-demo", label="nyx"),),
+        models=tuple(ModelSpec(model=fm) for fm in ("BF", "SW", "DW")),
+        runs=n_runs, seed=1)
+
+    print(f"Nyx under storage faults ({n_runs} injections per model)\n")
+    results = Study(spec).run()
+    for key in results.keys():
+        bars = results.error_bars(key)
+        print(f"{key}:")
         for outcome in Outcome:
-            if result.tally.counts[outcome]:
+            if results.tally(key).counts[outcome]:
                 print(f"  {outcome.value:<9} {bars[outcome]}")
-        print(f"  ({result.elapsed_seconds:.1f}s)\n")
+        print()
+    print(results.footer())
 
 
 if __name__ == "__main__":

@@ -3,8 +3,12 @@
 Reproduces Fang et al., "Characterizing Impacts of Storage Faults on HPC
 Applications: A Methodology and Insights" (CLUSTER 2021).
 
-Public surface:
+Public surface (stable; see the README's public-API policy):
 
+* :mod:`repro.study`  -- the declarative Study API: a serializable
+  :class:`StudySpec` compiled by :class:`Study` onto the fused campaign
+  engine, returning a uniform :class:`ResultSet`.  The paper's grid
+  experiments are registered specs (``get_study("figure7")``).
 * :mod:`repro.core`   -- the FFIS fault-injection framework (fault models,
   profiler, injector, campaigns).
 * :mod:`repro.fusefs` -- the instrumentable FUSE-substitute file system.
@@ -15,7 +19,7 @@ Public surface:
 * :mod:`repro.analysis` / :mod:`repro.experiments` -- statistics, table
   rendering, and one driver per paper table/figure.
 
-Quickstart::
+Quickstart -- one campaign::
 
     from repro import Campaign, CampaignConfig
     from repro.apps.nyx import NyxApplication, FieldConfig
@@ -24,83 +28,105 @@ Quickstart::
     result = Campaign(app, CampaignConfig(fault_model="BF", n_runs=100)).run()
     print(result.summary())
 
-Campaigns are embarrassingly parallel and restartable.  ``workers``
-fans the runs out over a process pool (record-for-record identical to
-serial execution -- per-run RNG streams are derived by name, not call
-order), and ``results_path``/``resume`` checkpoint every completed run
-to a JSONL file so an interrupted campaign continues where it stopped::
+Quickstart -- a declarative study (a grid of campaigns as data)::
 
-    config = CampaignConfig(fault_model="BF", n_runs=1000, workers=4,
-                            results_path="bf.jsonl", resume=True)
-    result = Campaign(app, config).run()     # Ctrl-C and re-run freely
-    print(result.summary())
+    from repro import ModelSpec, StudySpec, TargetSpec, run_study
 
-The same engine backs the CLI (``python -m repro campaign --app nyx
---model BF --workers 4 --out bf.jsonl --resume``) and every experiment
-driver (``python -m repro run table3 --workers 4``).
+    spec = StudySpec(name="demo",
+                     targets=(TargetSpec(app="nyx"),),
+                     models=(ModelSpec(model="BF"), ModelSpec(model="DW")),
+                     runs=100, seed=1)
+    print(run_study(spec).render())
+
+Studies (and single campaigns) are embarrassingly parallel and
+restartable: ``workers`` fans runs out over a process pool
+(record-for-record identical to serial execution) and ``out``/``resume``
+checkpoint every completed run to a JSONL file.  The same engine backs
+the CLI (``python -m repro study run figure7 --workers 4 --out
+grid.jsonl --resume``) and every experiment driver.
+
+Names are resolved lazily (PEP 562), so ``import repro`` -- and
+``repro --version`` -- stay cheap until something is used.
 """
 
-from repro.core import (
-    BitFlipFault,
-    Campaign,
-    CampaignConfig,
-    CampaignResult,
-    DroppedWriteFault,
-    FaultGenerator,
-    FaultInjector,
-    FaultSignature,
-    IOProfiler,
-    MetadataCampaign,
-    Outcome,
-    OutcomeTally,
-    ParallelExecutor,
-    ProfileGoldenCache,
-    ReadCorruptionFault,
-    RunPlan,
-    RunSpec,
-    SerialExecutor,
-    ShornWriteFault,
-    SweepCell,
-    SweepPlan,
-    SweepResult,
-    execute_plan,
-    execute_sweep,
-    load_records,
-    make_fault_model,
-)
-from repro.fusefs import FFISFileSystem, MountPoint, mount
+import warnings
+from typing import Dict, Tuple
 
-__version__ = "1.0.0"
+from repro.util.lazy import lazy_exports, resolve_export
 
-__all__ = [
-    "BitFlipFault",
-    "Campaign",
-    "CampaignConfig",
-    "CampaignResult",
-    "DroppedWriteFault",
-    "FaultGenerator",
-    "FaultInjector",
-    "FaultSignature",
-    "IOProfiler",
-    "MetadataCampaign",
-    "ReadCorruptionFault",
-    "Outcome",
-    "OutcomeTally",
-    "ParallelExecutor",
-    "ProfileGoldenCache",
-    "RunPlan",
-    "RunSpec",
-    "SerialExecutor",
-    "ShornWriteFault",
-    "SweepCell",
-    "SweepPlan",
-    "SweepResult",
-    "execute_plan",
-    "execute_sweep",
-    "load_records",
-    "make_fault_model",
-    "FFISFileSystem",
-    "MountPoint",
-    "mount",
-    "__version__",
-]
+__version__ = "1.1.0"
+
+#: Stable public name -> (module, attribute).
+_EXPORTS: Dict[str, Tuple[str, str]] = {
+    # The fault-injection framework.
+    "BitFlipFault": ("repro.core", "BitFlipFault"),
+    "Campaign": ("repro.core", "Campaign"),
+    "CampaignConfig": ("repro.core", "CampaignConfig"),
+    "CampaignResult": ("repro.core", "CampaignResult"),
+    "DroppedWriteFault": ("repro.core", "DroppedWriteFault"),
+    "FaultGenerator": ("repro.core", "FaultGenerator"),
+    "FaultInjector": ("repro.core", "FaultInjector"),
+    "FaultSignature": ("repro.core", "FaultSignature"),
+    "IOProfiler": ("repro.core", "IOProfiler"),
+    "MetadataCampaign": ("repro.core", "MetadataCampaign"),
+    "Outcome": ("repro.core", "Outcome"),
+    "OutcomeTally": ("repro.core", "OutcomeTally"),
+    "ReadCorruptionFault": ("repro.core", "ReadCorruptionFault"),
+    "ShornWriteFault": ("repro.core", "ShornWriteFault"),
+    "load_records": ("repro.core", "load_records"),
+    "make_fault_model": ("repro.core", "make_fault_model"),
+    # The file system under test.
+    "FFISFileSystem": ("repro.fusefs", "FFISFileSystem"),
+    "MountPoint": ("repro.fusefs", "MountPoint"),
+    "mount": ("repro.fusefs", "mount"),
+    # The declarative Study API.
+    "CellInfo": ("repro.study", "CellInfo"),
+    "ModelSpec": ("repro.study", "ModelSpec"),
+    "ResultSet": ("repro.study", "ResultSet"),
+    "STUDIES": ("repro.study", "STUDIES"),
+    "ScenarioSpec": ("repro.study", "ScenarioSpec"),
+    "Study": ("repro.study", "Study"),
+    "StudySpec": ("repro.study", "StudySpec"),
+    "TargetSpec": ("repro.study", "TargetSpec"),
+    "get_study": ("repro.study", "get_study"),
+    "load_spec": ("repro.study", "load_spec"),
+    "register_app": ("repro.study", "register_app"),
+    "run_study": ("repro.study", "run_study"),
+}
+
+#: Deprecated top-level aliases for engine internals.  They keep
+#: working, but the stable home is :mod:`repro.core.engine` (or the
+#: Study API, which makes most direct engine use unnecessary).
+_DEPRECATED: Dict[str, Tuple[str, str]] = {
+    name: ("repro.core.engine", name) for name in (
+        "ParallelExecutor",
+        "ProfileGoldenCache",
+        "RunPlan",
+        "RunSpec",
+        "SerialExecutor",
+        "SweepCell",
+        "SweepPlan",
+        "SweepResult",
+        "execute_plan",
+        "execute_sweep",
+    )
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+_lazy_getattr, _lazy_dir = lazy_exports(__name__, globals(), _EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        module, attr = _DEPRECATED[name]
+        warnings.warn(
+            f"repro.{name} is deprecated; import it from {module} "
+            "(or use the repro.study API)",
+            DeprecationWarning, stacklevel=2)
+        return resolve_export(module, attr)  # uncached so every use warns
+    return _lazy_getattr(name)
+
+
+def __dir__():
+    return sorted(set(_lazy_dir()) | set(_DEPRECATED))

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.core.campaign import CampaignResult
+from repro.analysis.stats import TallySource, as_tally
 from repro.core.outcomes import Outcome
 
 
@@ -36,13 +36,18 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
     return "\n".join(out) + "\n"
 
 
-def render_outcome_grid(results: Mapping[str, CampaignResult],
+def render_outcome_grid(results: Mapping[str, TallySource],
                         title: Optional[str] = None) -> str:
-    """One row per campaign cell, columns per outcome (Fig. 7 layout)."""
+    """One row per campaign cell, columns per outcome (Fig. 7 layout).
+
+    Accepts any tally source per cell: an ``OutcomeTally``, an object
+    with a ``tally`` attribute (``CampaignResult``, a streaming sink),
+    or an iterable of run records.
+    """
     headers = ["cell", "runs"] + [o.value for o in Outcome]
     rows: List[List[str]] = []
     for label, result in results.items():
-        tally = result.tally
+        tally = as_tally(result)
         rows.append([label, str(tally.total)]
                     + [format_percent(tally.rate(o)) for o in Outcome])
     return render_table(headers, rows, title=title)

@@ -4,48 +4,42 @@ Subcommands:
 
 * ``experiments``                   -- list the paper's tables/figures
 * ``run <experiment-id>``           -- run one reproduction driver
+* ``study run|plan|describe``       -- declarative studies: registered
+  ids (``figure7``, ``multifault``, ...), a TOML spec file, or inline
+  ``--app/--model/--scenario`` axes
 * ``campaign --app X --model Y``    -- run a custom campaign
 * ``campaign --app X --metadata-mode M`` -- per-byte metadata sweep
 * ``sweep --app X --app Y --model M ...`` -- fused multi-campaign grid
 * ``project --app X --model Y --uber U`` -- system-level rate projection
 
-Campaign-style subcommands share the engine knobs: ``--workers N`` fans
-runs out over a process pool (bit-identical to serial), ``--out F``
-streams each record to a JSONL checkpoint, and ``--resume`` continues an
-interrupted campaign from that file.  ``run`` forwards the same knobs to
-drivers that execute fused sweeps (e.g. ``repro run figure7 --workers 4
---out sweep.jsonl --resume``).
+``study``, ``sweep``, and ``campaign`` all compile onto the same
+declarative Study path (one :class:`~repro.study.StudySpec` executed as
+one fused sweep), so the engine knobs behave identically everywhere:
+``--workers N`` fans runs out over a process pool (bit-identical to
+serial), ``--out F`` streams each record to a JSONL checkpoint, and
+``--resume`` continues an interrupted execution from that file.  ``run``
+forwards the same knobs to the drivers whose registry entry declares
+them (e.g. ``repro run figure7 --workers 4 --out sweep.jsonl
+--resume``).
+
+Imports are deferred into the command handlers so ``repro --version``
+and ``--help`` never pay for numpy or the application stack.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
 import sys
 from typing import List, Optional
 
-from repro.analysis.projection import (
-    DeviceModel,
-    FIELD_STUDY_UBER_RANGE,
-    project_run,
-    system_sdc_rate,
-)
-from repro.analysis.stats import campaign_error_bars
-from repro.core.campaign import Campaign
-from repro.core.config import CampaignConfig
-from repro.core.engine import ProfileGoldenCache, SweepPlan, execute_sweep
-from repro.core.metadata_campaign import MetadataCampaign
-from repro.core.scenario import parse_scenario
 from repro.errors import ConfigError
-from repro.core.outcomes import Outcome, OutcomeTally
 from repro.experiments.registry import EXPERIMENTS, get_experiment
-from repro.experiments.params import montage_default, nyx_default, qmcpack_default
+from repro.study.apps import app_ids
 
-APP_FACTORIES = {
-    "nyx": nyx_default,
-    "qmcpack": qmcpack_default,
-    "montage": montage_default,
-}
+FAULT_MODEL_CHOICES = ["BF", "SW", "DW", "RC"]
+
+SCENARIO_GRAMMAR = ("single | k=K[,window=W] | burst=N | "
+                    "decay[:bytes=N][,region=LO-HI][,after=PHASE]")
 
 
 def _positive_int(text: str) -> int:
@@ -63,6 +57,26 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                         help="stream every run record to this JSONL file")
     parser.add_argument("--resume", action="store_true",
                         help="skip run indices already present in --out")
+
+
+def _add_axis_options(parser: argparse.ArgumentParser,
+                      required: bool = True) -> None:
+    """The study grid axes shared by ``sweep`` and inline ``study``."""
+    parser.add_argument("--app", action="append", required=required,
+                        choices=app_ids(), metavar="APP",
+                        help="application under test (repeatable)")
+    parser.add_argument("--model", action="append",
+                        required=required, choices=FAULT_MODEL_CHOICES,
+                        metavar="MODEL",
+                        help="fault model (repeatable)")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--phase", default=None,
+                        help="restrict every cell's injection to one "
+                             "app phase (e.g. mAdd)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        metavar="SPEC",
+                        help="fault scenario axis of the grid (repeatable; "
+                             f"{SCENARIO_GRAMMAR}; default single)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -89,32 +103,44 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="re-execute only the (cell, run) pairs missing "
                           "from --out")
 
+    study = sub.add_parser(
+        "study", help="declarative studies: one serializable spec per grid")
+    ssub = study.add_subparsers(dest="study_command", required=True)
+    study_help = {
+        "run": "execute a study and print its report",
+        "plan": "list a study's cells without executing anything",
+        "describe": "print a study's canonical TOML spec",
+    }
+    for name in ("run", "plan", "describe"):
+        p = ssub.add_parser(name, help=study_help[name])
+        p.add_argument("study", nargs="?", default=None, metavar="STUDY",
+                       help="registered study id (see `repro study list`)")
+        p.add_argument("--file", default=None, metavar="SPEC.toml",
+                       help="load the study spec from a TOML file")
+        _add_axis_options(p, required=False)
+        p.add_argument("--runs", type=_positive_int, default=None,
+                       help="runs per cell (default: the spec's, or the "
+                            "REPRO_FI_RUNS-scaled experiment default)")
+        if name == "run":
+            p.add_argument("--workers", type=_positive_int, default=None,
+                           help="worker processes (default: the spec's)")
+            p.add_argument("--out", default=None, metavar="RESULTS.jsonl",
+                           help="stream every run record to this JSONL file")
+            p.add_argument("--resume", action="store_true",
+                           help="skip (cell, run) pairs already in --out")
+    ssub.add_parser("list", help="list the registered studies")
+
     sweep = sub.add_parser(
         "sweep", help="run a fused sweep: a grid of apps x fault models "
                       "sharing one profile/golden cache and worker pool")
-    sweep.add_argument("--app", action="append", required=True,
-                       choices=sorted(APP_FACTORIES), metavar="APP",
-                       help="application under test (repeatable)")
-    sweep.add_argument("--model", action="append", required=True,
-                       choices=["BF", "SW", "DW", "RC"], metavar="MODEL",
-                       help="fault model (repeatable)")
+    _add_axis_options(sweep, required=True)
     sweep.add_argument("--runs", type=_positive_int, default=100,
                        help="runs per cell (default 100)")
-    sweep.add_argument("--seed", type=int, default=0)
-    sweep.add_argument("--phase", default=None,
-                       help="restrict every cell's injection to one "
-                            "app phase (e.g. mAdd)")
-    sweep.add_argument("--scenario", action="append", default=None,
-                       metavar="SPEC",
-                       help="fault scenario axis of the grid (repeatable; "
-                            "single | k=K[,window=W] | burst=N | "
-                            "decay[:bytes=N][,region=LO-HI][,after=PHASE]; "
-                            "default single)")
     _add_engine_options(sweep)
 
     campaign = sub.add_parser("campaign", help="run a fault-injection campaign")
-    campaign.add_argument("--app", choices=sorted(APP_FACTORIES), required=True)
-    campaign.add_argument("--model", choices=["BF", "SW", "DW", "RC"],
+    campaign.add_argument("--app", choices=app_ids(), required=True)
+    campaign.add_argument("--model", choices=FAULT_MODEL_CHOICES,
                           help="fault model for an instance-targeted campaign")
     # Defaults resolved in _cmd_campaign so flags that don't apply to the
     # chosen campaign style are rejected instead of silently ignored.
@@ -125,9 +151,8 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="restrict injection to one app phase "
                                "(e.g. mProjExec; --model only)")
     campaign.add_argument("--scenario", default=None, metavar="SPEC",
-                          help="fault scenario (single | k=K[,window=W] | "
-                               "burst=N | decay[:bytes=N][,region=LO-HI]"
-                               "[,after=PHASE]; e.g. --scenario k=3,window=8; "
+                          help=f"fault scenario ({SCENARIO_GRAMMAR}; "
+                               "e.g. --scenario k=3,window=8; "
                                "--model campaigns only)")
     campaign.add_argument("--metadata-mode", choices=["random-bit", "all-bits"],
                           default=None,
@@ -140,12 +165,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     project = sub.add_parser(
         "project", help="project campaign rates to system scale")
-    project.add_argument("--app", choices=sorted(APP_FACTORIES), required=True)
-    project.add_argument("--model", choices=["BF", "SW", "DW", "RC"], required=True)
+    project.add_argument("--app", choices=app_ids(), required=True)
+    project.add_argument("--model", choices=FAULT_MODEL_CHOICES, required=True)
     project.add_argument("--runs", type=int, default=100)
     project.add_argument("--seed", type=int, default=0)
     project.add_argument("--phase", default=None)
-    project.add_argument("--uber", type=float, default=FIELD_STUDY_UBER_RANGE[1],
+    project.add_argument("--uber", type=float, default=None,
                          help="device uncorrectable bit error rate "
                               "(default: the field-study upper bound 1e-9)")
     project.add_argument("--nodes", type=int, default=1000)
@@ -166,89 +191,187 @@ def _cmd_run(args, parser, out) -> int:
     if args.resume and args.out is None:
         parser.error("--resume requires --out")
     if args.out is not None:
-        params = inspect.signature(experiment.driver).parameters
-        if "results_path" not in params:
+        if not experiment.accepts("results_path"):
             parser.error(f"{experiment.id} runs no campaign sweep; "
                          "--out/--resume do not apply")
         kwargs["results_path"] = args.out
         kwargs["resume"] = args.resume
     print(f"running {experiment.id}: {experiment.description}", file=out)
-    result = experiment.driver(**kwargs)
+    result = experiment.resolve()(**kwargs)
     print(result.render(), file=out)
     return 0
 
 
-def _parse_scenario_arg(parser, spec: str):
-    """Validate a --scenario spec, reporting bad ones as argparse errors."""
+# -- the declarative study path -------------------------------------------------
+
+
+def _inline_spec(args, parser):
+    """A StudySpec from inline ``--app/--model/--scenario`` axes."""
+    from repro.study import ModelSpec, ScenarioSpec, StudySpec, TargetSpec
+
+    if not args.app or not args.model:
+        parser.error("an inline study needs --app and --model "
+                     "(or name a registered study / pass --file)")
     try:
-        return parse_scenario(spec)
+        return StudySpec(
+            name="cli",
+            targets=tuple(TargetSpec(app=name, phase=args.phase)
+                          for name in dict.fromkeys(args.app)),
+            models=tuple(ModelSpec(model=m)
+                         for m in dict.fromkeys(args.model)),
+            scenarios=tuple(
+                ScenarioSpec(scenario=s)
+                for s in dict.fromkeys(args.scenario or ["single"])),
+            seed=args.seed if args.seed is not None else 0)
     except ConfigError as exc:
         parser.error(str(exc))
+
+
+def _resolve_study(args, parser):
+    """(spec, render) from a registered id, a TOML file, or inline axes."""
+    from repro.study import get_study, load_spec
+
+    sources = sum(1 for given in (args.study, args.file, args.app) if given)
+    if sources != 1:
+        parser.error("give exactly one study source: a registered id, "
+                     "--file SPEC.toml, or inline --app/--model axes")
+    if args.study or args.file:
+        # Axis flags only shape inline specs; silently ignoring them
+        # against a registered/file study would misreport the grid.
+        for flag, given in (("--model", args.model),
+                            ("--scenario", args.scenario),
+                            ("--phase", args.phase)):
+            if given:
+                parser.error(f"{flag} applies to inline --app studies; "
+                             "edit the spec (or `repro study describe` it "
+                             "to TOML) to change a named study's axes")
+    render = None
+    if args.study is not None:
+        try:
+            definition = get_study(args.study)
+        except KeyError as exc:
+            parser.error(str(exc.args[0]))
+        spec = definition.build()
+        render = definition.render
+    elif args.file is not None:
+        try:
+            spec = load_spec(args.file)
+        except (OSError, ConfigError) as exc:
+            parser.error(f"--file: {exc}")
+    else:
+        spec = _inline_spec(args, parser)
+    if args.runs is not None and not any(t.kind == "fault"
+                                         for t in spec.targets):
+        parser.error("--runs applies to fault campaigns; a metadata "
+                     "sweep's size is the blob size / stride")
+    try:
+        spec = spec.with_knobs(
+            runs=args.runs, seed=args.seed,
+            workers=getattr(args, "workers", None),
+            out=getattr(args, "out", None),
+            resume=True if getattr(args, "resume", False) else None)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    return spec, render
+
+
+def _cmd_study(args, parser, out) -> int:
+    if args.study_command == "list":
+        from repro.study import STUDIES
+
+        for definition in sorted(STUDIES.values(), key=lambda d: d.id):
+            print(f"{definition.id:<11} {definition.description}", file=out)
+        return 0
+    spec, render = _resolve_study(args, parser)
+    if args.study_command == "describe":
+        print(spec.to_toml(), file=out, end="")
+        return 0
+    if args.study_command == "plan":
+        print(spec.describe(), file=out)
+        return 0
+    from repro.study import Study
+
+    try:
+        results = Study(spec).run()
+    except ConfigError as exc:
+        parser.error(str(exc))
+    print(render(results) if render is not None else results.render(),
+          file=out)
+    print(results.footer(), file=out)
+    return 0
 
 
 def _cmd_sweep(args, parser, out) -> int:
     if args.resume and args.out is None:
         parser.error("--resume requires --out")
-    apps = {name: APP_FACTORIES[name]() for name in dict.fromkeys(args.app)}
-    models = list(dict.fromkeys(args.model))
-    scenarios = [_parse_scenario_arg(parser, spec)
-                 for spec in dict.fromkeys(args.scenario or ["single"])]
-    cache = ProfileGoldenCache()
-    cells, campaigns = [], {}
-    for name, app in apps.items():
-        for model in models:
-            for scenario in scenarios:
-                label = f"{name}-{model}"
-                if not scenario.legacy:
-                    label += f"-{scenario.stamp()}"
-                config = CampaignConfig(fault_model=model, n_runs=args.runs,
-                                        seed=args.seed, phase=args.phase,
-                                        scenario=scenario)
-                campaign = Campaign(app, config)
-                cells.append(campaign.plan_cell(label, cache))
-                campaigns[label] = campaign
-    result = execute_sweep(SweepPlan(cells=tuple(cells)),
-                           workers=args.workers, results_path=args.out,
-                           resume=args.resume)
-    for label in campaigns:
-        records = result.records[label]
-        tally = OutcomeTally.from_records(records)
-        print(f"{label}: {tally} ({len(records)} runs)", file=out)
-    print(f"fused sweep: {len(cells)} cells, {result.total} records "
-          f"({result.executed} executed, {result.total - result.executed} "
-          f"resumed), {cache.fault_free_runs()} shared fault-free runs for "
-          f"{len(apps)} app(s), {result.elapsed_seconds:.1f}s", file=out)
+    from repro.study import Study
+
+    spec = _inline_spec(args, parser).with_knobs(
+        runs=args.runs, workers=args.workers, out=args.out,
+        resume=True if args.resume else None)
+    results = Study(spec).run()
+    print(results.summary(), file=out)
     return 0
 
 
-def _run_campaign(args) -> "CampaignResult":
-    app = APP_FACTORIES[args.app]()
-    config = CampaignConfig(fault_model=args.model, n_runs=args.runs,
-                            seed=args.seed, phase=args.phase,
-                            scenario=getattr(args, "scenario", None),
-                            workers=args.workers, results_path=args.out,
-                            resume=args.resume)
-    return Campaign(app, config).run()
+def _run_campaign_study(args, parser):
+    """One instance-targeted campaign through the Study path; returns
+    the classic :class:`CampaignResult` (summary/profile included)."""
+    from repro.study import (
+        ModelSpec,
+        ScenarioSpec,
+        Study,
+        StudySpec,
+        TargetSpec,
+    )
+
+    try:
+        spec = StudySpec(
+            name="campaign",
+            targets=(TargetSpec(app=args.app, phase=args.phase),),
+            models=(ModelSpec(model=args.model),),
+            scenarios=(ScenarioSpec(scenario=args.scenario or "single"),),
+            runs=args.runs, seed=args.seed)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    plan = Study(spec).plan()
+    results = plan.execute(workers=args.workers, results_path=args.out,
+                           resume=args.resume)
+    (result,) = plan.campaign_results(results).values()
+    result.elapsed_seconds = results.elapsed_seconds
+    return result
 
 
 def _print_error_bars(tally, out) -> None:
+    from repro.analysis.stats import campaign_error_bars
+
     for outcome, estimate in campaign_error_bars(tally).items():
         if tally.counts[outcome]:
             print(f"  {outcome.value:<9} {estimate}", file=out)
 
 
-def _run_metadata_campaign(args, out) -> int:
-    app = APP_FACTORIES[args.app]()
-    campaign = MetadataCampaign(app, seed=args.seed,
-                                mode=args.metadata_mode, workers=args.workers)
-    # The discovery trace doubles as the golden run: writers that
-    # publish a field map (mini-HDF5) expose it afterwards, apps
-    # without one sweep unannotated.
-    located = campaign.locate_metadata_write()
-    write_result = getattr(app, "last_write_result", None)
-    campaign.fieldmap = getattr(write_result, "fieldmap", None)
-    result = campaign.run(byte_stride=args.stride, results_path=args.out,
-                          resume=args.resume, located=located)
+def _run_metadata_campaign(args, parser, out) -> int:
+    from repro.core.metadata_campaign import MetadataCampaignResult
+    from repro.study import Study, StudySpec, TargetSpec
+
+    try:
+        spec = StudySpec(
+            name="campaign",
+            targets=(TargetSpec(app=args.app, kind="metadata",
+                                mode=args.metadata_mode,
+                                stride=args.stride),),
+            seed=args.seed)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    plan = Study(spec).plan()
+    results = plan.execute(workers=args.workers, results_path=args.out,
+                           resume=args.resume)
+    (cell,) = plan.cells
+    result = MetadataCampaignResult(
+        app_name=cell.planner.app.name, mode=cell.planner.mode,
+        records=results.cell(cell.key), metadata=cell.metadata,
+        fieldmap=cell.planner.fieldmap,
+        elapsed_seconds=results.elapsed_seconds)
     print(result.summary(), file=out)
     _print_error_bars(result.tally, out)
     return 0
@@ -269,16 +392,14 @@ def _cmd_campaign(args, parser, out) -> int:
             parser.error("--scenario applies to --model campaigns")
         if args.stride is None:
             args.stride = 1
-        return _run_metadata_campaign(args, out)
+        return _run_metadata_campaign(args, parser, out)
     if args.model is None:
         parser.error("one of --model or --metadata-mode is required")
     if args.stride is not None:
         parser.error("--stride requires --metadata-mode")
-    if args.scenario is not None:
-        args.scenario = _parse_scenario_arg(parser, args.scenario)
     if args.runs is None:
         args.runs = 100
-    result = _run_campaign(args)
+    result = _run_campaign_study(args, parser)
     print(result.summary(), file=out)
     _print_error_bars(result.tally, out)
     return 0
@@ -287,11 +408,21 @@ def _cmd_campaign(args, parser, out) -> int:
 def _cmd_project(args, parser, out) -> int:
     if args.resume and args.out is None:
         parser.error("--resume requires --out")
-    result = _run_campaign(args)
-    device = DeviceModel(uber=args.uber)
+    from repro.analysis.projection import (
+        DeviceModel,
+        FIELD_STUDY_UBER_RANGE,
+        project_run,
+        system_sdc_rate,
+    )
+    from repro.core.outcomes import Outcome
+
+    args.scenario = None
+    result = _run_campaign_study(args, parser)
+    uber = args.uber if args.uber is not None else FIELD_STUDY_UBER_RANGE[1]
+    device = DeviceModel(uber=uber)
     projection = project_run(result, device)
     print(f"{result.summary()}", file=out)
-    print(f"device UBER            : {args.uber:.3g}", file=out)
+    print(f"device UBER            : {uber:.3g}", file=out)
     print(f"bytes written per run  : {result.profile.bytes_written}", file=out)
     print(f"P(fault per run)       : {projection.fault_probability:.3g}", file=out)
     print(f"P(SDC per run)         : {projection.probability(Outcome.SDC):.3g}",
@@ -311,6 +442,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_experiments(out)
     if args.command == "run":
         return _cmd_run(args, parser, out)
+    if args.command == "study":
+        return _cmd_study(args, parser, out)
     if args.command == "sweep":
         return _cmd_sweep(args, parser, out)
     if args.command == "campaign":

@@ -136,7 +136,7 @@ class MetadataCampaign:
     def __init__(self, app: HpcApplication, fieldmap: Optional[FieldMap] = None,
                  fs_factory: FsFactory = FFISFileSystem, seed: int = 0,
                  mode: str = "random-bit", workers: int = 1) -> None:
-        if mode not in ("random-bit", "all-bits"):
+        if mode not in ("random-bit", "all-bits", "targeted"):
             raise FFISError(f"unknown metadata campaign mode {mode!r}")
         if workers < 1:
             raise FFISError(f"workers must be >= 1, got {workers}")
@@ -196,6 +196,10 @@ class MetadataCampaign:
         """The sweep as a declarative spec list (every ``byte_stride``-th
         byte; one seed-derived bit per byte in ``random-bit`` mode, all 8
         in ``all-bits``)."""
+        if self.mode == "targeted":
+            raise FFISError(
+                "a targeted campaign names its own (field, byte, bit) "
+                "sites; plan it with plan_targets, not a byte sweep")
         info, golden = located if located is not None \
             else self.locate_metadata_write()
         stream = RngStream(self.seed, "metadata", self.app.name)
@@ -211,6 +215,36 @@ class MetadataCampaign:
         context = ByteCorruptionContext(self.app, golden, info.write_index,
                                         self.fs_factory)
         return RunPlan(context=context, specs=tuple(specs))
+
+    def plan_targets(self, targets,
+                     located: Optional[Tuple[MetadataWriteInfo, GoldenRecord]] = None,
+                     ) -> RunPlan:
+        """Targeted per-field corruption (Table IV's study shape): one
+        spec per ``(field-substring, byte-in-field, bit)`` triplet,
+        resolved against the writer's field map."""
+        if self.fieldmap is None:
+            raise FFISError("targeted metadata planning needs a field map")
+        info, golden = located if located is not None \
+            else self.locate_metadata_write()
+        specs: List[RunSpec] = []
+        for substring, byte_in_field, bit in targets:
+            spans = [s for s in self.fieldmap if substring in s.name]
+            if not spans:
+                raise FFISError(f"field {substring!r} not found in field map")
+            byte_offset = spans[0].start + byte_in_field - info.file_offset
+            specs.append(self._spec(info, byte_offset, bit, len(specs)))
+        context = ByteCorruptionContext(self.app, golden, info.write_index,
+                                        self.fs_factory)
+        return RunPlan(context=context, specs=tuple(specs))
+
+    def targeted_campaign_id(self, targets, golden: GoldenRecord) -> str:
+        """Checkpoint identity of a targeted per-field plan (run index
+        *i* names a different field under a different target list)."""
+        stamp = ",".join(f"{name}+{byte}:{bit}"
+                         for name, byte, bit in targets)
+        return (f"{self.app.name}/metadata[targeted]"
+                f"/bits={stamp}/seed={self.seed}"
+                f"/golden={golden_digest(golden)}")
 
     def campaign_id(self, byte_stride: int, golden: GoldenRecord) -> str:
         """Identity stamped on checkpoint lines; includes the stride

@@ -5,43 +5,42 @@ and returns a result object with a ``render()`` method printing
 paper-comparable rows.  Campaign sizes honour the ``REPRO_FI_RUNS``
 environment variable (default: a laptop-friendly fraction of the paper's
 1,000 runs per cell).
+
+The grid-shaped drivers (``figure7``, ``multifault``, ``table3``) are
+thin wrappers over registered :mod:`repro.study` specs; the registry
+(:data:`EXPERIMENTS`) and this package resolve drivers lazily, so
+importing :mod:`repro.experiments` stays cheap until a driver runs.
 """
 
-from repro.experiments.params import (
-    default_runs,
-    montage_default,
-    nyx_default,
-    nyx_small,
-    qmcpack_default,
-)
-from repro.experiments.table1 import run_table1
-from repro.experiments.table2 import run_table2
-from repro.experiments.table3 import run_table3
-from repro.experiments.table4 import run_table4
-from repro.experiments.figure5 import run_figure5
-from repro.experiments.figure6 import run_figure6
-from repro.experiments.figure7 import plan_figure7, run_figure7, run_figure7_cell
-from repro.experiments.figure8 import run_figure8
-from repro.experiments.figure9 import run_figure9
-from repro.experiments.registry import EXPERIMENTS, get_experiment
+from typing import Dict, Tuple
 
-__all__ = [
-    "default_runs",
-    "montage_default",
-    "nyx_default",
-    "nyx_small",
-    "qmcpack_default",
-    "run_table1",
-    "run_table2",
-    "run_table3",
-    "run_table4",
-    "run_figure5",
-    "run_figure6",
-    "plan_figure7",
-    "run_figure7",
-    "run_figure7_cell",
-    "run_figure8",
-    "run_figure9",
-    "EXPERIMENTS",
-    "get_experiment",
-]
+from repro.util.lazy import lazy_exports
+
+#: Exported name -> (module, attribute), resolved on first access so
+#: importing the package does not import the ten driver modules.
+_EXPORTS: Dict[str, Tuple[str, str]] = {
+    "default_runs": ("repro.experiments.params", "default_runs"),
+    "montage_default": ("repro.experiments.params", "montage_default"),
+    "nyx_default": ("repro.experiments.params", "nyx_default"),
+    "nyx_small": ("repro.experiments.params", "nyx_small"),
+    "qmcpack_default": ("repro.experiments.params", "qmcpack_default"),
+    "run_table1": ("repro.experiments.table1", "run_table1"),
+    "run_table2": ("repro.experiments.table2", "run_table2"),
+    "run_table3": ("repro.experiments.table3", "run_table3"),
+    "run_table4": ("repro.experiments.table4", "run_table4"),
+    "run_figure5": ("repro.experiments.figure5", "run_figure5"),
+    "run_figure6": ("repro.experiments.figure6", "run_figure6"),
+    "plan_figure7": ("repro.experiments.figure7", "plan_figure7"),
+    "run_figure7": ("repro.experiments.figure7", "run_figure7"),
+    "run_figure7_cell": ("repro.experiments.figure7", "run_figure7_cell"),
+    "run_figure8": ("repro.experiments.figure8", "run_figure8"),
+    "run_figure9": ("repro.experiments.figure9", "run_figure9"),
+    "plan_multifault": ("repro.experiments.multifault", "plan_multifault"),
+    "run_multifault": ("repro.experiments.multifault", "run_multifault"),
+    "EXPERIMENTS": ("repro.experiments.registry", "EXPERIMENTS"),
+    "get_experiment": ("repro.experiments.registry", "get_experiment"),
+}
+
+__all__ = sorted(_EXPORTS)
+
+__getattr__, __dir__ = lazy_exports(__name__, globals(), _EXPORTS)

@@ -1,36 +1,38 @@
-"""Figure 7 -- the full characterization grid, as one fused sweep.
+"""Figure 7 -- the full characterization grid, as a declarative study.
 
 {NYX, QMC, MT1..MT4} x {BF, SW, DW} outcome breakdowns, the paper's
-headline result.  The 18 cells execute as a single
-:class:`repro.core.engine.SweepPlan`: each distinct application is
-profiled and golden-captured exactly once (the twelve Montage stage x
-model cells share one fault-free pair instead of re-running it twelve
-times), every cell's specs interleave through one worker pool, and the
-whole grid checkpoints to one multiplexed JSONL file with sweep-level
-kill/resume.  Campaign sizes follow ``REPRO_FI_RUNS``.
+headline result.  The grid is *data*: a registered
+:class:`~repro.study.spec.StudySpec` (see
+:func:`repro.study.registry.figure7_spec`) compiled through
+:class:`~repro.study.Study` onto the fused sweep engine -- each distinct
+application is profiled and golden-captured exactly once, every cell's
+specs interleave through one worker pool, and the whole grid checkpoints
+to one multiplexed JSONL file with sweep-level kill/resume.  Checkpoint
+lines are byte-identical to the pre-study driver (golden-fixture
+regression tested).  Campaign sizes follow ``REPRO_FI_RUNS``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.analysis.tables import render_outcome_grid, render_table
 from repro.apps.base import HpcApplication
 from repro.core.campaign import Campaign, CampaignResult
 from repro.core.config import CampaignConfig
-from repro.core.engine import ProfileGoldenCache, SweepCell, SweepPlan, execute_sweep
-from repro.core.outcomes import Outcome
-from repro.experiments.params import (
-    default_runs,
-    montage_default,
-    nyx_default,
-    qmcpack_default,
-)
+from repro.core.engine import ProfileGoldenCache, SweepPlan
+from repro.experiments.params import default_runs
 from repro.fusefs.vfs import FFISFileSystem
+from repro.study.registry import FIGURE7_APPS
 
 FAULT_MODELS = ("BF", "SW", "DW")
 MONTAGE_STAGES = ("mProjExec", "mDiffExec", "mBgExec", "mAdd")
+
+#: Cell-label prefix -> study app registry id (the driver's ``apps``
+#: dict keys map onto these registry ids; one source of truth with the
+#: registered spec's application axis).
+APP_IDS = dict(FIGURE7_APPS)
 
 #: Paper Fig. 7 rates for the headline cells (approximate reads of the
 #: stacked bars and the surrounding text), for side-by-side reporting.
@@ -77,6 +79,30 @@ def run_figure7_cell(app: HpcApplication, fault_model: str,
     return Campaign(app, config).run()
 
 
+def _study_for(n_runs: Optional[int], seed: int,
+               include_montage_stages: bool,
+               apps: Optional[Dict[str, HpcApplication]],
+               fs_factory: Callable[[], FFISFileSystem],
+               cache: Optional[ProfileGoldenCache]):
+    from repro.errors import ConfigError
+    from repro.study import Study
+    from repro.study.registry import figure7_spec
+
+    if apps is not None:
+        unknown = sorted(set(apps) - set(APP_IDS))
+        if unknown:
+            raise ConfigError(
+                f"unknown figure7 app labels {unknown}; the grid's labels "
+                f"are {sorted(APP_IDS)}")
+    spec = figure7_spec(
+        n_runs=n_runs, seed=seed,
+        include_montage_stages=include_montage_stages,
+        app_labels=None if apps is None else tuple(apps))
+    overrides = None if apps is None else {
+        APP_IDS[label]: app for label, app in apps.items()}
+    return Study(spec, apps=overrides, fs_factory=fs_factory, cache=cache)
+
+
 def plan_figure7(n_runs: Optional[int] = None, seed: int = 1,
                  include_montage_stages: bool = True,
                  apps: Optional[Dict[str, HpcApplication]] = None,
@@ -89,31 +115,10 @@ def plan_figure7(n_runs: Optional[int] = None, seed: int = 1,
     so callers can reassemble :class:`CampaignResult` objects (and
     their profile/golden) after execution without re-running anything.
     """
-    runs = n_runs if n_runs is not None else default_runs()
-    if apps is None:
-        apps = {"NYX": nyx_default(), "QMC": qmcpack_default(),
-                "MT": montage_default()}
-    cache = cache if cache is not None else ProfileGoldenCache()
-    cells: List[SweepCell] = []
-    campaigns: Dict[str, Campaign] = {}
-
-    def add(label: str, app: HpcApplication, fault_model: str,
-            phase: Optional[str] = None) -> None:
-        config = CampaignConfig(fault_model=fault_model, n_runs=runs,
-                                seed=seed, phase=phase)
-        campaign = Campaign(app, config, fs_factory)
-        cells.append(campaign.plan_cell(label, cache))
-        campaigns[label] = campaign
-
-    for fm in FAULT_MODELS:
-        if "NYX" in apps:
-            add(f"NYX-{fm}", apps["NYX"], fm)
-        if "QMC" in apps:
-            add(f"QMC-{fm}", apps["QMC"], fm)
-        if "MT" in apps and include_montage_stages:
-            for i, stage in enumerate(MONTAGE_STAGES, start=1):
-                add(f"MT{i}-{fm}", apps["MT"], fm, phase=stage)
-    return SweepPlan(cells=tuple(cells)), campaigns, cache
+    study = _study_for(n_runs, seed, include_montage_stages, apps,
+                       fs_factory, cache)
+    plan = study.plan()
+    return plan.sweep, dict(plan.campaigns), plan.cache
 
 
 def run_figure7(n_runs: Optional[int] = None, seed: int = 1,
@@ -125,29 +130,18 @@ def run_figure7(n_runs: Optional[int] = None, seed: int = 1,
                 fs_factory: Callable[[], FFISFileSystem] = FFISFileSystem,
                 progress: Optional[Callable[[int, int], None]] = None,
                 ) -> Figure7Result:
-    """Run the grid fused: one sweep execution instead of 18 campaigns.
+    """Run the grid fused: one study execution instead of 18 campaigns.
 
     ``results_path`` checkpoints the whole grid to one multiplexed
     JSONL file and ``resume=True`` re-executes only the missing
     (cell, run index) pairs of a killed sweep.
     """
-    plan, campaigns, cache = plan_figure7(
-        n_runs, seed, include_montage_stages, apps, fs_factory)
-    sweep = execute_sweep(plan, workers=workers, results_path=results_path,
-                          resume=resume, progress=progress)
-
-    result = Figure7Result(fault_free_runs=cache.fault_free_runs(),
-                           elapsed_seconds=sweep.elapsed_seconds)
-    for label, campaign in campaigns.items():
-        # Cache hits: the plan phase already paid for these.
-        profile = cache.profile(campaign.app, campaign.fs_factory,
-                                campaign.signature.primitive, campaign.profile)
-        golden = cache.golden(campaign.app, campaign.fs_factory,
-                              campaign.capture_golden)
-        result.cells[label] = CampaignResult(
-            app_name=campaign.app.name,
-            signature=str(campaign.signature),
-            phase=campaign.config.phase,
-            records=sweep.records[label],
-            profile=profile, golden=golden)
+    study = _study_for(n_runs, seed, include_montage_stages, apps,
+                       fs_factory, None)
+    plan = study.plan()
+    results = plan.execute(workers=workers, results_path=results_path,
+                           resume=resume, progress=progress)
+    result = Figure7Result(fault_free_runs=results.fault_free_runs,
+                           elapsed_seconds=results.elapsed_seconds)
+    result.cells = plan.campaign_results(results)
     return result

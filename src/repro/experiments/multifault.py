@@ -3,17 +3,18 @@
 The paper's grid (Fig. 7) holds the fault count fixed at one per run;
 this driver sweeps it.  For each application (Nyx, QMCPACK, Montage) and
 each k in ``K_VALUES``, a campaign injects k faults per run -- k=1 via
-the legacy :class:`~repro.core.scenario.SingleFault` scenario
-(bit-identical to the Fig. 7 cells), k>1 via
-:class:`~repro.core.scenario.KFaults` -- and the per-app SDC-vs-k curve
-is tabulated from the same interval estimates the paper quotes.
+the legacy single-fault scenario (bit-identical to the Fig. 7 cells),
+k>1 via :class:`~repro.core.scenario.KFaults` -- and the per-app
+SDC-vs-k curve is tabulated from the same interval estimates the paper
+quotes.
 
-Like Fig. 7, the whole grid executes as one fused
-:class:`~repro.core.engine.SweepPlan`: every application's fault-free
-profile and golden capture run exactly once across all k cells, all
-cells' specs interleave through one worker pool, and the grid
-checkpoints to one multiplexed JSONL file with sweep-level kill/resume
-(``repro run multifault --workers N --out sweep.jsonl --resume``).
+The grid is a registered declarative study
+(:func:`repro.study.registry.multifault_spec`) compiled through
+:class:`~repro.study.Study`: every application's fault-free profile and
+golden capture run exactly once across all k cells, all cells' specs
+interleave through one worker pool, and the grid checkpoints to one
+multiplexed JSONL file with sweep-level kill/resume (``repro run
+multifault --workers N --out sweep.jsonl --resume``).
 """
 
 from __future__ import annotations
@@ -25,24 +26,13 @@ from repro.analysis.stats import sdc_vs_k
 from repro.analysis.tables import render_outcome_grid, render_table
 from repro.apps.base import HpcApplication
 from repro.core.campaign import Campaign, CampaignResult
-from repro.core.config import CampaignConfig
-from repro.core.engine import ProfileGoldenCache, SweepCell, SweepPlan, execute_sweep
+from repro.core.engine import ProfileGoldenCache, SweepPlan
 from repro.core.outcomes import Outcome
-from repro.core.scenario import FaultScenario, KFaults, SingleFault
-from repro.experiments.params import (
-    default_runs,
-    montage_default,
-    nyx_default,
-    qmcpack_default,
-)
+from repro.experiments.figure7 import APP_IDS
 from repro.fusefs.vfs import FFISFileSystem
 
 #: Faults per run swept by the grid; k=1 is the paper's baseline.
 K_VALUES = (1, 2, 4, 8)
-
-
-def _scenario_for(k: int) -> FaultScenario:
-    return SingleFault() if k == 1 else KFaults(k=k)
 
 
 @dataclass
@@ -81,6 +71,25 @@ class MultifaultResult:
         return grid + "\n" + curves
 
 
+def _study_for(n_runs: Optional[int], seed: int, fault_model: str,
+               k_values: Tuple[int, ...],
+               apps: Optional[Dict[str, HpcApplication]],
+               fs_factory: Callable[[], FFISFileSystem],
+               cache: Optional[ProfileGoldenCache]):
+    from repro.study import Study
+    from repro.study.registry import multifault_spec
+
+    # Custom apps keep their dict labels as target labels; app ids fall
+    # back to the label itself for apps outside the stock registry.
+    pairs = None if apps is None else tuple(
+        (label, APP_IDS.get(label, label)) for label in apps)
+    spec = multifault_spec(n_runs=n_runs, seed=seed, fault_model=fault_model,
+                           k_values=k_values, apps=pairs)
+    overrides = None if apps is None else {
+        APP_IDS.get(label, label): app for label, app in apps.items()}
+    return Study(spec, apps=overrides, fs_factory=fs_factory, cache=cache)
+
+
 def plan_multifault(n_runs: Optional[int] = None, seed: int = 1,
                     fault_model: str = "BF",
                     k_values: Tuple[int, ...] = K_VALUES,
@@ -94,22 +103,10 @@ def plan_multifault(n_runs: Optional[int] = None, seed: int = 1,
     callers can reassemble :class:`CampaignResult` objects (and their
     profile/golden) after execution without re-running anything.
     """
-    runs = n_runs if n_runs is not None else default_runs()
-    if apps is None:
-        apps = {"NYX": nyx_default(), "QMC": qmcpack_default(),
-                "MT": montage_default()}
-    cache = cache if cache is not None else ProfileGoldenCache()
-    cells: List[SweepCell] = []
-    campaigns: Dict[str, Campaign] = {}
-    for app_label, app in apps.items():
-        for k in k_values:
-            label = f"{app_label}-k{k}"
-            config = CampaignConfig(fault_model=fault_model, n_runs=runs,
-                                    seed=seed, scenario=_scenario_for(k))
-            campaign = Campaign(app, config, fs_factory)
-            cells.append(campaign.plan_cell(label, cache))
-            campaigns[label] = campaign
-    return SweepPlan(cells=tuple(cells)), campaigns, cache
+    study = _study_for(n_runs, seed, fault_model, tuple(k_values), apps,
+                       fs_factory, cache)
+    plan = study.plan()
+    return plan.sweep, dict(plan.campaigns), plan.cache
 
 
 def run_multifault(n_runs: Optional[int] = None, seed: int = 1,
@@ -122,31 +119,19 @@ def run_multifault(n_runs: Optional[int] = None, seed: int = 1,
                    fs_factory: Callable[[], FFISFileSystem] = FFISFileSystem,
                    progress: Optional[Callable[[int, int], None]] = None,
                    ) -> MultifaultResult:
-    """Run the apps x k grid fused through one sweep execution.
+    """Run the apps x k grid fused through one study execution.
 
     ``results_path`` checkpoints the whole grid to one multiplexed JSONL
     file; ``resume=True`` re-executes only the missing (cell, run index)
     pairs of a killed sweep.
     """
-    plan, campaigns, cache = plan_multifault(
-        n_runs, seed, fault_model, k_values, apps, fs_factory)
-    sweep = execute_sweep(plan, workers=workers, results_path=results_path,
-                          resume=resume, progress=progress)
+    study = _study_for(n_runs, seed, fault_model, tuple(k_values), apps,
+                       fs_factory, None)
+    plan = study.plan()
+    results = plan.execute(workers=workers, results_path=results_path,
+                           resume=resume, progress=progress)
     result = MultifaultResult(k_values=tuple(k_values),
-                              fault_free_runs=cache.fault_free_runs(),
-                              elapsed_seconds=sweep.elapsed_seconds)
-    for label, campaign in campaigns.items():
-        # Cache hits: the plan phase already paid for these.
-        profile = cache.profile(campaign.app, campaign.fs_factory,
-                                campaign.signature.primitive, campaign.profile)
-        golden = cache.golden(campaign.app, campaign.fs_factory,
-                              campaign.capture_golden)
-        result.cells[label] = CampaignResult(
-            app_name=campaign.app.name,
-            signature=str(campaign.signature),
-            phase=campaign.config.phase,
-            records=sweep.records[label],
-            profile=profile, golden=golden,
-            scenario=None if campaign.scenario.legacy
-            else campaign.scenario.stamp())
+                              fault_free_runs=results.fault_free_runs,
+                              elapsed_seconds=results.elapsed_seconds)
+    result.cells = plan.campaign_results(results)
     return result

@@ -1,52 +1,79 @@
-"""Registry mapping experiment ids to drivers (the DESIGN.md index)."""
+"""Registry mapping experiment ids to drivers (the DESIGN.md index).
+
+Entries are *lazy*: each experiment names its driver by import path and
+resolves it on first use, so listing the experiments (``repro
+experiments``, CLI ``choices``, ``repro --version``) never imports the
+ten driver modules.  ``knobs`` declares which engine keywords a driver
+accepts, replacing the CLI's old ``inspect.signature`` sniffing with an
+explicit contract.
+"""
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
-from repro.experiments.table1 import run_table1
-from repro.experiments.table2 import run_table2
-from repro.experiments.table3 import run_table3
-from repro.experiments.table4 import run_table4
-from repro.experiments.figure5 import run_figure5
-from repro.experiments.figure6 import run_figure6
-from repro.experiments.figure7 import run_figure7
-from repro.experiments.figure8 import run_figure8
-from repro.experiments.figure9 import run_figure9
-from repro.experiments.multifault import run_multifault
+#: Engine knobs shared by the drivers that execute fused sweeps.
+SWEEP_KNOBS = ("workers", "results_path", "resume")
 
 
 @dataclass(frozen=True)
 class Experiment:
     id: str
     description: str
-    driver: Callable
+    module: str
+    attr: str
     bench: str
+    #: Engine keywords the driver accepts (every driver takes
+    #: ``workers``; sweep-running drivers add checkpoint/resume).
+    knobs: Tuple[str, ...] = ("workers",)
+
+    def resolve(self) -> Callable:
+        """Import and return the driver callable."""
+        return getattr(importlib.import_module(self.module), self.attr)
+
+    @property
+    def driver(self) -> Callable:
+        return self.resolve()
+
+    def accepts(self, knob: str) -> bool:
+        return knob in self.knobs
 
 
 EXPERIMENTS: Dict[str, Experiment] = {
     exp.id: exp for exp in (
         Experiment("table1", "Fault models supported by FFIS (conformance)",
-                   run_table1, "benchmarks/test_table1_fault_models.py"),
+                   "repro.experiments.table1", "run_table1",
+                   "benchmarks/test_table1_fault_models.py"),
         Experiment("table2", "Description of tested HPC applications",
-                   run_table2, "benchmarks/test_table2_applications.py"),
+                   "repro.experiments.table2", "run_table2",
+                   "benchmarks/test_table2_applications.py"),
         Experiment("table3", "Output classification of faulty HDF5 metadata",
-                   run_table3, "benchmarks/test_table3_metadata.py"),
+                   "repro.experiments.table3", "run_table3",
+                   "benchmarks/test_table3_metadata.py", knobs=SWEEP_KNOBS),
         Experiment("table4", "Per-field SDC symptoms for faulty metadata",
-                   run_table4, "benchmarks/test_table4_field_symptoms.py"),
+                   "repro.experiments.table4", "run_table4",
+                   "benchmarks/test_table4_field_symptoms.py"),
         Experiment("figure5", "Exponent-Bias scaling / ARD shift visualization",
-                   run_figure5, "benchmarks/test_figure5_sdc_visualization.py"),
+                   "repro.experiments.figure5", "run_figure5",
+                   "benchmarks/test_figure5_sdc_visualization.py"),
         Experiment("figure6", "Halo candidates under faulty Mantissa Size",
-                   run_figure6, "benchmarks/test_figure6_halo_candidates.py"),
+                   "repro.experiments.figure6", "run_figure6",
+                   "benchmarks/test_figure6_halo_candidates.py"),
         Experiment("figure7", "Characterization grid (apps x fault models)",
-                   run_figure7, "benchmarks/test_figure7_characterization.py"),
+                   "repro.experiments.figure7", "run_figure7",
+                   "benchmarks/test_figure7_characterization.py",
+                   knobs=SWEEP_KNOBS),
         Experiment("figure8", "Halo-mass distribution original vs DW",
-                   run_figure8, "benchmarks/test_figure8_mass_distribution.py"),
+                   "repro.experiments.figure8", "run_figure8",
+                   "benchmarks/test_figure8_mass_distribution.py"),
         Experiment("figure9", "Faulty Montage mosaic (black-stripe artifact)",
-                   run_figure9, "benchmarks/test_figure9_montage_fault.py"),
+                   "repro.experiments.figure9", "run_figure9",
+                   "benchmarks/test_figure9_montage_fault.py"),
         Experiment("multifault", "Outcome rates vs fault count k (scenarios)",
-                   run_multifault, "tests/test_multifault.py"),
+                   "repro.experiments.multifault", "run_multifault",
+                   "tests/test_multifault.py", knobs=SWEEP_KNOBS),
     )
 }
 

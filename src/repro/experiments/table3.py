@@ -4,18 +4,23 @@ Byte-exhaustive corruption of the Nyx metadata write, classified by the
 halo-finder post-analysis, with per-field annotation from the writer's
 field map.  Paper reference: SDC 4 (0.2 %), benign 2085 (85.7 %), crash
 343 (14.1 %).
+
+The sweep is a registered declarative study
+(:func:`repro.study.registry.table3_spec`): a single metadata-kind
+target compiled through :class:`~repro.study.Study`, whose locate trace
+doubles as both the golden capture and the field-map harvest -- exactly
+one fault-free run, like any fused-sweep cell.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.tables import render_table
 from repro.apps.nyx import NyxApplication
-from repro.core.metadata_campaign import MetadataCampaign, MetadataCampaignResult
-from repro.core.outcomes import Outcome
-from repro.experiments.params import nyx_small
+from repro.core.metadata_campaign import MetadataCampaignResult
+from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
 from repro.fusefs.mount import mount
 from repro.fusefs.vfs import FFISFileSystem
 
@@ -28,6 +33,38 @@ PAPER_SDC_FIELDS = (
 )
 
 
+def field_examples(records: Iterable[RunRecord]) -> Dict[Outcome, List[str]]:
+    """Distinct short field names per outcome, in frequency order (the
+    per-field container prefixes stripped for compact reporting)."""
+    buckets: Dict[Outcome, Dict[str, int]] = {o: {} for o in Outcome}
+    for record in records:
+        name = (record.field_name or "?").split(".")[-1]
+        counts = buckets[record.outcome]
+        counts[name] = counts.get(name, 0) + 1
+    return {o: [name for name, _ in
+                sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))]
+            for o, counts in buckets.items()}
+
+
+def render_table3_records(records: List[RunRecord]) -> str:
+    """Table III's layout from any record stream (the study renderer)."""
+    tally = OutcomeTally.from_records(records)
+    examples = field_examples(records)
+    rows = []
+    for outcome in (Outcome.SDC, Outcome.BENIGN, Outcome.CRASH,
+                    Outcome.DETECTED):
+        shown = ", ".join(examples.get(outcome, [])[:4]) or "-"
+        paper = PAPER_RATES.get(outcome)
+        paper_text = f"{100 * paper:.1f}%" if paper is not None else "n/a"
+        rows.append([outcome.value,
+                     f"{tally.counts[outcome]} "
+                     f"({100 * tally.rate(outcome):.1f}%)",
+                     paper_text, shown])
+    return render_table(
+        ["Fault type", "measured cases", "paper", "example metadata fields"],
+        rows, title="Table III: output classification of faulty metadata")
+
+
 @dataclass
 class Table3Result:
     campaign: MetadataCampaignResult
@@ -37,18 +74,7 @@ class Table3Result:
         return self.campaign.tally.rate(outcome)
 
     def render(self) -> str:
-        tally = self.campaign.tally
-        rows = []
-        for outcome in (Outcome.SDC, Outcome.BENIGN, Outcome.CRASH, Outcome.DETECTED):
-            examples = ", ".join(self.field_examples.get(outcome, [])[:4]) or "-"
-            paper = PAPER_RATES.get(outcome)
-            paper_text = f"{100 * paper:.1f}%" if paper is not None else "n/a"
-            rows.append([outcome.value,
-                         f"{tally.counts[outcome]} ({100 * tally.rate(outcome):.1f}%)",
-                         paper_text, examples])
-        return render_table(
-            ["Fault type", "measured cases", "paper", "example metadata fields"],
-            rows, title="Table III: output classification of faulty metadata")
+        return render_table3_records(self.campaign.records)
 
 
 def fieldmap_for(app: NyxApplication):
@@ -67,25 +93,23 @@ def run_table3(app: Optional[NyxApplication] = None, byte_stride: int = 1,
     exhaustive per-byte campaign, ~2.5k application runs).
 
     The sweep is embarrassingly parallel: ``workers`` fans it out over
-    processes, and ``results_path``/``resume`` checkpoint it to JSONL.
-    The metadata-write trace doubles as both the golden capture and the
-    field-map harvest, so the driver pays for exactly one fault-free
-    run, like a fused-sweep cell.
+    processes, and ``results_path``/``resume`` checkpoint it to JSONL
+    (byte-identical to the pre-study driver's checkpoints).
     """
-    if app is None:
-        app = nyx_small()
-    campaign = MetadataCampaign(app, seed=seed, workers=workers)
-    located = campaign.locate_metadata_write()
-    campaign.fieldmap = app.last_write_result.fieldmap
-    result = campaign.run(byte_stride=byte_stride, results_path=results_path,
-                          resume=resume, located=located)
-    # Strip the per-field container prefixes for compact reporting.
-    examples: Dict[Outcome, List[str]] = {}
-    for outcome, names in result.fields_by_outcome().items():
-        seen: List[str] = []
-        for name in names:
-            short = name.split(".")[-1]
-            if short not in seen:
-                seen.append(short)
-        examples[outcome] = seen
-    return Table3Result(campaign=result, field_examples=examples)
+    from repro.study import Study
+    from repro.study.registry import table3_spec
+
+    spec = table3_spec(byte_stride=byte_stride, seed=seed)
+    overrides = None if app is None else {"nyx-small": app}
+    plan = Study(spec, apps=overrides).plan()
+    results = plan.execute(workers=workers, results_path=results_path,
+                           resume=resume)
+    (cell,) = plan.cells
+    campaign = cell.planner
+    result = MetadataCampaignResult(
+        app_name=campaign.app.name, mode=campaign.mode,
+        records=results.cell(cell.key),
+        metadata=cell.metadata, fieldmap=campaign.fieldmap,
+        elapsed_seconds=results.elapsed_seconds)
+    return Table3Result(campaign=result,
+                        field_examples=field_examples(result.records))

@@ -5,6 +5,13 @@ specific bit the paper discusses, run the halo-finder post-analysis, and
 characterize the symptom: how halo masses, locations, counts, and the
 dataset average respond.  All symptoms *emerge* from the generic float
 decoder honouring the corrupted geometry.
+
+:data:`TARGETS` is the single source of truth for the corruption sites:
+the registered ``table4`` study (:func:`repro.study.registry.table4_spec`)
+derives its targeted-bits spec from it, so ``repro study run table4``
+executes the same six corruptions through the campaign engine
+(outcome-level); this driver keeps the deeper catalog-vs-catalog symptom
+analysis, which needs the faulty halo catalogs and not just the records.
 """
 
 from __future__ import annotations

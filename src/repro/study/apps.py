@@ -1,0 +1,58 @@
+"""The application registry study specs name targets against.
+
+A :class:`~repro.study.spec.TargetSpec` refers to its application by a
+registry id, keeping specs serializable; this module maps ids to the
+factories that build the application under test.  Registration stores an
+import *path*, resolved on first use, so listing the ids (e.g. for CLI
+``choices``) costs nothing and ``repro --version`` never constructs an
+application.
+
+The stock ids cover the paper's workloads (``nyx``, ``qmcpack``,
+``montage`` at experiment scale, plus the ``nyx-small`` metadata-sweep
+variant); :func:`register_app` adds custom applications for user-defined
+studies.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, List, Tuple, Union
+
+from repro.errors import ConfigError
+
+#: id -> factory, or ("module", "attr") import path resolved lazily.
+_FACTORIES: Dict[str, Union[Callable, Tuple[str, str]]] = {
+    "nyx": ("repro.experiments.params", "nyx_default"),
+    "nyx-small": ("repro.experiments.params", "nyx_small"),
+    "qmcpack": ("repro.experiments.params", "qmcpack_default"),
+    "montage": ("repro.experiments.params", "montage_default"),
+}
+
+
+def app_ids() -> List[str]:
+    """The registered application ids, sorted (CLI ``choices`` order)."""
+    return sorted(_FACTORIES)
+
+
+def register_app(app_id: str,
+                 factory: Union[Callable, Tuple[str, str]]) -> None:
+    """Register an application factory (a callable, or a lazy
+    ``(module, attr)`` import path) under *app_id*."""
+    if not app_id:
+        raise ConfigError("app id must be non-empty")
+    _FACTORIES[app_id] = factory
+
+
+def resolve_app_factory(app_id: str) -> Callable:
+    """The factory for *app_id*, importing it on first use."""
+    try:
+        entry = _FACTORIES[app_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown application id {app_id!r}; choose from {app_ids()} "
+            "or register_app() a custom one") from None
+    if isinstance(entry, tuple):
+        module, attr = entry
+        entry = getattr(importlib.import_module(module), attr)
+        _FACTORIES[app_id] = entry
+    return entry

@@ -1,0 +1,254 @@
+"""The uniform result container every study execution returns.
+
+A :class:`ResultSet` is per-cell run records plus lightweight cell
+metadata, with one query surface (filter / group / tally / rates), one
+persistence format (the engine's stamped-JSONL checkpoint schema, v1 and
+v2 lines alike), and one default renderer (the paper's outcome grid).
+Drivers that used to return bespoke result shapes now adapt from this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.engine import JsonlSink, load_records_by_campaign
+from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
+from repro.errors import FFISError
+
+#: Key used for records whose checkpoint lines carry no campaign stamp.
+UNSTAMPED_KEY = "results"
+
+
+@dataclass(frozen=True)
+class CellInfo:
+    """What a result set remembers about one cell beyond its records."""
+
+    key: str
+    campaign_id: Optional[str] = None
+    app_name: str = ""
+    signature: str = ""
+    phase: Optional[str] = None
+    scenario: Optional[str] = None
+    kind: str = "fault"
+
+    def summary_label(self) -> str:
+        label = f"{self.app_name}/{self.signature}" if self.signature \
+            else (self.app_name or self.key)
+        if self.scenario:
+            label += f" <{self.scenario}>"
+        if self.phase:
+            label += f" [{self.phase}]"
+        return label
+
+
+class ResultSet:
+    """Per-cell run records with uniform query/persist/render behavior."""
+
+    def __init__(self, records: Mapping[str, Sequence[RunRecord]],
+                 info: Optional[Mapping[str, CellInfo]] = None,
+                 fault_free_runs: int = 0, executed: Optional[int] = None,
+                 elapsed_seconds: float = 0.0) -> None:
+        self._records: Dict[str, List[RunRecord]] = {
+            key: list(cell) for key, cell in records.items()}
+        self.info: Dict[str, CellInfo] = dict(info or {})
+        for key in self._records:
+            self.info.setdefault(key, CellInfo(key=key))
+        #: Fault-free application executions the study paid for.
+        self.fault_free_runs = fault_free_runs
+        #: Runs executed by the originating invocation (the rest were
+        #: resumed from a checkpoint).  ``None`` on derived or loaded
+        #: result sets, where the split is unknowable -- the footer
+        #: then omits it rather than misreporting.
+        self.executed = executed
+        self.elapsed_seconds = elapsed_seconds
+
+    # -- access -----------------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        return list(self._records)
+
+    def cell(self, key: str) -> List[RunRecord]:
+        """The records of one cell (KeyError for unknown keys)."""
+        return list(self._records[key])
+
+    def records(self, key: Optional[str] = None) -> List[RunRecord]:
+        """All records (cell order), or one cell's records."""
+        if key is not None:
+            return self.cell(key)
+        return [record for cell in self._records.values() for record in cell]
+
+    def __len__(self) -> int:
+        return sum(len(cell) for cell in self._records.values())
+
+    def __iter__(self) -> Iterator[Tuple[str, RunRecord]]:
+        for key, cell in self._records.items():
+            for record in cell:
+                yield key, record
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    # -- queries ----------------------------------------------------------------
+
+    def tally(self, key: Optional[str] = None) -> OutcomeTally:
+        return OutcomeTally.from_records(self.records(key))
+
+    def tallies(self) -> Dict[str, OutcomeTally]:
+        return {key: OutcomeTally.from_records(cell)
+                for key, cell in self._records.items()}
+
+    def rate(self, outcome: Outcome, key: Optional[str] = None) -> float:
+        return self.tally(key).rate(outcome)
+
+    def rates(self, key: Optional[str] = None) -> Mapping[Outcome, float]:
+        return self.tally(key).rates()
+
+    def error_bars(self, key: Optional[str] = None):
+        """Per-outcome 95 % interval estimates (Wilson, like the CLI)."""
+        from repro.analysis.stats import campaign_error_bars
+
+        return campaign_error_bars(self.tally(key))
+
+    def filter(self, predicate: Optional[Callable[[str, RunRecord], bool]] = None,
+               *, key: Optional[Callable[[str], bool]] = None,
+               outcome: Optional[Outcome] = None,
+               phase: Optional[str] = None,
+               scenario: Optional[str] = None,
+               fault_fired: Optional[bool] = None) -> "ResultSet":
+        """A sub-result-set keeping the records that match every given
+        criterion (cells left empty by the filter are dropped)."""
+        def keep(cell_key: str, record: RunRecord) -> bool:
+            if key is not None and not key(cell_key):
+                return False
+            if outcome is not None and record.outcome is not outcome:
+                return False
+            if phase is not None and record.phase != phase:
+                return False
+            if scenario is not None and record.scenario != scenario:
+                return False
+            if fault_fired is not None and record.fault_fired != fault_fired:
+                return False
+            if predicate is not None and not predicate(cell_key, record):
+                return False
+            return True
+
+        kept = {cell_key: [r for r in cell if keep(cell_key, r)]
+                for cell_key, cell in self._records.items()}
+        kept = {k: v for k, v in kept.items() if v}
+        return ResultSet(kept, info={k: self.info[k] for k in kept},
+                         fault_free_runs=self.fault_free_runs,
+                         elapsed_seconds=self.elapsed_seconds)
+
+    def group(self, fn: Callable[[str, RunRecord], Any]) -> Dict[Any, "ResultSet"]:
+        """Partition the records by ``fn(key, record)`` into result sets
+        (each keeps the originating cell structure and metadata)."""
+        grouped: Dict[Any, Dict[str, List[RunRecord]]] = {}
+        for cell_key, record in self:
+            grouped.setdefault(fn(cell_key, record), {}) \
+                   .setdefault(cell_key, []).append(record)
+        return {
+            value: ResultSet(cells,
+                             info={k: self.info[k] for k in cells},
+                             fault_free_runs=self.fault_free_runs,
+                             elapsed_seconds=self.elapsed_seconds)
+            for value, cells in grouped.items()}
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_jsonl(self, path: str) -> None:
+        """Persist every record in the engine's stamped-JSONL checkpoint
+        schema (cell by cell; each line carries its cell's campaign
+        identity, legacy records keep the exact v1 layout).
+
+        Like the engine's multi-cell checkpoints, a multi-cell result
+        set refuses to write unstamped cells: their lines could never be
+        attributed back, so :meth:`from_jsonl` would silently merge the
+        cells into one.
+        """
+        if len(self._records) > 1:
+            unstamped = [key for key in self._records
+                         if self.info[key].campaign_id is None]
+            if unstamped:
+                raise FFISError(
+                    f"cells {unstamped} have no campaign_id; a multi-cell "
+                    "result set needs every line stamped to round-trip "
+                    "(give each cell a CellInfo with a campaign_id)")
+        sink = JsonlSink(path)
+        try:
+            for key, cell in self._records.items():
+                campaign_id = self.info[key].campaign_id
+                for record in cell:
+                    sink.emit_stamped(record, campaign_id)
+        finally:
+            sink.close()
+
+    @classmethod
+    def from_jsonl(cls, path: str,
+                   info: Optional[Mapping[str, CellInfo]] = None) -> "ResultSet":
+        """Load a stamped-JSONL results file (v1 and v2 lines alike).
+
+        Reading follows the engine's checkpoint contract: an
+        *unterminated* final line is forgiven as a mid-``emit`` kill,
+        while a newline-terminated undecodable line raises.  With *info*
+        (e.g. from a prior study run), stamped groups are mapped back to
+        their cell keys; otherwise each campaign stamp keys its own
+        cell and unstamped lines group under ``"results"``.
+        """
+        by_id: Dict[str, str] = {}
+        for cell in (info or {}).values():
+            if cell.campaign_id is not None:
+                by_id[cell.campaign_id] = cell.key
+        records: Dict[str, List[RunRecord]] = {}
+        for stamp, group in load_records_by_campaign(path).items():
+            if stamp is None:
+                key = UNSTAMPED_KEY
+            else:
+                key = by_id.get(stamp, stamp)
+            records.setdefault(key, []).extend(group)
+        for cell_records in records.values():
+            cell_records.sort(key=lambda record: record.run_index)
+        kept_info = {key: cell for key, cell in (info or {}).items()
+                     if key in records}
+        return cls(records, info=kept_info)
+
+    # -- reporting --------------------------------------------------------------
+
+    def render(self, title: Optional[str] = None) -> str:
+        """The outcome grid (one row per cell), the paper's layout."""
+        from repro.analysis.tables import render_outcome_grid
+
+        return render_outcome_grid(self.tallies(), title=title)
+
+    def footer(self) -> str:
+        """The one-line execution summary (cells/records/shared work).
+
+        The executed/resumed split appears only on result sets that came
+        straight from an execution; derived (filtered/grouped) and
+        loaded sets cannot know it and omit it.
+        """
+        split = ""
+        if self.executed is not None:
+            split = (f" ({self.executed} executed, "
+                     f"{len(self) - self.executed} resumed)")
+        return (
+            f"study: {len(self._records)} cells, {len(self)} records"
+            f"{split}, {self.fault_free_runs} shared fault-free runs, "
+            f"{self.elapsed_seconds:.1f}s")
+
+    def summary(self) -> str:
+        """Per-cell one-liners plus the study's shared-work footer."""
+        lines = [f"{key}: {tally} ({tally.total} runs)"
+                 for key, tally in self.tallies().items()]
+        lines.append(self.footer())
+        return "\n".join(lines)

@@ -1,38 +1,27 @@
-"""Shared low-level utilities: bit manipulation, RNG streams, binary codecs."""
+"""Shared low-level utilities: bit manipulation, RNG streams, binary codecs.
 
-from repro.util.bitops import (
-    flip_bit,
-    flip_bits,
-    flip_consecutive_bits,
-    get_bit,
-    set_bit,
-    extract_bits,
-    deposit_bits,
-    popcount_bytes,
-    hamming_distance,
-)
-from repro.util.rngstream import RngStream, derive_seed
-from repro.util.binary import (
-    pack_uint,
-    unpack_uint,
-    pad_to,
-    checksum32,
-)
+Exports resolve lazily (PEP 562, via :mod:`repro.util.lazy`) so packages
+that only need the lazy-export helper never pay for numpy.
+"""
 
-__all__ = [
-    "flip_bit",
-    "flip_bits",
-    "flip_consecutive_bits",
-    "get_bit",
-    "set_bit",
-    "extract_bits",
-    "deposit_bits",
-    "popcount_bytes",
-    "hamming_distance",
-    "RngStream",
-    "derive_seed",
-    "pack_uint",
-    "unpack_uint",
-    "pad_to",
-    "checksum32",
-]
+from repro.util.lazy import lazy_exports
+
+_EXPORTS = {
+    name: ("repro.util.bitops", name) for name in (
+        "flip_bit", "flip_bits", "flip_consecutive_bits", "get_bit",
+        "set_bit", "extract_bits", "deposit_bits", "popcount_bytes",
+        "hamming_distance",
+    )
+}
+_EXPORTS.update({
+    "RngStream": ("repro.util.rngstream", "RngStream"),
+    "derive_seed": ("repro.util.rngstream", "derive_seed"),
+    "pack_uint": ("repro.util.binary", "pack_uint"),
+    "unpack_uint": ("repro.util.binary", "unpack_uint"),
+    "pad_to": ("repro.util.binary", "pad_to"),
+    "checksum32": ("repro.util.binary", "checksum32"),
+})
+
+__all__ = sorted(_EXPORTS)
+
+__getattr__, __dir__ = lazy_exports(__name__, globals(), _EXPORTS)

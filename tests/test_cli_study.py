@@ -1,0 +1,214 @@
+"""The ``repro study`` subcommand and the lazy experiment registry."""
+
+import io
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.core.engine import load_records_by_campaign
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.study import StudySpec
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestLazyRegistry:
+    def test_registry_import_does_not_import_drivers(self):
+        """The satellite contract: listing experiments (or `repro
+        --version`) must not pay the ten-driver import cost."""
+        code = (
+            "import sys\n"
+            "import repro.cli\n"
+            "from repro.experiments.registry import EXPERIMENTS\n"
+            "assert len(EXPERIMENTS) == 10\n"
+            "heavy = [m for m in sys.modules if m in ("
+            "'repro.experiments.figure7', 'repro.experiments.table3', "
+            "'repro.experiments.multifault', 'numpy')]\n"
+            "assert not heavy, heavy\n")
+        subprocess.run([sys.executable, "-c", code], check=True,
+                       env={"PYTHONPATH": "src"}, cwd=".")
+
+    def test_driver_resolves_lazily(self):
+        from repro.experiments.multifault import run_multifault
+
+        exp = EXPERIMENTS["multifault"]
+        assert exp.resolve() is run_multifault
+        assert exp.driver is run_multifault
+
+    def test_every_registered_driver_resolves(self):
+        for exp in EXPERIMENTS.values():
+            assert callable(exp.resolve()), exp.id
+
+    def test_knob_declarations(self):
+        assert get_experiment("figure7").accepts("results_path")
+        assert get_experiment("table3").accepts("resume")
+        assert not get_experiment("table1").accepts("results_path")
+        for exp in EXPERIMENTS.values():
+            assert exp.accepts("workers")
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+
+class TestStudyCli:
+    def test_list_names_registered_studies(self):
+        code, text = run_cli("study", "list")
+        assert code == 0
+        for study_id in ("figure7", "multifault", "table3", "table4"):
+            assert study_id in text
+
+    def test_describe_registered_study_round_trips(self):
+        code, text = run_cli("study", "describe", "multifault")
+        assert code == 0
+        spec = StudySpec.from_toml(text)
+        assert spec.name == "multifault"
+        assert [t.label for t in spec.targets] == ["NYX", "QMC", "MT"]
+
+    def test_plan_lists_cells_without_executing(self):
+        code, text = run_cli("study", "plan", "figure7")
+        assert code == 0
+        assert "NYX-BF" in text and "MT4-DW" in text
+        assert "REPRO_FI_RUNS" in text  # runs deferred to the env knob
+
+    def test_plan_inline_axes(self):
+        code, text = run_cli("study", "plan", "--app", "nyx",
+                             "--model", "BF", "--model", "DW",
+                             "--scenario", "k=2", "--runs", "5")
+        assert code == 0
+        assert "nyx-BF-k=2" in text and "nyx-DW-k=2" in text
+
+    def test_run_from_toml_file(self, tmp_path):
+        spec_path = tmp_path / "study.toml"
+        spec_path.write_text(
+            'name = "file-study"\n'
+            "runs = 2\n"
+            "seed = 3\n"
+            "\n"
+            "[[targets]]\n"
+            'app = "nyx-small"\n'
+            'kind = "metadata"\n'
+            "stride = 256\n",
+            encoding="utf-8")
+        out_path = str(tmp_path / "results.jsonl")
+        code, text = run_cli("study", "run", "--file", str(spec_path),
+                             "--out", out_path)
+        assert code == 0
+        assert "study:" in text and "1 cells" in text
+        assert len(load_records_by_campaign(out_path)) == 1
+
+    @pytest.fixture
+    def tiny_app_registry(self, monkeypatch):
+        """Rebind the stock app ids to tiny workloads so registered
+        studies run at test scale through the real CLI path."""
+        import repro.study.apps as study_apps
+        from repro.apps.nyx import FieldConfig, NyxApplication
+        from tests.test_study_run import fixture_montage, fixture_nyx
+
+        def other_nyx():
+            return NyxApplication(seed=78, field_config=FieldConfig(
+                shape=(16, 16, 16), n_halos=2,
+                halo_amplitude=(800.0, 1500.0),
+                halo_radius=(0.6, 0.8)), min_cells=3)
+
+        monkeypatch.setitem(study_apps._FACTORIES, "nyx", fixture_nyx)
+        monkeypatch.setitem(study_apps._FACTORIES, "qmcpack", other_nyx)
+        monkeypatch.setitem(study_apps._FACTORIES, "montage", fixture_montage)
+        monkeypatch.setenv("REPRO_FI_RUNS", "2")
+
+    def test_run_registered_study_renders_report(self, tiny_app_registry):
+        code, text = run_cli("study", "run", "figure7")
+        assert code == 0
+        assert "Figure 7: I/O fault characterization" in text
+        assert "NYX-BF" in text and "MT4-DW" in text
+        assert "study:" in text
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            run_cli("study", "run")
+        with pytest.raises(SystemExit):
+            run_cli("study", "run", "figure7", "--file", "x.toml")
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("study", "run", "figure99")
+
+    def test_axis_flags_rejected_for_named_or_file_studies(self, tmp_path):
+        """--model/--scenario/--phase shape inline specs only; silently
+        ignoring them against a registered study would misreport the
+        grid actually run."""
+        with pytest.raises(SystemExit):
+            run_cli("study", "run", "figure7", "--model", "BF")
+        with pytest.raises(SystemExit):
+            run_cli("study", "plan", "multifault", "--scenario", "k=2")
+        spec_path = tmp_path / "s.toml"
+        spec_path.write_text('name = "x"\n\n[[targets]]\napp = "nyx"\n',
+                             encoding="utf-8")
+        with pytest.raises(SystemExit):
+            run_cli("study", "plan", "--file", str(spec_path),
+                    "--phase", "mAdd")
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("study", "plan", "--app", "nyx", "--model", "BF",
+                    "--scenario", "nonsense=4")
+
+    def test_resume_requires_out(self):
+        with pytest.raises(SystemExit):
+            run_cli("study", "run", "figure7", "--resume")
+
+    def test_runs_rejected_for_metadata_only_studies(self):
+        """A metadata sweep's size is bytes/stride; --runs would be
+        silently ignored, so it is refused instead."""
+        with pytest.raises(SystemExit):
+            run_cli("study", "plan", "table3", "--runs", "5")
+        with pytest.raises(SystemExit):
+            run_cli("study", "run", "table4", "--runs", "5")
+
+    def test_run_with_out_resume_round_trip(self, tmp_path):
+        spec_path = tmp_path / "study.toml"
+        spec_path.write_text(
+            'name = "resume-study"\n\n'
+            "[[targets]]\n"
+            'app = "nyx-small"\n'
+            'kind = "metadata"\n'
+            "stride = 256\n",
+            encoding="utf-8")
+        out_path = str(tmp_path / "meta.jsonl")
+        code, _ = run_cli("study", "run", "--file", str(spec_path),
+                          "--out", out_path)
+        assert code == 0
+        code, text = run_cli("study", "run", "--file", str(spec_path),
+                             "--out", out_path, "--resume")
+        assert code == 0
+        assert "(0 executed" in text
+
+
+class TestRebasedSubcommands:
+    """campaign/sweep/run share the Study path and its knob contract."""
+
+    def test_campaign_scenario_still_works(self):
+        code, text = run_cli("campaign", "--app", "nyx", "--model", "DW",
+                             "--runs", "3", "--seed", "2",
+                             "--scenario", "k=2")
+        assert code == 0
+        assert "nyx/DW" in text and "<k=2>" in text
+
+    def test_campaign_metadata_mode(self, tmp_path):
+        out_path = str(tmp_path / "meta.jsonl")
+        code, text = run_cli("campaign", "--app", "nyx-small",
+                             "--metadata-mode", "random-bit",
+                             "--stride", "256", "--out", out_path)
+        assert code == 0
+        assert "metadata[random-bit]" in text
+        assert len(load_records_by_campaign(out_path)) == 1
+
+    def test_run_out_rejected_for_knobless_driver(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "table4", "--out", "x.jsonl")

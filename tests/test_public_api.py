@@ -1,0 +1,60 @@
+"""The curated top-level surface and its deprecation shims."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestStableSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_study_api_at_top_level(self):
+        from repro import ModelSpec, ResultSet, Study, StudySpec, TargetSpec
+
+        spec = StudySpec(name="surface",
+                         targets=(TargetSpec(app="nyx"),),
+                         models=(ModelSpec(model="BF"),), runs=1)
+        assert Study(spec).spec is spec
+        assert ResultSet({}).keys() == []
+
+    def test_dir_includes_lazy_names(self):
+        listing = dir(repro)
+        assert "Campaign" in listing and "StudySpec" in listing
+        assert "SweepPlan" in listing  # deprecated but discoverable
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_thing
+
+
+class TestDeprecatedEngineAliases:
+    def test_alias_warns_and_still_works(self):
+        import repro.core.engine as engine
+
+        with pytest.warns(DeprecationWarning, match="repro.core.engine"):
+            assert repro.SweepPlan is engine.SweepPlan
+        with pytest.warns(DeprecationWarning):
+            assert repro.execute_sweep is engine.execute_sweep
+
+    def test_stable_names_do_not_warn(self, recwarn):
+        repro.Campaign
+        repro.StudySpec
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestLazyImport:
+    def test_import_repro_is_light(self):
+        """`import repro` must not pull numpy or the app stack."""
+        code = (
+            "import sys, repro\n"
+            "assert repro.__version__\n"
+            "assert 'numpy' not in sys.modules, 'import repro pulled numpy'\n"
+            "assert 'repro.apps' not in sys.modules\n")
+        subprocess.run([sys.executable, "-c", code], check=True,
+                       env={"PYTHONPATH": "src"}, cwd=".")

@@ -1,0 +1,201 @@
+"""ResultSet queries and JSONL round-trips over the checkpoint schema.
+
+The persistence contract: ``to_jsonl``/``from_jsonl`` speak the engine's
+stamped checkpoint format -- legacy single-fault records keep the exact
+v1 line layout, scenario-stamped records use v2, and loading applies the
+PR 2 trailing-newline rule (an *unterminated* final line is a forgiven
+mid-``emit`` kill; terminated corruption raises).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.outcomes import Outcome, RunRecord
+from repro.errors import FFISError
+from repro.study.resultset import UNSTAMPED_KEY, CellInfo, ResultSet
+
+
+def v1_records(n=4, outcome=Outcome.BENIGN):
+    return [RunRecord(run_index=i, outcome=outcome, target_instance=i + 7,
+                      detail="d") for i in range(n)]
+
+
+def v2_records(n=3):
+    return [RunRecord(run_index=i, outcome=Outcome.SDC,
+                      target_instance=i, instances=(i, i + 2),
+                      scenario="k=2") for i in range(n)]
+
+
+def mixed_result_set():
+    return ResultSet(
+        {"legacy": v1_records(), "multi": v2_records()},
+        info={"legacy": CellInfo(key="legacy", campaign_id="toy/BF/v1",
+                                 app_name="toy", signature="BF"),
+              "multi": CellInfo(key="multi", campaign_id="toy/BF/k=2",
+                                app_name="toy", signature="BF",
+                                scenario="k=2")})
+
+
+class TestQueries:
+    def test_len_keys_records(self):
+        rs = mixed_result_set()
+        assert len(rs) == 7
+        assert rs.keys() == ["legacy", "multi"]
+        assert len(rs.records("multi")) == 3
+        assert len(rs.records()) == 7
+        assert "legacy" in rs and "nope" not in rs
+
+    def test_tally_and_rates(self):
+        rs = mixed_result_set()
+        assert rs.tally().total == 7
+        assert rs.tally("multi").counts[Outcome.SDC] == 3
+        assert rs.rate(Outcome.SDC, "legacy") == 0.0
+        assert rs.rates("multi")[Outcome.SDC] == 1.0
+        assert set(rs.tallies()) == {"legacy", "multi"}
+
+    def test_error_bars(self):
+        bars = mixed_result_set().error_bars("multi")
+        assert bars[Outcome.SDC].rate == 1.0
+        assert bars[Outcome.SDC].n == 3
+
+    def test_filter_by_outcome_and_key(self):
+        rs = mixed_result_set()
+        sdc = rs.filter(outcome=Outcome.SDC)
+        assert sdc.keys() == ["multi"] and len(sdc) == 3
+        legacy = rs.filter(key=lambda k: k == "legacy")
+        assert legacy.keys() == ["legacy"]
+        nothing = rs.filter(outcome=Outcome.CRASH)
+        assert nothing.keys() == [] and len(nothing) == 0
+
+    def test_filter_by_scenario_and_predicate(self):
+        rs = mixed_result_set()
+        assert len(rs.filter(scenario="k=2")) == 3
+        assert len(rs.filter(lambda k, r: r.run_index == 0)) == 2
+
+    def test_filter_keeps_cell_info(self):
+        rs = mixed_result_set().filter(outcome=Outcome.SDC)
+        assert rs.info["multi"].scenario == "k=2"
+
+    def test_group_by_outcome(self):
+        groups = mixed_result_set().group(lambda k, r: r.outcome)
+        assert set(groups) == {Outcome.BENIGN, Outcome.SDC}
+        assert len(groups[Outcome.SDC]) == 3
+        assert groups[Outcome.SDC].keys() == ["multi"]
+
+    def test_render_and_summary(self):
+        rs = mixed_result_set()
+        text = rs.render(title="grid")
+        assert "grid" in text and "legacy" in text and "multi" in text
+        assert "2 cells" in rs.summary()
+
+    def test_footer_split_only_on_executed_sets(self):
+        ran = ResultSet({"cell": v1_records(3)}, executed=2,
+                        elapsed_seconds=1.5)
+        assert "(2 executed, 1 resumed)" in ran.footer()
+        derived = ran.filter(outcome=Outcome.BENIGN)
+        assert "executed" not in derived.footer()
+        assert derived.elapsed_seconds == 1.5
+        grouped = ran.group(lambda k, r: r.outcome)[Outcome.BENIGN]
+        assert "executed" not in grouped.footer()
+        assert "resumed" not in mixed_result_set().footer()
+
+
+class TestJsonlRoundTrip:
+    def test_mixed_v1_v2_round_trip(self, tmp_path):
+        rs = mixed_result_set()
+        path = str(tmp_path / "results.jsonl")
+        rs.to_jsonl(path)
+        back = ResultSet.from_jsonl(path, info=rs.info)
+        assert back.keys() == rs.keys()
+        for key in rs.keys():
+            assert back.cell(key) == rs.cell(key)
+
+    def test_v1_lines_stay_v1(self, tmp_path):
+        """Legacy records must keep the exact v1 layout on disk."""
+        path = str(tmp_path / "results.jsonl")
+        mixed_result_set().to_jsonl(path)
+        with open(path, encoding="utf-8") as f:
+            raws = [json.loads(line) for line in f]
+        v1 = [r for r in raws if r["v"] == 1]
+        v2 = [r for r in raws if r["v"] == 2]
+        assert len(v1) == 4 and len(v2) == 3
+        assert all("scenario" not in r and "instances" not in r for r in v1)
+        assert all(r["scenario"] == "k=2" for r in v2)
+
+    def test_from_jsonl_without_info_keys_by_stamp(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        mixed_result_set().to_jsonl(path)
+        back = ResultSet.from_jsonl(path)
+        assert set(back.keys()) == {"toy/BF/v1", "toy/BF/k=2"}
+
+    def test_multi_cell_unstamped_refused(self, tmp_path):
+        """Mirrors the engine's checkpoint rule: unstamped lines in a
+        multi-cell file could never be attributed back, so writing them
+        would silently merge cells on reload."""
+        rs = ResultSet({"a": v1_records(2), "b": v2_records(1)})
+        with pytest.raises(FFISError, match="no campaign_id"):
+            rs.to_jsonl(str(tmp_path / "merged.jsonl"))
+
+    def test_unstamped_lines_group_under_results(self, tmp_path):
+        rs = ResultSet({"cell": v1_records(2)})  # no campaign_id
+        path = str(tmp_path / "results.jsonl")
+        rs.to_jsonl(path)
+        back = ResultSet.from_jsonl(path)
+        assert back.keys() == [UNSTAMPED_KEY]
+        assert back.cell(UNSTAMPED_KEY) == v1_records(2)
+
+    def test_records_sorted_by_run_index(self, tmp_path):
+        rs = ResultSet({"cell": list(reversed(v1_records(3)))})
+        path = str(tmp_path / "results.jsonl")
+        rs.to_jsonl(path)
+        back = ResultSet.from_jsonl(path)
+        assert [r.run_index for r in back.cell(UNSTAMPED_KEY)] == [0, 1, 2]
+
+    def test_round_trip_engine_checkpoint(self, tmp_path):
+        """A checkpoint written by a real study execution loads back."""
+        from repro.study import Study
+        from repro.study.registry import multifault_spec
+
+        from tests.test_scenario_determinism import ToyApp
+
+        spec = multifault_spec(n_runs=2, seed=6, fault_model="DW",
+                               k_values=(1, 2), apps=(("TOY", "TOY"),))
+        path = str(tmp_path / "study.jsonl")
+        plan = Study(spec, apps={"TOY": ToyApp()}).plan()
+        results = plan.execute(results_path=path)
+        back = ResultSet.from_jsonl(path, info=plan.cell_info())
+        assert set(back.keys()) == set(results.keys())
+        for key in results.keys():
+            assert back.cell(key) == results.cell(key)
+
+
+class TestTrailingNewlineRule:
+    """The PR 2 forgiveness rule, inherited through from_jsonl."""
+
+    def write(self, tmp_path, tail: bytes):
+        rs = mixed_result_set()
+        path = str(tmp_path / "results.jsonl")
+        rs.to_jsonl(path)
+        with open(path, "ab") as f:
+            f.write(tail)
+        return path
+
+    def test_unterminated_final_line_is_forgiven(self, tmp_path):
+        path = self.write(tmp_path, b'{"v": 1, "run_ind')  # no newline
+        back = ResultSet.from_jsonl(path)
+        assert len(back) == 7  # the torn line is dropped, nothing raises
+
+    def test_terminated_corruption_raises(self, tmp_path):
+        path = self.write(tmp_path, b'{"v": 1, "run_ind\n')
+        with pytest.raises(FFISError, match="undecodable"):
+            ResultSet.from_jsonl(path)
+
+    def test_newer_schema_refused(self, tmp_path):
+        record = {"v": 99, "run_index": 0, "outcome": "benign"}
+        path = str(tmp_path / "future.jsonl")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(json.dumps(record) + "\n")
+        with pytest.raises(FFISError, match="schema v99"):
+            ResultSet.from_jsonl(path)

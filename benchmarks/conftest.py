@@ -54,6 +54,36 @@ def save_report(results_dir):
     return _save
 
 
+ENGINE_BASELINE = os.path.join(RESULTS_DIR, "BENCH_engine.json")
+
+
+@pytest.fixture
+def save_engine_baseline(results_dir):
+    """Merge one engine benchmark's metrics into ``BENCH_engine.json``.
+
+    The machine-readable companion to the ``.txt`` reports: every
+    engine-level bench records wall time, throughput, speedup, and its
+    records-identical flag under its own key, so future performance
+    work has a trajectory to regress against instead of prose.
+    """
+    import json
+
+    def _save(name: str, metrics: dict) -> None:
+        data = {}
+        if os.path.exists(ENGINE_BASELINE):
+            with open(ENGINE_BASELINE, encoding="utf-8") as f:
+                try:
+                    data = json.load(f)
+                except ValueError:
+                    data = {}
+        data[name] = metrics
+        with open(ENGINE_BASELINE, "w", encoding="utf-8") as f:
+            json.dump(data, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    return _save
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Time *fn* exactly once (campaigns are their own repetition)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,

@@ -22,7 +22,8 @@ N_RUNS = 64
 WORKERS = 4
 
 
-def test_engine_parallel_speedup(benchmark, save_report):
+def test_engine_parallel_speedup(benchmark, save_report,
+                                 save_engine_baseline):
     app = nyx_default()
     config = CampaignConfig(fault_model="BF", n_runs=N_RUNS, seed=21)
 
@@ -50,6 +51,17 @@ def test_engine_parallel_speedup(benchmark, save_report):
         f"  parallel : {parallel_s:8.2f} s\n"
         f"  speedup  : {speedup:8.2f}x\n"
         f"  records identical: True\n"))
+    save_engine_baseline("engine_parallel", {
+        "runs": N_RUNS,
+        "workers": WORKERS,
+        "cores": cores,
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "serial_runs_per_s": round(N_RUNS / serial_s, 2),
+        "parallel_runs_per_s": round(N_RUNS / parallel_s, 2),
+        "speedup": round(speedup, 2),
+        "records_identical": True,
+    })
 
     if cores >= 2:
         # Measurably faster; the margin is deliberately loose so bench

@@ -50,7 +50,8 @@ def _sequential_cells(apps):
     return cells
 
 
-def test_figure7_fused_sweep_beats_sequential_cells(benchmark, save_report):
+def test_figure7_fused_sweep_beats_sequential_cells(benchmark, save_report,
+                                                    save_engine_baseline):
     apps = {"NYX": nyx_default(), "QMC": qmcpack_default(),
             "MT": montage_default()}
 
@@ -83,6 +84,15 @@ def test_figure7_fused_sweep_beats_sequential_cells(benchmark, save_report):
         f"({fused.fault_free_runs} fault-free runs)\n"
         f"  speedup          : {speedup:8.2f}x\n"
         f"  records identical: True\n"))
+    save_engine_baseline("figure7_fused_sweep", {
+        "cells": n_cells,
+        "runs_per_cell": RUNS,
+        "sequential_wall_s": round(sequential_s, 3),
+        "fused_wall_s": round(fused_s, 3),
+        "fault_free_runs": fused.fault_free_runs,
+        "speedup": round(speedup, 2),
+        "records_identical": True,
+    })
 
     # The fused sweep runs 3 shared fault-free pairs instead of 18.
     assert fused.fault_free_runs == 2 * len(apps)

@@ -7,6 +7,23 @@ is the injected fault).  ``run`` is split into named **phases** so
 stage-targeted campaigns (Montage MT1..MT4) can restrict the injector to
 the dynamic write-instance window of one phase -- the application itself
 stays oblivious to fault injection (paper requirement R1).
+
+Phases are further decomposed into ordered **steps** (:meth:`steps`):
+each step is a named callable over ``(mount point, carry dict)``, and
+consecutive steps sharing a phase name form that phase (one recorded
+:class:`PhaseSpan`, one phase-end notification -- byte-identical to the
+old monolithic ``run``).  The step protocol is what the prefix-replay
+engine schedules against: golden capture snapshots the file system at
+every step boundary (:class:`ReplayImage`), and a faulty run restores
+the last boundary before its first injection point instead of
+re-executing the whole prefix.  Step contract:
+
+* a step communicates with later steps only through the file system and
+  the ``carry`` dict (assign new values; never mutate a carried value in
+  place -- carries are shared with golden snapshots);
+* any randomness inside a step is derived by name from construction
+  parameters (:class:`repro.util.rngstream.RngStream`), never threaded
+  across steps, so a replayed suffix draws identical randoms.
 """
 
 from __future__ import annotations
@@ -14,10 +31,11 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.outcomes import Outcome
 from repro.fusefs.mount import MountPoint
+from repro.fusefs.vfs import FsImage
 
 
 @dataclass(frozen=True)
@@ -33,6 +51,67 @@ class PhaseSpan:
         return self.end - self.start
 
 
+#: One step of the decomposed run: ``fn(mount point, carry)``.
+StepFn = Callable[[MountPoint, Dict[str, object]], None]
+
+
+@dataclass(frozen=True)
+class RunStep:
+    """A named stage of :meth:`HpcApplication.run`.
+
+    ``phase`` is the public phase the step belongs to; consecutive steps
+    with the same phase form one :class:`PhaseSpan`.  Splitting a phase
+    into several steps adds snapshot boundaries (e.g. an expensive
+    compute step separated from the writes it feeds) without changing
+    the recorded phases or the write windows campaigns sample from.
+    """
+
+    name: str
+    phase: str
+    fn: StepFn
+
+
+@dataclass(frozen=True)
+class StepTrace:
+    """What one golden step observed and changed (by inode number).
+
+    ``observed`` is every inode whose *content* the step read
+    (``ffis_read`` targets); ``written`` every inode whose extent or
+    inode image changed during the step (files written or created,
+    directories whose entries changed); ``removed`` inodes that
+    disappeared.  The replay engine uses these to decide whether a
+    pending step can be fast-forwarded from the golden image instead of
+    re-executed.
+    """
+
+    name: str
+    phase: str
+    ends_phase: bool
+    observed: Tuple[int, ...]
+    written: Tuple[int, ...]
+    removed: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ReplayImage:
+    """Golden step-boundary snapshots for the prefix-replay engine.
+
+    ``boundaries[k]`` is the file-system image *before* step ``k`` (so
+    ``boundaries[0]`` is the post-:meth:`~HpcApplication.prepare` state
+    and ``boundaries[len(steps)]`` the final state); ``carries[k]`` the
+    carry dict at the same point.  All images share extent bytes
+    copy-on-write, so the whole set costs roughly one file-system image
+    plus per-step deltas.
+    """
+
+    boundaries: Tuple[FsImage, ...]
+    carries: Tuple[Mapping[str, object], ...]
+    steps: Tuple[StepTrace, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
 @dataclass
 class GoldenRecord:
     """Fault-free reference captured once per campaign.
@@ -40,13 +119,16 @@ class GoldenRecord:
     ``outputs`` maps output paths to their exact bytes; ``analysis`` holds
     the application's post-analysis product in a bit-comparable form
     (e.g. the rendered halo catalog); ``phases`` records the write windows
-    of each run phase.
+    of each run phase.  ``replay`` carries the step-boundary snapshot set
+    when the application speaks the step protocol and the file system can
+    fork (``None`` otherwise -- the engine then always runs cold).
     """
 
     outputs: Dict[str, bytes] = field(default_factory=dict)
     analysis: Dict[str, object] = field(default_factory=dict)
     phases: List[PhaseSpan] = field(default_factory=list)
     total_writes: int = 0
+    replay: Optional[ReplayImage] = None
 
     def phase(self, name: str) -> PhaseSpan:
         for span in self.phases:
@@ -91,6 +173,86 @@ class HpcApplication(ABC):
     def recorded_phases(self) -> List[PhaseSpan]:
         return list(self._phase_log)
 
+    # -- the step protocol ----------------------------------------------------
+
+    def steps(self) -> Optional[Sequence[RunStep]]:
+        """The run decomposed into ordered named steps, or ``None``.
+
+        Applications that return a step list get :meth:`run` for free
+        and become eligible for prefix replay; applications that
+        override :meth:`run` directly simply always execute cold.
+        """
+        return None
+
+    def prepare(self, mp: MountPoint, carry: Dict[str, object]) -> None:
+        """Pre-phase setup (directories); runs before the first step."""
+
+    def run_steps(self, mp: MountPoint, carry: Dict[str, object],
+                  start: int = 0,
+                  next_step: Optional[Callable[[int], int]] = None) -> None:
+        """Drive the step protocol from *start*.
+
+        Phase bookkeeping matches the :meth:`phase` context manager
+        byte for byte: one span and one phase-end notification per
+        group of same-phase steps, emitted even when a step raises
+        (crash parity).  ``next_step(i)`` is consulted after step *i*
+        completes and returns the index to continue at -- the replay
+        engine uses it to skip steps it fast-forwarded from the golden
+        image.
+        """
+        steps = self.steps()
+        if steps is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not define steps()")
+        interposer = mp.fs.interposer
+        n = len(steps)
+        i = start
+        span_start: Optional[int] = None
+        span_phase = ""
+        while i < n:
+            step = steps[i]
+            if span_start is None:
+                span_start = interposer.count("ffis_write")
+                span_phase = step.phase
+            ends = (i + 1 >= n) or (steps[i + 1].phase != step.phase)
+            try:
+                step.fn(mp, carry)
+            except BaseException:
+                self._phase_log.append(PhaseSpan(
+                    span_phase, span_start, interposer.count("ffis_write")))
+                interposer.notify_phase_end(span_phase)
+                raise
+            if ends:
+                self._phase_log.append(PhaseSpan(
+                    span_phase, span_start, interposer.count("ffis_write")))
+                interposer.notify_phase_end(span_phase)
+                span_start = None
+            nxt = next_step(i) if next_step is not None else i + 1
+            if nxt != i + 1:
+                # Fast-forwarded steps may have crossed phase ends (the
+                # engine fires those notifications itself); start a
+                # fresh span at the next live step.
+                span_start = None
+            i = nxt
+
+    def execute_from(self, mp: MountPoint, carry: Dict[str, object],
+                     start: int = 0,
+                     next_step: Optional[Callable[[int], int]] = None) -> None:
+        """Replay entry point: execute steps ``start..`` against *mp*.
+
+        With ``start == 0`` this is a cold execution through the step
+        driver; otherwise the caller must have restored the file system
+        and *carry* to the boundary before step *start*.
+        """
+        self._phase_log = []
+        self._active_mp = mp
+        try:
+            if start == 0:
+                self.prepare(mp, carry)
+            self.run_steps(mp, carry, start=start, next_step=next_step)
+        finally:
+            self._active_mp = None
+
     # -- the application lifecycle ----------------------------------------------
 
     def execute(self, mp: MountPoint) -> None:
@@ -102,9 +264,18 @@ class HpcApplication(ABC):
         finally:
             self._active_mp = None
 
-    @abstractmethod
     def run(self, mp: MountPoint) -> None:
-        """Perform the workload's I/O through *mp* (deterministically)."""
+        """Perform the workload's I/O through *mp* (deterministically).
+
+        The default drives :meth:`steps`; applications without a step
+        decomposition override this directly.
+        """
+        if self.steps() is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement run() or steps()")
+        carry: Dict[str, object] = {}
+        self.prepare(mp, carry)
+        self.run_steps(mp, carry)
 
     @abstractmethod
     def output_paths(self) -> List[str]:
@@ -131,15 +302,77 @@ class HpcApplication(ABC):
     # -- golden capture -------------------------------------------------------------
 
     def capture_golden(self, mp: MountPoint) -> GoldenRecord:
-        """Run fault-free and capture outputs + analysis + phase windows."""
-        self.execute(mp)
+        """Run fault-free and capture outputs + analysis + phase windows.
+
+        When the application speaks the step protocol and the mounted
+        file system supports copy-on-write snapshots, the capture also
+        records a :class:`ReplayImage` -- one snapshot per step boundary
+        plus each step's observed/written inode sets -- which is what
+        lets the campaign engine replay only the suffix of each faulty
+        run.  The extra capture changes nothing observable: the I/O
+        sequence, phase windows, outputs, and analysis are identical to
+        a plain execution.
+        """
+        replay = None
+        if self.steps() is not None and mp.fs.supports_snapshots:
+            replay = self._execute_capturing_replay(mp)
+        else:
+            self.execute(mp)
         golden = GoldenRecord()
         golden.phases = self.recorded_phases
         golden.total_writes = mp.fs.interposer.count("ffis_write")
         for path in self.output_paths():
             golden.outputs[path] = mp.read_file(path)
         golden.analysis = self.analyze(mp)
+        golden.replay = replay
         return golden
+
+    def _execute_capturing_replay(self, mp: MountPoint) -> ReplayImage:
+        """Execute the step protocol, snapshotting every boundary."""
+        fs = mp.fs
+        steps = list(self.steps())
+        observed: List[set] = [set() for _ in steps]
+        cursor = {"step": 0}
+
+        def read_tracker(call):
+            if call.primitive == "ffis_read" and cursor["step"] < len(steps):
+                handle = fs.open_handle(call.args["fd"])
+                if handle is not None:
+                    observed[cursor["step"]].add(handle.ino)
+            return None
+
+        boundaries: List[FsImage] = []
+        carries: List[Dict[str, object]] = []
+        carry: Dict[str, object] = {}
+
+        def boundary(i: int) -> int:
+            boundaries.append(fs.snapshot())
+            carries.append(dict(carry))
+            cursor["step"] = i + 1
+            return i + 1
+
+        self._phase_log = []
+        self._active_mp = mp
+        fs.interposer.add_global_hook(read_tracker)
+        try:
+            self.prepare(mp, carry)
+            boundaries.append(fs.snapshot())
+            carries.append(dict(carry))
+            self.run_steps(mp, carry, next_step=boundary)
+        finally:
+            fs.interposer.remove_global_hook(read_tracker)
+            self._active_mp = None
+
+        traces = []
+        for i, step in enumerate(steps):
+            written, removed = _boundary_delta(boundaries[i], boundaries[i + 1])
+            ends = (i + 1 >= len(steps)) or (steps[i + 1].phase != step.phase)
+            traces.append(StepTrace(name=step.name, phase=step.phase,
+                                    ends_phase=ends,
+                                    observed=tuple(sorted(observed[i])),
+                                    written=written, removed=removed))
+        return ReplayImage(boundaries=tuple(boundaries),
+                           carries=tuple(carries), steps=tuple(traces))
 
     # -- helpers -------------------------------------------------------------------
 
@@ -155,3 +388,24 @@ class HpcApplication(ABC):
             if mp.read_file(path) != expected:
                 return False
         return True
+
+
+def _boundary_delta(prev: FsImage, cur: FsImage
+                    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """``(written, removed)`` inode sets between two golden boundaries.
+
+    Extent comparison is by object identity: snapshots freeze extents in
+    place, so an extent object shared by both boundaries was provably
+    untouched in between -- the copy-on-write fork makes this diff O(1)
+    per unchanged file.
+    """
+    written = set()
+    for ino, ext in cur.extents.items():
+        if prev.extents.get(ino) is not ext:
+            written.add(ino)
+    for ino, image in cur.inodes.items():
+        if prev.inodes.get(ino) != image:
+            written.add(ino)
+    removed = {ino for ino in prev.inodes if ino not in cur.inodes}
+    removed |= {ino for ino in prev.extents if ino not in cur.extents}
+    return tuple(sorted(written - removed)), tuple(sorted(removed))

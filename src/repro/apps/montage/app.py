@@ -23,9 +23,9 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.apps.base import GoldenRecord, HpcApplication
+from repro.apps.base import GoldenRecord, HpcApplication, RunStep
 from repro.apps.montage.add import MosaicStats, mosaic_stats, run_madd, run_mjpeg
-from repro.apps.montage.background import run_mbg
+from repro.apps.montage.background import mbg_apply, mbg_fit
 from repro.apps.montage.diff import run_mdiff
 from repro.apps.montage.image import RawTile, SkyConfig, make_raw_tiles
 from repro.apps.montage.project import run_mproj
@@ -67,25 +67,55 @@ class MontageApplication(HpcApplication):
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def run(self, mp: MountPoint) -> None:
+    def prepare(self, mp: MountPoint, carry) -> None:
         mp.makedirs("/montage")
-        with self.phase("stage_raw"):
-            mp.makedirs(RAW_DIR)
-            raw_paths = []
-            for tile in self._tiles:
-                path = f"{RAW_DIR}/2mass_{tile.name}.fits"
-                write_fits(mp, path, tile.hdu)
-                raw_paths.append(path)
-        with self.phase("mProjExec"):
-            projected = run_mproj(mp, raw_paths, PROJ_DIR)
-        with self.phase("mDiffExec"):
-            diffs = run_mdiff(mp, [p.image for p in projected], DIFF_DIR)
-        with self.phase("mBgExec"):
-            corrected = run_mbg(mp, [p.image for p in projected], diffs, CORR_DIR)
-        with self.phase("mAdd"):
-            mosaic_path, _, _ = run_madd(mp, corrected, [p.area for p in projected],
-                                         self.sky_config.canvas_shape, OUT_DIR)
-            run_mjpeg(mp, mosaic_path, JPEG_PATH)
+
+    def steps(self):
+        """The four pipeline stages, with ``mBgExec`` split at its
+        fit/apply seam.
+
+        The split adds a replay boundary between the sigma-clipped plane
+        fitting (the stage's dominant cost) and the corrected-image
+        writes it feeds, without changing the ``mBgExec`` write window
+        stage-targeted campaigns sample from.
+        """
+        return (RunStep("stage_raw", "stage_raw", self._step_stage_raw),
+                RunStep("mProjExec", "mProjExec", self._step_mproj),
+                RunStep("mDiffExec", "mDiffExec", self._step_mdiff),
+                RunStep("mBg_fit", "mBgExec", self._step_mbg_fit),
+                RunStep("mBg_apply", "mBgExec", self._step_mbg_apply),
+                RunStep("mAdd", "mAdd", self._step_madd))
+
+    def _step_stage_raw(self, mp: MountPoint, carry) -> None:
+        mp.makedirs(RAW_DIR)
+        raw_paths = []
+        for tile in self._tiles:
+            path = f"{RAW_DIR}/2mass_{tile.name}.fits"
+            write_fits(mp, path, tile.hdu)
+            raw_paths.append(path)
+        carry["raw_paths"] = raw_paths
+
+    def _step_mproj(self, mp: MountPoint, carry) -> None:
+        carry["projected"] = run_mproj(mp, carry["raw_paths"], PROJ_DIR)
+
+    def _step_mdiff(self, mp: MountPoint, carry) -> None:
+        projected = carry["projected"]
+        carry["diffs"] = run_mdiff(mp, [p.image for p in projected], DIFF_DIR)
+
+    def _step_mbg_fit(self, mp: MountPoint, carry) -> None:
+        projected = carry["projected"]
+        carry["background"] = mbg_fit(mp, [p.image for p in projected],
+                                      carry["diffs"], CORR_DIR)
+
+    def _step_mbg_apply(self, mp: MountPoint, carry) -> None:
+        carry["corrected"] = mbg_apply(mp, carry["background"], CORR_DIR)
+
+    def _step_madd(self, mp: MountPoint, carry) -> None:
+        projected = carry["projected"]
+        mosaic_path, _, _ = run_madd(mp, carry["corrected"],
+                                     [p.area for p in projected],
+                                     self.sky_config.canvas_shape, OUT_DIR)
+        run_mjpeg(mp, mosaic_path, JPEG_PATH)
 
     def output_paths(self) -> List[str]:
         return [MOSAIC_PATH, STATS_PATH, JPEG_PATH]

@@ -152,15 +152,24 @@ def parse_fits_table(text: str) -> List[PlaneFit]:
     return fits
 
 
-def run_mbg(mp: MountPoint, image_paths: List[str], diffs: List[DiffRecord],
-            out_dir: str) -> List[str]:
-    """Fit diff planes, solve corrections, write background-matched images.
+@dataclass(frozen=True)
+class BackgroundModel:
+    """The solved background state between fitting and application.
 
-    Mirrors the real pipeline's process structure: ``mFitExec`` writes
-    the plane fits to ``fits.tbl`` and the background solver reads that
-    table back from disk, so coefficients are exchanged at the table's
-    finite text precision (and the table itself is injectable I/O).
+    Everything :func:`mbg_apply` needs to write the corrected images:
+    the loaded projected HDUs (treated as read-only) and the per-tile
+    correction planes.  This is the carry value at the prefix-replay
+    boundary splitting ``mBgExec``'s expensive fits from its writes.
     """
+
+    hdus: Dict[int, ImageHDU]
+    corrections: Dict[int, Tuple[float, float, float]]
+
+
+def mbg_fit(mp: MountPoint, image_paths: List[str], diffs: List[DiffRecord],
+            out_dir: str) -> BackgroundModel:
+    """The fitting half of ``mBgExec``: fit planes, write/read the fits
+    table, load the projected images, solve the global corrections."""
     mp.makedirs(out_dir)
     plane_fits = []
     for rec in diffs:
@@ -176,7 +185,6 @@ def run_mbg(mp: MountPoint, image_paths: List[str], diffs: List[DiffRecord],
         mp.read_file(table_path).decode("ascii", errors="replace"))
 
     hdus: Dict[int, ImageHDU] = {}
-    paths: Dict[int, str] = {}
     for path in image_paths:
         try:
             hdu = read_fits(mp, path)
@@ -184,15 +192,20 @@ def run_mbg(mp: MountPoint, image_paths: List[str], diffs: List[DiffRecord],
         except (FormatError, KeyError, TypeError, ValueError):
             continue
         hdus[tile] = hdu
-        paths[tile] = path
     if not hdus:
         raise FormatError("mBgExec: no usable projected images")
     corrections = solve_corrections(plane_fits, sorted(hdus))
+    return BackgroundModel(hdus=hdus, corrections=corrections)
 
+
+def mbg_apply(mp: MountPoint, model: BackgroundModel,
+              out_dir: str) -> List[str]:
+    """The writing half of ``mBgExec``: subtract each tile's correction
+    plane and write the background-matched images."""
     out_paths: List[str] = []
-    for tile in sorted(hdus):
-        hdu = hdus[tile]
-        c0, cy, cx = corrections[tile]
+    for tile in sorted(model.hdus):
+        hdu = model.hdus[tile]
+        c0, cy, cx = model.corrections[tile]
         y0 = float(hdu.header["CRPIX2"])
         x0 = float(hdu.header["CRPIX1"])
         h, w = hdu.data.shape
@@ -204,3 +217,17 @@ def run_mbg(mp: MountPoint, image_paths: List[str], diffs: List[DiffRecord],
         write_fits(mp, out_path, ImageHDU(corrected, header=dict(hdu.header)))
         out_paths.append(out_path)
     return out_paths
+
+
+def run_mbg(mp: MountPoint, image_paths: List[str], diffs: List[DiffRecord],
+            out_dir: str) -> List[str]:
+    """Fit diff planes, solve corrections, write background-matched images.
+
+    Mirrors the real pipeline's process structure: ``mFitExec`` writes
+    the plane fits to ``fits.tbl`` and the background solver reads that
+    table back from disk, so coefficients are exchanged at the table's
+    finite text precision (and the table itself is injectable I/O).
+    Composition of :func:`mbg_fit` and :func:`mbg_apply` -- the stage's
+    I/O sequence is identical to the historical monolithic version.
+    """
+    return mbg_apply(mp, mbg_fit(mp, image_paths, diffs, out_dir), out_dir)

@@ -22,7 +22,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.apps.base import GoldenRecord, HpcApplication
+from repro.apps.base import GoldenRecord, HpcApplication, RunStep
 from repro.apps.nyx.field import FieldConfig, generate_baryon_density
 from repro.apps.nyx.halo_finder import (
     DEFAULT_MIN_CELLS,
@@ -73,14 +73,18 @@ class NyxApplication(HpcApplication):
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def run(self, mp: MountPoint) -> None:
+    def prepare(self, mp: MountPoint, carry) -> None:
         mp.makedirs("/nyx")
-        with self.phase("checkpoint"):
-            with File(mp, PLOTFILE, "w") as f:
-                f.create_dataset(DATASET, self._rho,
-                                 chunks=self.chunks,
-                                 compression=self.compression)
-            self.last_write_result = f.write_result
+
+    def steps(self):
+        return (RunStep("checkpoint", "checkpoint", self._step_checkpoint),)
+
+    def _step_checkpoint(self, mp: MountPoint, carry) -> None:
+        with File(mp, PLOTFILE, "w") as f:
+            f.create_dataset(DATASET, self._rho,
+                             chunks=self.chunks,
+                             compression=self.compression)
+        self.last_write_result = f.write_result
 
     def output_paths(self) -> List[str]:
         return [PLOTFILE]

@@ -25,7 +25,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.apps.base import GoldenRecord, HpcApplication
+from repro.apps.base import GoldenRecord, HpcApplication, RunStep
 from repro.apps.qmcpack.dmc import DmcParams, run_dmc
 from repro.apps.qmcpack.qmca import AnalysisError, EnergyEstimate, analyze_file
 from repro.apps.qmcpack.scalars import render_scalars, write_scalars
@@ -79,19 +79,40 @@ class QmcpackApplication(HpcApplication):
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def run(self, mp: MountPoint) -> None:
+    def prepare(self, mp: MountPoint, carry) -> None:
         mp.makedirs(RUN_DIR)
-        with self.phase("vmc"):
-            write_scalars(mp, S000_SCALARS, self._vmc_rows, block_size=TEXT_BLOCK)
-            with File(mp, CONFIG_FILE, "w") as f:
-                f.create_dataset(WALKER_DATASET, self._vmc_walkers)
-            log = self._render_log()
-            mp.write_file(LOG_FILE, log.encode("ascii"), block_size=TEXT_BLOCK)
-        with self.phase("dmc"):
-            walkers = Hdf5Reader(mp, CONFIG_FILE).read(WALKER_DATASET)
-            dmc_rng = RngStream(self.seed, "qmcpack", "dmc").generator()
-            _, rows = run_dmc(self.wf, walkers, self.dmc_params, dmc_rng)
-            write_scalars(mp, S001_SCALARS, rows, block_size=TEXT_BLOCK)
+
+    def steps(self):
+        """vmc, then dmc split at its compute/write seam.
+
+        The split changes no phase window (``dmc_compute`` performs no
+        writes) but gives the replay engine a snapshot boundary between
+        the expensive DMC projection and the cheap scalar writes it
+        feeds: a fault targeting an ``s001`` write restores the
+        post-compute boundary and re-executes only the writes, and a
+        fault that never touched the walker file fast-forwards past the
+        projection entirely.
+        """
+        return (RunStep("vmc", "vmc", self._step_vmc),
+                RunStep("dmc_compute", "dmc", self._step_dmc_compute),
+                RunStep("dmc_write", "dmc", self._step_dmc_write))
+
+    def _step_vmc(self, mp: MountPoint, carry) -> None:
+        write_scalars(mp, S000_SCALARS, self._vmc_rows, block_size=TEXT_BLOCK)
+        with File(mp, CONFIG_FILE, "w") as f:
+            f.create_dataset(WALKER_DATASET, self._vmc_walkers)
+        log = self._render_log()
+        mp.write_file(LOG_FILE, log.encode("ascii"), block_size=TEXT_BLOCK)
+
+    def _step_dmc_compute(self, mp: MountPoint, carry) -> None:
+        walkers = Hdf5Reader(mp, CONFIG_FILE).read(WALKER_DATASET)
+        dmc_rng = RngStream(self.seed, "qmcpack", "dmc").generator()
+        _, rows = run_dmc(self.wf, walkers, self.dmc_params, dmc_rng)
+        carry["dmc_rows"] = rows
+
+    def _step_dmc_write(self, mp: MountPoint, carry) -> None:
+        write_scalars(mp, S001_SCALARS, carry["dmc_rows"],
+                      block_size=TEXT_BLOCK)
 
     def _render_log(self) -> str:
         lines = [

@@ -29,6 +29,7 @@ and ``--help`` never pay for numpy or the application stack.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -49,6 +50,14 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_replay_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-replay", action="store_true",
+                        help="disable prefix replay: execute every run cold "
+                             "from an empty file system (records are "
+                             "byte-identical either way; equivalent to "
+                             "setting REPRO_NO_REPLAY=1)")
+
+
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=_positive_int, default=1,
                         help="worker processes (1 = serial; results are "
@@ -57,6 +66,7 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                         help="stream every run record to this JSONL file")
     parser.add_argument("--resume", action="store_true",
                         help="skip run indices already present in --out")
+    _add_replay_option(parser)
 
 
 def _add_axis_options(parser: argparse.ArgumentParser,
@@ -102,6 +112,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume", action="store_true",
                      help="re-execute only the (cell, run) pairs missing "
                           "from --out")
+    _add_replay_option(run)
 
     study = sub.add_parser(
         "study", help="declarative studies: one serializable spec per grid")
@@ -128,6 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="stream every run record to this JSONL file")
             p.add_argument("--resume", action="store_true",
                            help="skip (cell, run) pairs already in --out")
+            _add_replay_option(p)
     ssub.add_parser("list", help="list the registered studies")
 
     sweep = sub.add_parser(
@@ -438,19 +450,34 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.command == "experiments":
-        return _cmd_experiments(out)
-    if args.command == "run":
-        return _cmd_run(args, parser, out)
-    if args.command == "study":
-        return _cmd_study(args, parser, out)
-    if args.command == "sweep":
-        return _cmd_sweep(args, parser, out)
-    if args.command == "campaign":
-        return _cmd_campaign(args, parser, out)
-    if args.command == "project":
-        return _cmd_project(args, parser, out)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    no_replay = getattr(args, "no_replay", False)
+    previous = os.environ.get("REPRO_NO_REPLAY")
+    if no_replay:
+        # The universal escape hatch: every execution path (and every
+        # forked worker) consults this before restoring a snapshot.
+        # Restored afterwards so one --no-replay invocation does not
+        # disable replay for the rest of an embedding process.
+        os.environ["REPRO_NO_REPLAY"] = "1"
+    try:
+        if args.command == "experiments":
+            return _cmd_experiments(out)
+        if args.command == "run":
+            return _cmd_run(args, parser, out)
+        if args.command == "study":
+            return _cmd_study(args, parser, out)
+        if args.command == "sweep":
+            return _cmd_sweep(args, parser, out)
+        if args.command == "campaign":
+            return _cmd_campaign(args, parser, out)
+        if args.command == "project":
+            return _cmd_project(args, parser, out)
+        raise AssertionError(f"unhandled command {args.command!r}")
+    finally:
+        if no_replay:
+            if previous is None:
+                os.environ.pop("REPRO_NO_REPLAY", None)
+            else:
+                os.environ["REPRO_NO_REPLAY"] = previous
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -59,13 +59,18 @@ class InjectionContext(ExecutionContext):
     def __init__(self, app: HpcApplication, golden: GoldenRecord,
                  signature: FaultSignature,
                  fs_factory: FsFactory = FFISFileSystem,
-                 scenario: Optional[FaultScenario] = None) -> None:
+                 scenario: Optional[FaultScenario] = None,
+                 replay: Optional[bool] = None) -> None:
         super().__init__(app, golden, fs_factory)
         self.signature = signature
         self.scenario = scenario if scenario is not None else SingleFault()
+        self.replay = replay
 
     def arm(self, fs: FFISFileSystem, spec: RunSpec) -> ArmedHook:
         return self.scenario.arm(fs, self.signature, spec)
+
+    def replay_constraint(self, spec: RunSpec):
+        return self.scenario.replay_constraint(self.signature, spec)
 
 
 @dataclass
@@ -123,7 +128,8 @@ class Campaign:
                  run_index: int, golden: GoldenRecord) -> RunRecord:
         """One injection run at a fixed instance (exposed for tests)."""
         context = InjectionContext(self.app, golden, self.signature,
-                                   self.fs_factory)
+                                   self.fs_factory,
+                                   replay=self.config.replay)
         spec = RunSpec(run_index=run_index, seed=run_rng_seed,
                        target_instance=instance, phase=self.config.phase)
         return execute_run_spec(context, spec)
@@ -167,7 +173,8 @@ class Campaign:
                 specs.append(RunSpec(instances=points,
                                      scenario=scenario.stamp(), **common))
         context = InjectionContext(self.app, golden, self.signature,
-                                   self.fs_factory, scenario)
+                                   self.fs_factory, scenario,
+                                   replay=self.config.replay)
         return RunPlan(context=context, specs=tuple(specs))
 
     def campaign_id(self, golden: GoldenRecord) -> str:

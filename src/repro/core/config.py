@@ -43,6 +43,10 @@ class CampaignConfig:
     workers: int = 1
     results_path: Optional[str] = None
     resume: bool = False
+    #: Prefix-replay switch: ``None`` defers to the engine default
+    #: (on, unless ``REPRO_NO_REPLAY`` is set), ``False`` forces every
+    #: run to execute cold from an empty file system.
+    replay: Optional[bool] = None
 
     def __post_init__(self) -> None:
         self.scenario = as_scenario(self.scenario)
@@ -66,7 +70,7 @@ class CampaignConfig:
     def from_dict(cls, raw: Dict[str, Any]) -> "CampaignConfig":
         known = {"fault_model", "model_params", "primitive", "n_runs",
                  "seed", "phase", "scenario", "workers", "results_path",
-                 "resume"}
+                 "resume", "replay"}
         unknown = set(raw) - known
         if unknown:
             raise ConfigError(f"unknown configuration keys: {sorted(unknown)}")

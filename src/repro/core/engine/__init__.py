@@ -19,6 +19,11 @@ from repro.core.engine.plan import (
     RunSpec,
     golden_digest,
 )
+from repro.core.engine.replay import (
+    ReplayConstraint,
+    choose_boundary,
+    try_replay_execute,
+)
 from repro.core.engine.runner import execute_plan, execute_run_spec
 from repro.core.engine.sink import (
     SCHEMA_VERSION,
@@ -46,6 +51,7 @@ __all__ = [
     "JsonlSink",
     "ParallelExecutor",
     "ProfileGoldenCache",
+    "ReplayConstraint",
     "ResultSink",
     "RunPlan",
     "RunSpec",
@@ -55,6 +61,7 @@ __all__ = [
     "SweepPlan",
     "SweepResult",
     "TallySink",
+    "choose_boundary",
     "completed_indices",
     "execute_plan",
     "execute_run_spec",
@@ -65,4 +72,5 @@ __all__ = [
     "make_executor",
     "record_from_json",
     "record_to_json",
+    "try_replay_execute",
 ]

@@ -21,7 +21,7 @@ import multiprocessing
 from abc import ABC, abstractmethod
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Iterator, Mapping, Tuple
+from typing import Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.core.outcomes import RunRecord
 from repro.errors import ConfigError
@@ -37,17 +37,19 @@ def _init_worker(context) -> None:
     _WORKER_CONTEXT = context
 
 
-def _run_in_worker(spec) -> RunRecord:
+def _run_in_worker(specs) -> list:
+    """Execute one chunk of specs against the worker's context."""
     from repro.core.engine.runner import execute_run_spec
 
-    return execute_run_spec(_WORKER_CONTEXT, spec)
+    return [execute_run_spec(_WORKER_CONTEXT, spec) for spec in specs]
 
 
-def _run_tagged_in_worker(item) -> Tuple[str, RunRecord]:
+def _run_tagged_in_worker(items) -> list:
+    """Execute one chunk of ``(cell key, spec)`` pairs."""
     from repro.core.engine.runner import execute_run_spec
 
-    key, spec = item
-    return key, execute_run_spec(_WORKER_CONTEXT[key], spec)
+    return [(key, execute_run_spec(_WORKER_CONTEXT[key], spec))
+            for key, spec in items]
 
 
 class Executor(ABC):
@@ -96,9 +98,17 @@ class ParallelExecutor(Executor):
     determinism does not depend on the start method because every run
     re-derives its generator from the spec's seed.
 
+    Dispatch is **chunked**: ``chunk_size`` specs travel per future, so
+    the per-task IPC overhead (pickle, queue wakeups, future
+    bookkeeping) is amortized over a batch -- prefix-replayed runs are
+    often sub-millisecond, where per-spec dispatch would dominate.
+    Records stream back per chunk and are yielded in plan order, so
+    chunking is invisible to every consumer.
+
     Submission is windowed: at most ``workers * IN_FLIGHT_PER_WORKER``
-    futures exist at any moment, so a million-run plan streams through
-    in constant memory instead of materializing O(n) futures upfront.
+    chunk futures exist at any moment, so a million-run plan streams
+    through in constant memory instead of materializing O(n) futures
+    upfront.
     """
 
     #: In-flight futures allowed per worker.  Enough to keep every
@@ -106,10 +116,20 @@ class ParallelExecutor(Executor):
     #: resident futures stay O(workers) for arbitrarily long plans.
     IN_FLIGHT_PER_WORKER = 4
 
-    def __init__(self, workers: int) -> None:
+    #: Specs per future.  Large enough to amortize dispatch overhead,
+    #: small enough that a killed sweep's checkpoint loses at most a
+    #: few chunks of in-flight work per worker.
+    DEFAULT_CHUNK_SIZE = 8
+
+    def __init__(self, workers: int,
+                 chunk_size: Optional[int] = None) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
+        chunk = self.DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
+        if chunk < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk}")
         self.workers = workers
+        self.chunk_size = chunk
 
     def _mp_context(self):
         methods = multiprocessing.get_all_start_methods()
@@ -125,6 +145,16 @@ class ParallelExecutor(Executor):
     def map_tagged(self, contexts, items) -> Iterator[Tuple[str, RunRecord]]:
         yield from self._stream(dict(contexts), _run_tagged_in_worker, items)
 
+    def _chunks(self, items) -> Iterator[list]:
+        chunk: list = []
+        for item in items:
+            chunk.append(item)
+            if len(chunk) >= self.chunk_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
     def _stream(self, payload, worker_fn, items) -> Iterator:
         pool = ProcessPoolExecutor(max_workers=self.workers,
                                    mp_context=self._mp_context(),
@@ -133,12 +163,12 @@ class ParallelExecutor(Executor):
         window = self.workers * self.IN_FLIGHT_PER_WORKER
         pending = deque()
         try:
-            for item in items:
-                pending.append(pool.submit(worker_fn, item))
+            for chunk in self._chunks(items):
+                pending.append(pool.submit(worker_fn, chunk))
                 if len(pending) >= window:
-                    yield pending.popleft().result()
+                    yield from pending.popleft().result()
             while pending:
-                yield pending.popleft().result()
+                yield from pending.popleft().result()
         finally:
             # An abandoned iteration (Ctrl-C, sink failure) must not
             # block on -- or silently discard -- the not-yet-started
@@ -147,7 +177,8 @@ class ParallelExecutor(Executor):
             pool.shutdown(wait=False, cancel_futures=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ParallelExecutor(workers={self.workers})"
+        return (f"ParallelExecutor(workers={self.workers}, "
+                f"chunk_size={self.chunk_size})")
 
 
 def make_executor(workers: int) -> Executor:

@@ -14,6 +14,7 @@ the two execution styles produce record-for-record identical outcomes.
 from __future__ import annotations
 
 import hashlib
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Protocol, Sequence, Tuple
@@ -100,6 +101,11 @@ class ExecutionContext(ABC):
     #: truth lives in ``RunRecord.fault_fired``).
     not_fired_note: str = "[warning: fault never fired]"
 
+    #: Prefix-replay switch: ``None`` defers to the engine default
+    #: (enabled unless the ``REPRO_NO_REPLAY`` environment variable is
+    #: set -- the universal escape hatch), ``False`` forces cold runs.
+    replay: Optional[bool] = None
+
     def __init__(self, app: HpcApplication, golden: GoldenRecord,
                  fs_factory: FsFactory = FFISFileSystem) -> None:
         self.app = app
@@ -109,6 +115,22 @@ class ExecutionContext(ABC):
     @abstractmethod
     def arm(self, fs: FFISFileSystem, spec: RunSpec) -> ArmedHook:
         """Attach this plan's corruption hook for *spec* to a fresh fs."""
+
+    @property
+    def replay_enabled(self) -> bool:
+        if self.replay is not None:
+            return self.replay
+        return not os.environ.get("REPRO_NO_REPLAY")
+
+    def replay_constraint(self, spec: RunSpec):
+        """The spec's :class:`repro.core.engine.replay.ReplayConstraint`.
+
+        ``None`` (the default) means the engine cannot reason about
+        this context's injection points and must execute the run cold
+        -- unknown contexts are automatically replay-safe by never
+        being replayed.
+        """
+        return None
 
     def post_execute(self, mp, spec: RunSpec, hook: ArmedHook) -> None:
         """At-rest seam: runs after the application's last stage and

@@ -33,8 +33,15 @@ def execute_run_spec(context: ExecutionContext, spec: RunSpec) -> RunRecord:
 
     This is deterministic in (context, spec): the only randomness is the
     spec's private seed, so the same spec yields the same record whether
-    it runs in-process or in a pool worker.
+    it runs in-process or in a pool worker.  When the context's golden
+    record carries a replay image, the run starts from the last golden
+    snapshot before its first injection point and fast-forwards any
+    suffix steps the fault provably cannot influence
+    (:mod:`repro.core.engine.replay`); the record stream is
+    byte-identical to cold execution either way.
     """
+    from repro.core.engine.replay import try_replay_execute
+
     fs = context.fs_factory()
     hook = context.arm(fs, spec)
     record = RunRecord(run_index=spec.run_index, outcome=Outcome.BENIGN,
@@ -44,7 +51,8 @@ def execute_run_spec(context: ExecutionContext, spec: RunSpec) -> RunRecord:
                        instances=spec.instances, scenario=spec.scenario)
     try:
         with mount(fs) as mp:
-            context.app.execute(mp)
+            if not try_replay_execute(context, spec, fs, mp):
+                context.app.execute(mp)
             # At-rest seam: scenarios that corrupt persisted bytes with
             # no primitive in flight fire here, between the last
             # application stage and its post-analysis.

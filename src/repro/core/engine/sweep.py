@@ -64,6 +64,12 @@ class ProfileGoldenCache:
     location at most once each, however many cells share them.  The
     ``*_runs`` counters report how many fault-free executions the sweep
     actually paid for.
+
+    The cached golden record carries the prefix-replay snapshot set
+    (:attr:`repro.apps.base.GoldenRecord.replay`), so all cells over
+    one application also share a single step-boundary snapshot capture
+    -- the replay engine's restore sources are amortized exactly like
+    the fault-free runs themselves.
     """
 
     def __init__(self) -> None:

@@ -95,6 +95,12 @@ class ByteCorruptionContext(ExecutionContext):
         fs.interposer.add_hook("ffis_write", hook)
         return hook
 
+    def replay_constraint(self, spec: RunSpec):
+        from repro.core.engine.replay import ReplayConstraint
+
+        return ReplayConstraint(primitive="ffis_write",
+                                points=(self.write_index,))
+
 
 @dataclass
 class MetadataCampaignResult:

@@ -102,8 +102,29 @@ class FaultScenario(ABC):
     def arm(self, fs: FFISFileSystem, signature: FaultSignature, spec) -> object:
         """Attach this scenario's hook(s) for *spec* to a fresh fs."""
 
+    def replay_constraint(self, signature: FaultSignature, spec):
+        """What the prefix-replay engine must execute live for *spec*.
+
+        The default ``None`` opts the scenario out of replay entirely
+        (every run executes cold) -- new scenario classes are safe by
+        construction and declare a constraint only once their firing
+        semantics are understood by the replay engine.
+        """
+        return None
+
     def __str__(self) -> str:
         return self.stamp()
+
+
+def _points_constraint(signature: FaultSignature, points):
+    """Shared instance-hosted constraint: every planned injection point
+    must dispatch live, so replay may start no later than the first."""
+    from repro.core.engine.replay import ReplayConstraint
+
+    points = tuple(int(p) for p in (points or ()) if int(p) >= 0)
+    if not points:
+        return None
+    return ReplayConstraint(primitive=signature.primitive, points=points)
 
 
 @dataclass(frozen=True)
@@ -127,6 +148,9 @@ class SingleFault(FaultScenario):
     def arm(self, fs: FFISFileSystem, signature: FaultSignature, spec):
         rng = RngStream(spec.seed).generator()
         return FaultInjector(signature).arm(fs, spec.target_instance, rng)
+
+    def replay_constraint(self, signature: FaultSignature, spec):
+        return _points_constraint(signature, (spec.target_instance,))
 
 
 @dataclass(frozen=True)
@@ -177,6 +201,9 @@ class KFaults(FaultScenario):
     def arm(self, fs: FFISFileSystem, signature: FaultSignature, spec):
         return FaultInjector(signature).arm_many(fs, spec.instances, spec.seed)
 
+    def replay_constraint(self, signature: FaultSignature, spec):
+        return _points_constraint(signature, spec.instances)
+
 
 @dataclass(frozen=True)
 class BurstFault(FaultScenario):
@@ -209,6 +236,9 @@ class BurstFault(FaultScenario):
 
     def arm(self, fs: FFISFileSystem, signature: FaultSignature, spec):
         return FaultInjector(signature).arm_many(fs, spec.instances, spec.seed)
+
+    def replay_constraint(self, signature: FaultSignature, spec):
+        return _points_constraint(signature, spec.instances)
 
 
 def _regular_files(fs: FFISFileSystem) -> List[Tuple[str, Inode]]:
@@ -339,6 +369,15 @@ class AtRestDecay(FaultScenario):
     def arm(self, fs: FFISFileSystem, signature: FaultSignature, spec):
         return AtRestDecayHook(fs, spec.seed, self.n_bytes, self.region,
                                self.after_phase)
+
+    def replay_constraint(self, signature: FaultSignature, spec):
+        """Decay hosts no primitive: with no target phase it fires at the
+        engine's post-execute seam (the run may restore the final golden
+        boundary outright); with ``after_phase`` set, the step ending
+        that phase must still be ahead so its notification fires."""
+        from repro.core.engine.replay import ReplayConstraint
+
+        return ReplayConstraint(notify_phase=self.after_phase)
 
 
 def _parse_int(key: str, text: str) -> int:

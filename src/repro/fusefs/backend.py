@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from typing import Dict
+from typing import Dict, Mapping, Optional, Union
 
 
 class StorageBackend(ABC):
@@ -55,14 +55,23 @@ class StorageBackend(ABC):
 
 
 class MemoryBackend(StorageBackend):
-    """In-memory backend: one ``bytearray`` per inode.
+    """In-memory backend: one extent per inode, with copy-on-write forks.
 
     This is the default for fault-injection campaigns -- thousands of
     mount/run/unmount cycles with no disk traffic.
+
+    An extent is either a private ``bytearray`` (mutable in place) or a
+    shared immutable ``bytes`` object produced by :meth:`fork`.  Forking
+    freezes every extent in place and returns a shallow mapping of the
+    frozen objects; :meth:`restore_fork` adopts such a mapping as the
+    live extent table.  Writes materialize a private ``bytearray`` copy
+    on first touch, so however many restored file systems share one
+    fork, none can alias another's mutations -- the mechanism behind
+    the prefix-replay engine's cheap per-run state restores.
     """
 
     def __init__(self) -> None:
-        self._extents: Dict[int, bytearray] = {}
+        self._extents: Dict[int, Union[bytes, bytearray]] = {}
 
     def create(self, ino: int) -> None:
         self._extents.setdefault(ino, bytearray())
@@ -70,22 +79,34 @@ class MemoryBackend(StorageBackend):
     def delete(self, ino: int) -> None:
         self._extents.pop(ino, None)
 
-    def _extent(self, ino: int) -> bytearray:
+    def _extent(self, ino: int) -> Union[bytes, bytearray]:
         try:
             return self._extents[ino]
         except KeyError:
             raise KeyError(f"backend has no extent for inode {ino}") from None
 
+    def _writable(self, ino: int) -> bytearray:
+        """The extent as a private mutable buffer (copy-on-write)."""
+        ext = self._extent(ino)
+        if not isinstance(ext, bytearray):
+            ext = bytearray(ext)
+            self._extents[ino] = ext
+        return ext
+
     def pread(self, ino: int, size: int, offset: int) -> bytes:
         if size < 0 or offset < 0:
             raise ValueError("size and offset must be non-negative")
         ext = self._extent(ino)
-        return bytes(ext[offset : offset + size])
+        if isinstance(ext, bytes):
+            # Slicing bytes already yields immutable bytes: one copy
+            # (or zero, for a whole-extent read) instead of two.
+            return ext[offset : offset + size]
+        return bytes(memoryview(ext)[offset : offset + size])
 
     def pwrite(self, ino: int, data: bytes, offset: int) -> int:
         if offset < 0:
             raise ValueError("offset must be non-negative")
-        ext = self._extent(ino)
+        ext = self._writable(ino)
         end = offset + len(data)
         if offset > len(ext):
             ext.extend(b"\x00" * (offset - len(ext)))
@@ -97,7 +118,9 @@ class MemoryBackend(StorageBackend):
     def truncate(self, ino: int, size: int) -> None:
         if size < 0:
             raise ValueError("size must be non-negative")
-        ext = self._extent(ino)
+        if size == self.size(ino):
+            return
+        ext = self._writable(ino)
         if size <= len(ext):
             del ext[size:]
         else:
@@ -108,6 +131,38 @@ class MemoryBackend(StorageBackend):
 
     def clear(self) -> None:
         self._extents.clear()
+
+    # -- copy-on-write forks --------------------------------------------------
+
+    def fork(self) -> Mapping[int, bytes]:
+        """Freeze every extent in place and return the frozen table.
+
+        The returned mapping shares its ``bytes`` objects with this
+        backend: extents untouched after the fork stay the *same*
+        object, which is what makes both restore (dict copy) and
+        "has this extent changed since the fork?" checks O(1).
+        """
+        for ino, ext in list(self._extents.items()):
+            if not isinstance(ext, bytes):
+                self._extents[ino] = bytes(ext)
+        return dict(self._extents)
+
+    def restore_fork(self, extents: Mapping[int, bytes]) -> None:
+        """Adopt a fork as the live extent table (copy-on-write)."""
+        self._extents = dict(extents)
+
+    def extent_object(self, ino: int) -> Optional[Union[bytes, bytearray]]:
+        """The raw extent object (for identity/equality probes), or
+        ``None`` if the inode has no extent.  Callers must not mutate."""
+        return self._extents.get(ino)
+
+    def adopt_extent(self, ino: int, data: bytes) -> None:
+        """Install a shared immutable extent (snapshot-delta application).
+
+        The object is adopted as-is, copy-on-write: the first local
+        mutation materializes a private copy.
+        """
+        self._extents[ino] = data
 
 
 class DirectoryBackend(StorageBackend):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import (
     DirectoryNotEmpty,
@@ -24,6 +24,15 @@ class InodeKind(enum.Enum):
     DIRECTORY = "directory"
     FIFO = "fifo"
     DEVICE = "device"
+
+
+#: Immutable image of one inode: ``(kind, mode, nlink, size, rdev,
+#: ctime, mtime, entries)`` with ``entries`` a sorted name->ino tuple.
+#: The snapshot/restore machinery trades in these instead of live
+#: :class:`Inode` objects so snapshots can be shared between file
+#: systems without aliasing mutable state.
+InodeImage = Tuple["InodeKind", int, int, int, int, int, int,
+                   Tuple[Tuple[str, int], ...]]
 
 
 @dataclass
@@ -186,3 +195,54 @@ class InodeTable:
 
     def touch_mtime(self, node: Inode) -> None:
         node.mtime = self._tick()
+
+    # -- snapshot / restore ---------------------------------------------------
+
+    @staticmethod
+    def image_of(node: Inode) -> InodeImage:
+        """An immutable image of *node* (see :data:`InodeImage`)."""
+        return (node.kind, node.mode, node.nlink, node.size, node.rdev,
+                node.ctime, node.mtime,
+                tuple(sorted(node.entries.items())))
+
+    @staticmethod
+    def _node_from_image(ino: int, image: InodeImage) -> Inode:
+        kind, mode, nlink, size, rdev, ctime, mtime, entries = image
+        return Inode(ino=ino, kind=kind, mode=mode, nlink=nlink, size=size,
+                     rdev=rdev, ctime=ctime, mtime=mtime,
+                     entries=dict(entries))
+
+    def snapshot_images(self) -> Dict[int, InodeImage]:
+        """Every inode as an immutable image, keyed by inode number."""
+        return {ino: self.image_of(node) for ino, node in self._inodes.items()}
+
+    def restore_images(self, images: Mapping[int, InodeImage],
+                       next_ino: int, clock: int) -> None:
+        """Rebuild the whole table from images (fresh Inode objects)."""
+        self._inodes = {ino: self._node_from_image(ino, image)
+                        for ino, image in images.items()}
+        self._next_ino = next_ino
+        self._clock = clock
+
+    def set_image(self, ino: int, image: InodeImage) -> None:
+        """Overwrite (or create) one inode from its image."""
+        self._inodes[ino] = self._node_from_image(ino, image)
+
+    def drop(self, ino: int) -> None:
+        """Remove one inode outright (snapshot-delta application)."""
+        self._inodes.pop(ino, None)
+
+    def get_or_none(self, ino: int) -> Optional[Inode]:
+        return self._inodes.get(ino)
+
+    @property
+    def next_ino(self) -> int:
+        return self._next_ino
+
+    @property
+    def clock(self) -> int:
+        return self._clock
+
+    def set_scalars(self, next_ino: int, clock: int) -> None:
+        self._next_ino = next_ino
+        self._clock = clock

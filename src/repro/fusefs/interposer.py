@@ -82,6 +82,9 @@ class Interposer:
     def remove_hook(self, primitive: str, hook: Hook) -> None:
         self._hooks.get(primitive, []).remove(hook)
 
+    def remove_global_hook(self, hook: Hook) -> None:
+        self._global_hooks.remove(hook)
+
     def add_phase_listener(self, listener: Callable[[str], None]) -> None:
         """Register a callback fired when the application ends a named
         phase.  Phase boundaries are the only primitive-free events the
@@ -126,3 +129,13 @@ class Interposer:
     def reset_counters(self) -> None:
         """Forget dynamic execution counts (new mount session)."""
         self._counters.clear()
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """A copy of every primitive's dynamic execution count."""
+        return dict(self._counters)
+
+    def set_counters(self, counters: Dict[str, int]) -> None:
+        """Adopt previously captured counts (prefix-replay restore: the
+        sequence numbering continues exactly where the snapshot left
+        off, so absolute injection instances keep their meaning)."""
+        self._counters = dict(counters)

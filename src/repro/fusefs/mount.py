@@ -45,8 +45,11 @@ class MountPoint:
             if block_size is None:
                 return f.write(data)
             total = 0
+            view = memoryview(data)
             for start in range(0, len(data), block_size):
-                total += f.write(data[start : start + block_size])
+                # Zero-copy block carve-out; the write primitive freezes
+                # each block to bytes exactly once for its hooks.
+                total += f.write(view[start : start + block_size])
             return total
 
     def read_file(self, path: str) -> bytes:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import (
     BadFileDescriptor,
@@ -22,7 +22,7 @@ from repro.errors import (
     VFSError,
 )
 from repro.fusefs.backend import MemoryBackend, StorageBackend
-from repro.fusefs.inode import Inode, InodeKind, InodeTable
+from repro.fusefs.inode import Inode, InodeImage, InodeKind, InodeTable
 from repro.fusefs.interposer import Interposer
 
 #: The primitive names that can host faults, in the paper's nomenclature.
@@ -62,6 +62,27 @@ class OpenMode(enum.Enum):
     READ_WRITE = "r+"    # existing file, read/write
 
 
+@dataclass(frozen=True)
+class FsImage:
+    """A point-in-time image of a whole :class:`FFISFileSystem`.
+
+    ``extents`` shares immutable ``bytes`` objects with the backend
+    fork it came from (copy-on-write), so capturing and restoring are
+    both O(number of files), not O(bytes).  ``handles`` records open
+    descriptors as ``(fd, ino, mode value, position)`` tuples; the
+    interposer's *hooks* are deliberately not part of the image --
+    restore is a state operation, instrumentation stays armed.
+    """
+
+    extents: Mapping[int, bytes]
+    inodes: Mapping[int, InodeImage]
+    next_ino: int
+    clock: int
+    next_fd: int
+    handles: Tuple[Tuple[int, int, str, int], ...]
+    counters: Mapping[str, int]
+
+
 class FileHandle:
     """An open-file descriptor with a sequential position cursor.
 
@@ -81,7 +102,9 @@ class FileHandle:
     # -- positional I/O -------------------------------------------------------
 
     def pwrite(self, data: bytes, offset: int) -> int:
-        return self._fs.ffis_write(self.fd, bytes(data), len(data), offset)
+        # No defensive copy here: ffis_write normalizes the buffer to
+        # immutable bytes exactly once before any hook sees it.
+        return self._fs.ffis_write(self.fd, data, len(data), offset)
 
     def pread(self, size: int, offset: int) -> bytes:
         return self._fs.ffis_read(self.fd, size, offset)
@@ -179,6 +202,54 @@ class FFISFileSystem:
         self._fds.clear()
         self._next_fd = 3
 
+    # -- snapshot / restore ---------------------------------------------------
+
+    @property
+    def supports_snapshots(self) -> bool:
+        """Whether the backend can fork its extents copy-on-write."""
+        return hasattr(self.backend, "fork") and hasattr(self.backend,
+                                                         "restore_fork")
+
+    def snapshot(self) -> Optional[FsImage]:
+        """A copy-on-write image of the complete file-system state.
+
+        Captures the backend extents (frozen, shared), the inode table,
+        open-handle state, and the interposer's dynamic counters --
+        everything :meth:`restore` needs to resume execution mid-run.
+        Returns ``None`` when the backend cannot fork (e.g. a
+        :class:`DirectoryBackend`); callers fall back to cold runs.
+        """
+        if not self.supports_snapshots:
+            return None
+        handles = tuple((h.fd, h.ino, h.mode.value, h.pos)
+                        for h in self._fds.values() if not h.closed)
+        return FsImage(extents=self.backend.fork(),
+                       inodes=self.inodes.snapshot_images(),
+                       next_ino=self.inodes.next_ino,
+                       clock=self.inodes.clock,
+                       next_fd=self._next_fd,
+                       handles=handles,
+                       counters=self.interposer.counters_snapshot())
+
+    def restore(self, image: FsImage) -> None:
+        """Adopt *image* as the live state (copy-on-write).
+
+        Interposer hooks and phase listeners are untouched: a fault
+        hook armed before the restore stays armed, and the restored
+        counters make absolute injection instances line up with the
+        run the image was captured from.
+        """
+        if not self.supports_snapshots:
+            raise VFSError(
+                f"{type(self.backend).__name__} does not support snapshots")
+        self.backend.restore_fork(image.extents)
+        self.inodes.restore_images(image.inodes, next_ino=image.next_ino,
+                                   clock=image.clock)
+        self._fds = {fd: FileHandle(self, fd, ino, OpenMode(mode), pos)
+                     for fd, ino, mode, pos in image.handles}
+        self._next_fd = image.next_fd
+        self.interposer.set_counters(dict(image.counters))
+
     # -- descriptor helpers ---------------------------------------------------
 
     def _handle(self, fd: int) -> FileHandle:
@@ -192,6 +263,23 @@ class FFISFileSystem:
 
     def file_size_of(self, fd: int) -> int:
         return self.inodes.get(self._handle(fd).ino).size
+
+    def open_handle(self, fd: int) -> Optional[FileHandle]:
+        """The live handle for *fd*, or ``None`` (instrumentation use:
+        hooks resolve a dispatched fd to its inode without risking
+        :class:`BadFileDescriptor`)."""
+        handle = self._fds.get(fd)
+        if handle is None or handle.closed:
+            return None
+        return handle
+
+    @property
+    def next_fd(self) -> int:
+        return self._next_fd
+
+    def set_next_fd(self, fd: int) -> None:
+        """Advance descriptor numbering (snapshot-delta application)."""
+        self._next_fd = fd
 
     # -- primitives -----------------------------------------------------------
 
@@ -309,8 +397,14 @@ class FFISFileSystem:
         handle = self._handle(fd)
         if handle.mode is OpenMode.READ:
             raise VFSError(f"fd {fd} is read-only")
+        # Hooks must observe an immutable buffer (a fault model keeps a
+        # reference past the call; the application may recycle its own
+        # mutable buffer).  Normalize exactly once: bytes pass through
+        # untouched, bytearray/memoryview pay a single copy here.
+        if not isinstance(buf, bytes):
+            buf = bytes(buf)
         call = self.interposer.dispatch(
-            "ffis_write", {"fd": fd, "buf": bytes(buf), "size": size, "offset": offset})
+            "ffis_write", {"fd": fd, "buf": buf, "size": size, "offset": offset})
         node = self.inodes.get(handle.ino)
         if call.suppressed:
             # The write is dropped on the device, but success is reported to

@@ -149,7 +149,9 @@ class TestBoundedSubmission:
         records = list(executor.map(plan))
         pool = _InstrumentedPool.last
         assert [r.run_index for r in records] == list(range(n))
-        assert pool.submissions == n
+        # Chunked dispatch: ceil(n / chunk_size) futures, not n.
+        expected = -(-n // executor.chunk_size)
+        assert pool.submissions == expected
         assert pool.max_outstanding <= \
             2 * ParallelExecutor.IN_FLIGHT_PER_WORKER
 

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""CI gate on the committed engine-benchmark baseline.
+
+Reads ``benchmarks/results/BENCH_engine.json`` (refreshed by running the
+engine benches: ``PYTHONPATH=src python -m pytest benchmarks/ -q -k
+"engine_parallel or fused_sweep or prefix_replay_figure7"``) and fails
+when a headline speedup regresses below its floor:
+
+* ``engine_parallel.speedup >= 1.5`` -- only enforced when the baseline
+  was *recorded* on a multi-core host (``cores >= 2``); on a single
+  core the pool degenerates to serial-plus-fork-overhead by design and
+  the number is reported, not gated.
+* ``prefix_replay_figure7.speedup >= 1.8`` -- unconditional: replay
+  wins by skipping work, not by adding cores.
+
+Exit status 0 on pass, 1 on regression or a malformed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+BASELINE = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks", "results",
+    "BENCH_engine.json")
+
+PARALLEL_FLOOR = 1.5
+REPLAY_FLOOR = 1.8
+
+
+def check(baseline: dict) -> list:
+    failures = []
+
+    parallel = baseline.get("engine_parallel")
+    if parallel is None:
+        failures.append("baseline has no engine_parallel entry")
+    elif parallel.get("cores", 1) >= 2:
+        speedup = parallel.get("speedup", 0.0)
+        if speedup < PARALLEL_FLOOR:
+            failures.append(
+                f"engine_parallel.speedup {speedup} < {PARALLEL_FLOOR} "
+                f"on {parallel['cores']} cores")
+    else:
+        print(f"engine_parallel: recorded on {parallel.get('cores', 1)} "
+              f"core(s); speedup {parallel.get('speedup')} reported, "
+              f"not gated")
+
+    replay = baseline.get("prefix_replay_figure7")
+    if replay is None:
+        failures.append("baseline has no prefix_replay_figure7 entry")
+    else:
+        speedup = replay.get("speedup", 0.0)
+        if speedup < REPLAY_FLOOR:
+            failures.append(
+                f"prefix_replay_figure7.speedup {speedup} < {REPLAY_FLOOR}")
+
+    for name, entry in sorted(baseline.items()):
+        if isinstance(entry, dict) and entry.get("records_identical") is False:
+            failures.append(f"{name}: records_identical is False")
+    return failures
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else BASELINE
+    try:
+        with open(path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read bench baseline {path}: {exc}", file=sys.stderr)
+        return 1
+
+    failures = check(baseline)
+    if failures:
+        for failure in failures:
+            print(f"BENCH REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"bench baseline OK: "
+          f"engine_parallel {baseline['engine_parallel']['speedup']}x "
+          f"(cores={baseline['engine_parallel']['cores']}), "
+          f"prefix_replay_figure7 "
+          f"{baseline['prefix_replay_figure7']['speedup']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

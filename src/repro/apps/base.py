@@ -122,12 +122,22 @@ class GoldenRecord:
     of each run phase.  ``replay`` carries the step-boundary snapshot set
     when the application speaks the step protocol and the file system can
     fork (``None`` otherwise -- the engine then always runs cold).
+
+    ``primitive_counts`` and ``bytes_written`` are the fault-free I/O
+    profile of the run -- the dynamic execution count of *every*
+    primitive and the total bytes pushed through ``ffis_write`` --
+    snapshotted before the capture's own output reads so they match a
+    plain profiled execution exactly.  They let a campaign derive its
+    :class:`~repro.core.profiler.ProfileResult` from the golden capture
+    instead of paying a second fault-free run.
     """
 
     outputs: Dict[str, bytes] = field(default_factory=dict)
     analysis: Dict[str, object] = field(default_factory=dict)
     phases: List[PhaseSpan] = field(default_factory=list)
     total_writes: int = 0
+    primitive_counts: Dict[str, int] = field(default_factory=dict)
+    bytes_written: int = 0
     replay: Optional[ReplayImage] = None
 
     def phase(self, name: str) -> PhaseSpan:
@@ -313,14 +323,32 @@ class HpcApplication(ABC):
         sequence, phase windows, outputs, and analysis are identical to
         a plain execution.
         """
+        interposer = mp.fs.interposer
+        written = {"bytes": 0}
+
+        def byte_counter(call):
+            if call.primitive == "ffis_write":
+                size = call.args.get("size")
+                if isinstance(size, int):
+                    written["bytes"] += size
+            return None
+
         replay = None
-        if self.steps() is not None and mp.fs.supports_snapshots:
-            replay = self._execute_capturing_replay(mp)
-        else:
-            self.execute(mp)
+        interposer.add_global_hook(byte_counter)
+        try:
+            if self.steps() is not None and mp.fs.supports_snapshots:
+                replay = self._execute_capturing_replay(mp)
+            else:
+                self.execute(mp)
+        finally:
+            interposer.remove_global_hook(byte_counter)
         golden = GoldenRecord()
         golden.phases = self.recorded_phases
-        golden.total_writes = mp.fs.interposer.count("ffis_write")
+        golden.total_writes = interposer.count("ffis_write")
+        # Snapshot the profile before our own output reads below pollute
+        # the read counters: these must equal a plain profiled run.
+        golden.primitive_counts = dict(interposer.counters_snapshot())
+        golden.bytes_written = written["bytes"]
         for path in self.output_paths():
             golden.outputs[path] = mp.read_file(path)
         golden.analysis = self.analyze(mp)

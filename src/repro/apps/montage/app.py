@@ -19,6 +19,7 @@ detected; missing/unreadable mosaic → crash.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -26,11 +27,18 @@ import numpy as np
 from repro.apps.base import GoldenRecord, HpcApplication, RunStep
 from repro.apps.montage.add import MosaicStats, mosaic_stats, run_madd, run_mjpeg
 from repro.apps.montage.background import mbg_apply, mbg_fit
-from repro.apps.montage.diff import run_mdiff
+from repro.apps.montage.diff import (
+    MIN_OVERLAP_PIXELS,
+    DiffRecord,
+    overlap_box,
+    placement_of,
+)
 from repro.apps.montage.image import RawTile, SkyConfig, make_raw_tiles
-from repro.apps.montage.project import run_mproj
+from repro.apps.montage.project import ProjectedPaths, project_tile
 from repro.core.outcomes import Outcome
+from repro.errors import FormatError
 from repro.fusefs.mount import MountPoint
+from repro.mfits.hdu import ImageHDU
 from repro.mfits.io import read_fits, write_fits
 
 RAW_DIR = "/montage/raw"
@@ -71,20 +79,40 @@ class MontageApplication(HpcApplication):
         mp.makedirs("/montage")
 
     def steps(self):
-        """The four pipeline stages, with ``mBgExec`` split at its
-        fit/apply seam.
+        """The four pipeline stages, at per-tile replay granularity.
 
-        The split adds a replay boundary between the sigma-clipped plane
-        fitting (the stage's dominant cost) and the corrected-image
-        writes it feeds, without changing the ``mBgExec`` write window
-        stage-targeted campaigns sample from.
+        ``mProjExec`` becomes one step per raw tile and ``mDiffExec``
+        becomes a scan step plus one step per *potential* tile pair, so
+        the prefix-replay engine can restore to the write that precedes
+        the fault instead of re-executing a whole stage.  Every step of
+        a stage shares the stage's phase name: consecutive same-phase
+        steps are recorded as a single phase span with one phase-end
+        notification, so the write windows stage-targeted campaigns
+        sample from -- and the emitted records -- are unchanged.
+
+        The step list must be static across golden and faulty runs (a
+        replay image is aligned step-for-step), so the mDiff pair steps
+        are *slots*: slot ``k`` executes the ``k``-th entry of the
+        runtime worklist the scan step computed, or no-ops when a fault
+        shrank the worklist below ``C(n_tiles, 2)``.
+
+        ``mBgExec`` keeps its fit/apply seam: a boundary between the
+        sigma-clipped plane fitting (the stage's dominant cost) and the
+        corrected-image writes it feeds.
         """
-        return (RunStep("stage_raw", "stage_raw", self._step_stage_raw),
-                RunStep("mProjExec", "mProjExec", self._step_mproj),
-                RunStep("mDiffExec", "mDiffExec", self._step_mdiff),
-                RunStep("mBg_fit", "mBgExec", self._step_mbg_fit),
-                RunStep("mBg_apply", "mBgExec", self._step_mbg_apply),
-                RunStep("mAdd", "mAdd", self._step_madd))
+        n = len(self._tiles)
+        steps = [RunStep("stage_raw", "stage_raw", self._step_stage_raw)]
+        for i in range(n):
+            steps.append(RunStep(f"mProj_{i}", "mProjExec",
+                                 partial(self._step_mproj_tile, index=i)))
+        steps.append(RunStep("mDiff_scan", "mDiffExec", self._step_mdiff_scan))
+        for k in range(n * (n - 1) // 2):
+            steps.append(RunStep(f"mDiff_{k}", "mDiffExec",
+                                 partial(self._step_mdiff_pair, slot=k)))
+        steps.extend((RunStep("mBg_fit", "mBgExec", self._step_mbg_fit),
+                      RunStep("mBg_apply", "mBgExec", self._step_mbg_apply),
+                      RunStep("mAdd", "mAdd", self._step_madd)))
+        return tuple(steps)
 
     def _step_stage_raw(self, mp: MountPoint, carry) -> None:
         mp.makedirs(RAW_DIR)
@@ -93,14 +121,90 @@ class MontageApplication(HpcApplication):
             path = f"{RAW_DIR}/2mass_{tile.name}.fits"
             write_fits(mp, path, tile.hdu)
             raw_paths.append(path)
-        carry["raw_paths"] = raw_paths
+        carry["raw_paths"] = tuple(raw_paths)
 
-    def _step_mproj(self, mp: MountPoint, carry) -> None:
-        carry["projected"] = run_mproj(mp, carry["raw_paths"], PROJ_DIR)
+    def _step_mproj_tile(self, mp: MountPoint, carry, index: int) -> None:
+        """Reproject one raw tile (``run_mproj`` semantics, per input).
 
-    def _step_mdiff(self, mp: MountPoint, carry) -> None:
-        projected = carry["projected"]
-        carry["diffs"] = run_mdiff(mp, [p.image for p in projected], DIFF_DIR)
+        A tile whose header or pixels are unusable is counted and
+        skipped -- the real ``mProjExec`` executor keeps going -- and
+        only a run that projects *nothing* aborts, detected by the last
+        tile's step.
+        """
+        if index == 0:
+            mp.makedirs(PROJ_DIR)
+            carry["projected"] = ()
+            carry["mproj_failures"] = 0
+        try:
+            hdu = read_fits(mp, carry["raw_paths"][index])
+            proj, area, _, _ = project_tile(hdu)
+        except FormatError:
+            carry["mproj_failures"] = carry["mproj_failures"] + 1
+        else:
+            tile = proj.header["TILE"]
+            image_path = f"{PROJ_DIR}/p_{tile}.fits"
+            area_path = f"{PROJ_DIR}/p_{tile}_area.fits"
+            write_fits(mp, image_path, proj)
+            write_fits(mp, area_path, area)
+            carry["projected"] = carry["projected"] + (
+                ProjectedPaths(image=image_path, area=area_path),)
+        if index == len(self._tiles) - 1 and not carry["projected"]:
+            raise FormatError(
+                f"mProjExec: all {carry['mproj_failures']} "
+                f"input images unusable")
+
+    def _step_mdiff_scan(self, mp: MountPoint, carry) -> None:
+        """Read every projected image and build the pair worklist
+        (``run_mdiff`` semantics: skip unreadable inputs, keep pairs
+        whose overlap clears ``MIN_OVERLAP_PIXELS``)."""
+        mp.makedirs(DIFF_DIR)
+        hdus = {}
+        placements = {}
+        for p in carry["projected"]:
+            try:
+                hdu = read_fits(mp, p.image)
+                tile = int(hdu.header["TILE"])
+                placement = placement_of(hdu)
+            except (FormatError, KeyError, TypeError, ValueError):
+                continue
+            hdus[tile] = hdu
+            placements[tile] = placement
+        work = []
+        tiles = sorted(hdus)
+        for i, ta in enumerate(tiles):
+            for tb in tiles[i + 1:]:
+                y0, y1, x0, x1 = overlap_box(placements[ta], placements[tb])
+                if y1 - y0 <= 0 or x1 - x0 <= 0:
+                    continue
+                if (y1 - y0) * (x1 - x0) < MIN_OVERLAP_PIXELS:
+                    continue
+                work.append((ta, tb))
+        carry["diff_images"] = hdus
+        carry["diff_placements"] = placements
+        carry["diff_work"] = tuple(work)
+        carry["diffs"] = ()
+
+    def _step_mdiff_pair(self, mp: MountPoint, carry, slot: int) -> None:
+        """Difference and write the ``slot``-th worklist pair."""
+        work = carry["diff_work"]
+        if slot >= len(work):
+            return
+        ta, tb = work[slot]
+        pa = carry["diff_placements"][ta]
+        pb = carry["diff_placements"][tb]
+        y0, y1, x0, x1 = overlap_box(pa, pb)
+        da = carry["diff_images"][ta].data[
+            y0 - pa.y0:y1 - pa.y0, x0 - pa.x0:x1 - pa.x0]
+        db = carry["diff_images"][tb].data[
+            y0 - pb.y0:y1 - pb.y0, x0 - pb.x0:x1 - pb.x0]
+        diff = (da.astype(np.float64) - db.astype(np.float64)).astype(np.float32)
+        path = f"{DIFF_DIR}/diff_{ta}_{tb}.fits"
+        write_fits(mp, path, ImageHDU(diff, header={
+            "TILEA": ta, "TILEB": tb,
+            "CRPIX1": float(x0), "CRPIX2": float(y0),
+        }))
+        carry["diffs"] = carry["diffs"] + (
+            DiffRecord(tile_a=ta, tile_b=tb, path=path),)
 
     def _step_mbg_fit(self, mp: MountPoint, carry) -> None:
         projected = carry["projected"]

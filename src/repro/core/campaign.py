@@ -119,6 +119,28 @@ class Campaign:
     def profile(self) -> ProfileResult:
         return IOProfiler(self.fs_factory).profile(self.app, self.signature)
 
+    def profile_from_golden(self, golden: GoldenRecord) -> ProfileResult:
+        """The I/O profile derived from a golden capture -- no extra run.
+
+        :meth:`HpcApplication.capture_golden` snapshots every
+        primitive's fault-free dynamic count (and the write volume)
+        before its own output reads, so the profile a separate
+        :class:`IOProfiler` run would measure is already on the golden
+        record; one fault-free execution serves both.
+        """
+        primitive = self.signature.primitive
+        count = golden.primitive_counts.get(primitive, 0)
+        if count == 0:
+            raise FFISError(
+                f"{self.app.name} never executed {primitive}; "
+                "nothing to inject into")
+        return ProfileResult(
+            primitive=primitive,
+            total_count=count,
+            bytes_written=(golden.bytes_written
+                           if primitive == "ffis_write" else 0),
+            phases=list(golden.phases))
+
     def capture_golden(self) -> GoldenRecord:
         fs = self.fs_factory()
         with mount(fs) as mp:
@@ -147,8 +169,9 @@ class Campaign:
         configuration.
         """
         n = n_runs if n_runs is not None else self.config.n_runs
-        profile = profile if profile is not None else self.profile()
         golden = golden if golden is not None else self.capture_golden()
+        profile = profile if profile is not None \
+            else self.profile_from_golden(golden)
         scenario = self.scenario
         window = profile.window(self.config.phase)
         if len(window) == 0 and scenario.needs_window:
@@ -198,14 +221,15 @@ class Campaign:
                   n_runs: Optional[int] = None) -> SweepCell:
         """This campaign as one cell of a fused sweep.
 
-        Plans against the sweep's shared profile/golden cache, so
-        however many cells target the same application instance, its
-        fault-free profile and golden capture each run exactly once per
-        sweep instead of once per cell.
+        Plans against the sweep's shared golden cache, so however many
+        cells target the same application instance, its fault-free
+        capture runs exactly once per sweep -- and the I/O profile is
+        derived from that same capture, not paid for separately.
         """
-        profile = cache.profile(self.app, self.fs_factory,
-                                self.signature.primitive, self.profile)
         golden = cache.golden(self.app, self.fs_factory, self.capture_golden)
+        profile = cache.derived_profile(
+            self.app, self.fs_factory, self.signature.primitive,
+            lambda: self.profile_from_golden(golden))
         plan = self.plan(n_runs, profile=profile, golden=golden)
         return SweepCell(key=key, plan=plan,
                          campaign_id=self.campaign_id(golden))
@@ -219,12 +243,13 @@ class Campaign:
             resume: Optional[bool] = None) -> CampaignResult:
         """Execute the plan; keyword arguments override the config knobs."""
         start = time.perf_counter()
-        profile = self.profile()
         golden = self.capture_golden()
+        profile = self.profile_from_golden(golden)
         plan = self.plan(n_runs, profile=profile, golden=golden)
         records = execute_plan(
             plan,
             workers=self.config.workers if workers is None else workers,
+            chunk_size=self.config.chunk_size,
             results_path=(self.config.results_path if results_path is None
                           else results_path),
             resume=self.config.resume if resume is None else resume,

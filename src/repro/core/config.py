@@ -29,8 +29,10 @@ class CampaignConfig:
 
     The execution knobs map onto the campaign engine: ``workers`` > 1
     fans the runs out over a process pool (bit-identical to serial),
-    ``results_path`` streams each record to a JSONL checkpoint, and
-    ``resume`` skips run indices already present in that file.
+    ``chunk_size`` sets how many runs each pool task spans (``None``
+    picks ``max(1, n_runs // (workers * 4))``, capped), ``results_path``
+    streams each record to a JSONL checkpoint, and ``resume`` skips run
+    indices already present in that file.
     """
 
     fault_model: str = "BF"
@@ -41,6 +43,7 @@ class CampaignConfig:
     phase: Optional[str] = None
     scenario: Union[None, str, FaultScenario] = None
     workers: int = 1
+    chunk_size: Optional[int] = None
     results_path: Optional[str] = None
     resume: bool = False
     #: Prefix-replay switch: ``None`` defers to the engine default
@@ -54,6 +57,9 @@ class CampaignConfig:
             raise ConfigError(f"n_runs must be >= 1, got {self.n_runs}")
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigError(
+                f"chunk_size must be >= 1 or None, got {self.chunk_size}")
         if self.resume and self.results_path is None:
             raise ConfigError("resume=True requires results_path")
 
@@ -69,8 +75,8 @@ class CampaignConfig:
     @classmethod
     def from_dict(cls, raw: Dict[str, Any]) -> "CampaignConfig":
         known = {"fault_model", "model_params", "primitive", "n_runs",
-                 "seed", "phase", "scenario", "workers", "results_path",
-                 "resume", "replay"}
+                 "seed", "phase", "scenario", "workers", "chunk_size",
+                 "results_path", "resume", "replay"}
         unknown = set(raw) - known
         if unknown:
             raise ConfigError(f"unknown configuration keys: {sorted(unknown)}")

@@ -4,10 +4,21 @@ The :class:`Executor` ABC is the swappable backend seam (one plan, many
 execution strategies).  :class:`SerialExecutor` is the reference
 implementation -- a plain in-process loop.  :class:`ParallelExecutor`
 fans the same specs out over a :class:`concurrent.futures.\
-ProcessPoolExecutor`; the pool is initialized once per worker with the
-plan's (picklable) execution context, after which only the tiny specs
-travel over the queue.  ``map`` always yields records in plan order, so
-the two backends are record-for-record interchangeable.
+ProcessPoolExecutor` using a **capture-then-fork** discipline: the
+parent finishes all fault-free work (profiles, golden captures, replay
+images) *before* the pool exists, publishes the execution payload --
+contexts plus the full materialized work list -- in a process-global
+registry, and spawns the workers with the ``fork`` start method so they
+inherit it through copy-on-write page sharing.  Task submissions are
+then just ``(start, stop)`` index ranges into the inherited work list:
+per-task IPC cost is a few dozen bytes regardless of how large the
+golden ``ReplayImage``\\ s are.
+
+Where ``fork`` is unavailable (spawn-only platforms), the payload ships
+once per worker through the pool initializer -- amortized O(workers),
+not O(chunks) -- and the range-based submissions stay identical.
+``map`` always yields records in plan order, so every backend is
+record-for-record interchangeable.
 
 Both backends also speak the fused-sweep protocol: ``map_tagged`` runs
 ``(cell key, spec)`` pairs against a *dictionary* of execution contexts,
@@ -17,6 +28,7 @@ initialization, interleaved dispatch) instead of running back to back.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 from abc import ABC, abstractmethod
 from collections import deque
@@ -26,30 +38,41 @@ from typing import Iterable, Iterator, Mapping, Optional, Tuple
 from repro.core.outcomes import RunRecord
 from repro.errors import ConfigError
 
-# Set once per pool worker by _init_worker; holds the plan's context (or
-# a sweep's key -> context mapping) so work items stay spec-sized
-# instead of shipping the application and golden record with every run.
-_WORKER_CONTEXT = None
+#: Parent-side registry of published payloads, keyed by a small integer
+#: token.  A pool created with the ``fork`` start method inherits this
+#: module global through the fork's copy-on-write address space, so the
+#: worker initializer receives only the token and resolves the payload
+#: -- contexts, golden records, replay images, and the materialized work
+#: list -- without a single pickle byte crossing the pipe.
+_FORK_REGISTRY: dict = {}
+_fork_tokens = itertools.count(1)
+
+#: Worker-side state installed by :func:`_init_worker`:
+#: ``(contexts, items, tagged)``.
+_WORKER_STATE = None
 
 
-def _init_worker(context) -> None:
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = context
+def _init_worker(token, shipped) -> None:
+    """Install the worker's payload.
+
+    ``fork`` pools pass only *token* (the payload is inherited via
+    :data:`_FORK_REGISTRY`); spawn pools pass the payload itself as
+    *shipped*, pickled exactly once per worker by the initializer
+    machinery rather than once per task.
+    """
+    global _WORKER_STATE
+    _WORKER_STATE = shipped if shipped is not None else _FORK_REGISTRY[token]
 
 
-def _run_in_worker(specs) -> list:
-    """Execute one chunk of specs against the worker's context."""
+def _run_span(start: int, stop: int) -> list:
+    """Execute work items ``[start, stop)`` against the worker state."""
     from repro.core.engine.runner import execute_run_spec
 
-    return [execute_run_spec(_WORKER_CONTEXT, spec) for spec in specs]
-
-
-def _run_tagged_in_worker(items) -> list:
-    """Execute one chunk of ``(cell key, spec)`` pairs."""
-    from repro.core.engine.runner import execute_run_spec
-
-    return [(key, execute_run_spec(_WORKER_CONTEXT[key], spec))
-            for key, spec in items]
+    contexts, items, tagged = _WORKER_STATE
+    if tagged:
+        return [(key, execute_run_spec(contexts[key], spec))
+                for key, spec in items[start:stop]]
+    return [execute_run_spec(contexts, spec) for spec in items[start:stop]]
 
 
 class Executor(ABC):
@@ -90,25 +113,33 @@ class SerialExecutor(Executor):
 
 
 class ParallelExecutor(Executor):
-    """Process-pool backend for embarrassingly parallel campaigns.
+    """Capture-then-fork process pool for embarrassingly parallel runs.
 
-    Requires the plan's context (application, golden record, fault
-    signature) to be picklable.  ``fork`` is preferred where available
-    so the workers inherit the parent's loaded numpy state cheaply;
-    determinism does not depend on the start method because every run
-    re-derives its generator from the spec's seed.
+    The parent must finish golden capture before calling ``map``/
+    ``map_tagged`` (planners already guarantee this: a plan carries its
+    golden record).  The full payload -- execution contexts plus the
+    materialized work list -- is published to :data:`_FORK_REGISTRY`
+    before the pool starts:
 
-    Dispatch is **chunked**: ``chunk_size`` specs travel per future, so
-    the per-task IPC overhead (pickle, queue wakeups, future
-    bookkeeping) is amortized over a batch -- prefix-replayed runs are
-    often sub-millisecond, where per-spec dispatch would dominate.
-    Records stream back per chunk and are yielded in plan order, so
-    chunking is invisible to every consumer.
+    * ``fork`` start method (preferred): workers inherit the payload by
+      page-sharing; the initializer receives a registry token only.
+    * spawn/forkserver: the payload ships through the initializer
+      arguments, pickled once per worker (O(workers), not O(chunks)).
+
+    Either way, a task submission is a ``(start, stop)`` index range --
+    its pickle size is independent of the golden image size, which is
+    what makes prefix-replayed sub-millisecond runs worth distributing.
+
+    Dispatch is **chunked**: ``chunk_size`` specs per future amortize
+    queue wakeups and future bookkeeping.  ``chunk_size=None`` adapts to
+    the plan: ``max(1, n_specs // (workers * 4))``, so tiny plans spread
+    across all workers instead of serializing onto one.  Records stream
+    back per chunk and are yielded in plan order, so chunking is
+    invisible to every consumer.
 
     Submission is windowed: at most ``workers * IN_FLIGHT_PER_WORKER``
-    chunk futures exist at any moment, so a million-run plan streams
-    through in constant memory instead of materializing O(n) futures
-    upfront.
+    chunk futures exist at any moment, keeping resident futures
+    O(workers) for arbitrarily long plans.
     """
 
     #: In-flight futures allowed per worker.  Enough to keep every
@@ -116,55 +147,73 @@ class ParallelExecutor(Executor):
     #: resident futures stay O(workers) for arbitrarily long plans.
     IN_FLIGHT_PER_WORKER = 4
 
-    #: Specs per future.  Large enough to amortize dispatch overhead,
-    #: small enough that a killed sweep's checkpoint loses at most a
-    #: few chunks of in-flight work per worker.
-    DEFAULT_CHUNK_SIZE = 8
+    #: Ceiling for the adaptive chunk size: a killed sweep's checkpoint
+    #: loses at most the in-flight chunks, so runaway chunk sizes on
+    #: huge plans would turn kill/resume into a blunt instrument.
+    MAX_ADAPTIVE_CHUNK_SIZE = 64
 
     def __init__(self, workers: int,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
-        chunk = self.DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
-        if chunk < 1:
-            raise ConfigError(f"chunk_size must be >= 1, got {chunk}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        if start_method is not None and \
+                start_method not in multiprocessing.get_all_start_methods():
+            raise ConfigError(
+                f"start method {start_method!r} not available here "
+                f"(have {multiprocessing.get_all_start_methods()})")
         self.workers = workers
-        self.chunk_size = chunk
+        self.chunk_size = chunk_size
+        self.start_method = start_method
 
     def _mp_context(self):
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
         methods = multiprocessing.get_all_start_methods()
         if "fork" in methods:
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
 
+    def _chunk_for(self, n_items: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, min(self.MAX_ADAPTIVE_CHUNK_SIZE,
+                          n_items // (self.workers * 4)))
+
     def map(self, plan) -> Iterator[RunRecord]:
         if not plan.specs:
             return
-        yield from self._stream(plan.context, _run_in_worker, plan.specs)
+        yield from self._stream(plan.context, list(plan.specs), tagged=False)
 
     def map_tagged(self, contexts, items) -> Iterator[Tuple[str, RunRecord]]:
-        yield from self._stream(dict(contexts), _run_tagged_in_worker, items)
+        yield from self._stream(dict(contexts), list(items), tagged=True)
 
-    def _chunks(self, items) -> Iterator[list]:
-        chunk: list = []
-        for item in items:
-            chunk.append(item)
-            if len(chunk) >= self.chunk_size:
-                yield chunk
-                chunk = []
-        if chunk:
-            yield chunk
-
-    def _stream(self, payload, worker_fn, items) -> Iterator:
+    def _stream(self, contexts, items, tagged: bool) -> Iterator:
+        if not items:
+            return
+        mp_context = self._mp_context()
+        payload = (contexts, items, tagged)
+        token = next(_fork_tokens)
+        if mp_context.get_start_method() == "fork":
+            # Publish before the pool exists: workers fork at first
+            # submission and inherit the registry as it stands then.
+            _FORK_REGISTRY[token] = payload
+            initargs = (token, None)
+        else:
+            initargs = (None, payload)
+        chunk = self._chunk_for(len(items))
         pool = ProcessPoolExecutor(max_workers=self.workers,
-                                   mp_context=self._mp_context(),
+                                   mp_context=mp_context,
                                    initializer=_init_worker,
-                                   initargs=(payload,))
+                                   initargs=initargs)
         window = self.workers * self.IN_FLIGHT_PER_WORKER
         pending = deque()
         try:
-            for chunk in self._chunks(items):
-                pending.append(pool.submit(worker_fn, chunk))
+            for start in range(0, len(items), chunk):
+                stop = min(start + chunk, len(items))
+                pending.append(pool.submit(_run_span, start, stop))
                 if len(pending) >= window:
                     yield from pending.popleft().result()
             while pending:
@@ -175,14 +224,19 @@ class ParallelExecutor(Executor):
             # runs: cancel them and return as soon as the in-flight
             # ones finish.  Resume re-executes whatever was cancelled.
             pool.shutdown(wait=False, cancel_futures=True)
+            _FORK_REGISTRY.pop(token, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ParallelExecutor(workers={self.workers}, "
-                f"chunk_size={self.chunk_size})")
+                f"chunk_size={self.chunk_size}, "
+                f"start_method={self.start_method})")
 
 
-def make_executor(workers: int) -> Executor:
+def make_executor(workers: int,
+                  chunk_size: Optional[int] = None) -> Executor:
     """The default backend for a worker count (1 == serial)."""
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
-    return SerialExecutor() if workers == 1 else ParallelExecutor(workers)
+    if workers == 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers, chunk_size=chunk_size)

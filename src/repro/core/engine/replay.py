@@ -90,6 +90,32 @@ def choose_boundary(image: ReplayImage, constraint: ReplayConstraint) -> int:
     return hi
 
 
+def replay_boundary(context, spec) -> int:
+    """The boundary index *spec* would restore from, or ``-1`` for cold.
+
+    A pure scheduling hint: it mirrors :func:`try_replay_execute`'s
+    gating without mounting a file system (planners call this per spec,
+    and instantiating backends here would be charged as executions by
+    instrumented factories).  The one gate it cannot check --
+    ``fs.supports_snapshots`` -- only turns every run cold, where the
+    ordering is harmless.
+    """
+    if not context.replay_enabled:
+        return -1
+    image = getattr(context.golden, "replay", None)
+    if image is None:
+        return -1
+    steps = context.app.steps()
+    if steps is None or len(steps) != len(image.steps):
+        return -1
+    constraint = context.replay_constraint(spec)
+    if constraint is None:
+        return -1
+    if constraint.points and constraint.primitive is None:
+        return -1
+    return choose_boundary(image, constraint)
+
+
 def _values_equal(a, b) -> bool:
     """Structural equality that tolerates numpy arrays and dataclasses."""
     if a is b:

@@ -75,6 +75,7 @@ def execute_run_spec(context: ExecutionContext, spec: RunSpec) -> RunRecord:
 def execute_plan(plan: RunPlan, *,
                  executor: Optional[Executor] = None,
                  workers: int = 1,
+                 chunk_size: Optional[int] = None,
                  results_path: Optional[str] = None,
                  resume: bool = False,
                  campaign_id: Optional[str] = None,
@@ -99,6 +100,7 @@ def execute_plan(plan: RunPlan, *,
 
     cell = SweepCell(key="plan", plan=plan, campaign_id=campaign_id)
     result = execute_sweep(SweepPlan(cells=(cell,)), executor=executor,
-                           workers=workers, results_path=results_path,
+                           workers=workers, chunk_size=chunk_size,
+                           results_path=results_path,
                            resume=resume, progress=progress, sinks=sinks)
     return result.records[cell.key]

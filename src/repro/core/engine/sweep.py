@@ -96,6 +96,18 @@ class ProfileGoldenCache:
             self.profile_runs += 1
         return self._profiles[key]
 
+    def derived_profile(self, app: Any, fs_factory: Any, primitive: str,
+                        compute: Callable[[], Any]) -> Any:
+        """Like :meth:`profile`, but *compute* derives the profile from
+        an already-captured golden record instead of executing the
+        application -- so a miss costs no fault-free run and the
+        ``profile_runs`` counter stays untouched.  A profile primed
+        through :meth:`profile` (same key) is still honoured."""
+        key = self._key(app, fs_factory, primitive)
+        if key not in self._profiles:
+            self._profiles[key] = compute()
+        return self._profiles[key]
+
     def golden(self, app: Any, fs_factory: Any,
                compute: Callable[[], Any]) -> Any:
         """The app's golden record (one fault-free run)."""
@@ -206,6 +218,38 @@ def _interleaved(pending: Sequence[Tuple[str, Sequence[RunSpec]]]
         live = survivors
 
 
+#: Boundary sorting happens within consecutive windows of this many
+#: specs, not across the whole cell.  Records are *emitted* in plan
+#: order, so a full-cell sort would let execution race arbitrarily far
+#: ahead of emission: the streaming checkpoint could still be empty
+#: thousands of runs into a campaign (everything a kill would lose) and
+#: the reorder buffer would grow O(cell).  A window keeps both the
+#: emission lag and the buffer O(window) while same-boundary runs still
+#: land back to back within it -- sized to the executor's adaptive
+#: chunk ceiling so a window maps onto whole pool chunks.
+BOUNDARY_SORT_WINDOW = 64
+
+
+def _boundary_sorted(context, specs: Sequence[RunSpec]) -> List[RunSpec]:
+    """Specs reordered for replay locality: runs binning to the same
+    golden boundary become consecutive (within a bounded window), so
+    the splicer restores the same snapshot back to back (warm extent
+    tables, warm page cache) instead of ping-ponging across the
+    boundary set.  The sort is stable, so runs sharing a boundary keep
+    their plan order."""
+    from repro.core.engine.replay import replay_boundary
+
+    specs = list(specs)
+    if len(specs) < 2:
+        return specs
+    out: List[RunSpec] = []
+    for start in range(0, len(specs), BOUNDARY_SORT_WINDOW):
+        window = specs[start:start + BOUNDARY_SORT_WINDOW]
+        out.extend(sorted(window,
+                          key=lambda spec: replay_boundary(context, spec)))
+    return out
+
+
 def _assign_existing(plan: SweepPlan, results_path: str
                      ) -> Tuple[Dict[str, List[RunRecord]], bool]:
     """Split a multiplexed checkpoint back into per-cell records.
@@ -252,6 +296,7 @@ def _assign_existing(plan: SweepPlan, results_path: str
 def execute_sweep(plan: SweepPlan, *,
                   executor: Optional[Executor] = None,
                   workers: int = 1,
+                  chunk_size: Optional[int] = None,
                   results_path: Optional[str] = None,
                   resume: bool = False,
                   progress: Optional[Progress] = None,
@@ -259,7 +304,9 @@ def execute_sweep(plan: SweepPlan, *,
     """Execute every cell of *plan* through one executor.
 
     * ``workers`` selects the executor (``>1`` forks a single process
-      pool serving every cell) unless an explicit ``executor`` is given.
+      pool serving every cell) unless an explicit ``executor`` is given;
+      ``chunk_size`` tunes its dispatch granularity (``None`` adapts to
+      the plan size).
     * ``results_path`` streams each record to one multiplexed JSONL
       checkpoint, each line stamped with its cell's campaign identity.
     * ``resume=True`` reads the checkpoint first and re-executes only
@@ -267,6 +314,13 @@ def execute_sweep(plan: SweepPlan, *,
       record-for-record identical to an uninterrupted sweep.
     * ``progress(completed, total)`` counts runs across the whole sweep.
     * extra ``sinks`` consume the merged record stream (all cells).
+
+    Dispatch order is a private optimization: within each cell, specs
+    execute in replay-boundary order (consecutive runs restore the same
+    golden snapshot), but records are **emitted** -- to the checkpoint,
+    the sinks, and ``progress`` -- in the cells' interleaved plan order
+    through a reorder buffer, so checkpoints stay byte-identical to the
+    unsorted engine's and kill/resume semantics are unchanged.
     """
     start = time.perf_counter()
     if resume and results_path is None:
@@ -282,7 +336,8 @@ def execute_sweep(plan: SweepPlan, *,
                 f"cells {unstamped} have no campaign_id; a multi-cell "
                 "sweep checkpoint needs every line stamped to be "
                 "resumable")
-    chosen = executor if executor is not None else make_executor(workers)
+    chosen = executor if executor is not None \
+        else make_executor(workers, chunk_size=chunk_size)
 
     existing: Dict[str, List[RunRecord]] = {cell.key: [] for cell in plan.cells}
     had_records = False
@@ -312,19 +367,33 @@ def execute_sweep(plan: SweepPlan, *,
     contexts = {cell.key: cell.plan.context for cell in plan.cells}
     try:
         if any(specs for _, specs in pending):
-            stream = chosen.map_tagged(contexts, _interleaved(pending))
+            # Emission stays in interleaved plan order; only the
+            # dispatch sequence is boundary-sorted (see docstring).
+            emit_order = [(key, spec.run_index)
+                          for key, spec in _interleaved(pending)]
+            dispatch = [(key, _boundary_sorted(contexts[key], specs))
+                        for key, specs in pending]
+            buffered: Dict[Tuple[str, int], RunRecord] = {}
+            emitted = 0
+            stream = chosen.map_tagged(contexts, _interleaved(dispatch))
             try:
-                for key, record in stream:
-                    if checkpoint is not None:
-                        checkpoint.emit_stamped(record, stamps[key])
-                    for sink in all_sinks:
-                        if sink is not checkpoint:
-                            sink.emit(record)
-                    result.records[key].append(record)
-                    result.executed += 1
-                    completed += 1
-                    if progress is not None:
-                        progress(completed, total)
+                for done_key, done_record in stream:
+                    buffered[(done_key, done_record.run_index)] = done_record
+                    while emitted < len(emit_order) \
+                            and emit_order[emitted] in buffered:
+                        key, _ = emit_order[emitted]
+                        record = buffered.pop(emit_order[emitted])
+                        emitted += 1
+                        if checkpoint is not None:
+                            checkpoint.emit_stamped(record, stamps[key])
+                        for sink in all_sinks:
+                            if sink is not checkpoint:
+                                sink.emit(record)
+                        result.records[key].append(record)
+                        result.executed += 1
+                        completed += 1
+                        if progress is not None:
+                            progress(completed, total)
             finally:
                 # Tear the executor down before closing the sinks so an
                 # interrupted parallel sweep cancels its pending runs

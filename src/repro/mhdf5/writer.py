@@ -372,25 +372,40 @@ class Hdf5Writer:
         return bytes(blob), FieldMap(spans + gaps)
 
 
-def write_file(mp: MountPoint, path: str, datasets,
-               block_size: int = C.DATA_BLOCK_SIZE,
-               writer: Optional[Hdf5Writer] = None) -> WriteResult:
-    """Create a mini-HDF5 file at *path* on the mounted file system.
+@dataclass(frozen=True)
+class PendingWrite:
+    """A mini-HDF5 file with its raw data landed but metadata pending.
 
-    *datasets* is a sequence of ``(name, array)`` pairs or
-    :class:`DatasetSpec` objects (for chunked/compressed layouts).  Raw
-    data lands first (contiguous data in *block_size* ``ffis_write``s,
-    each stored chunk in one write), then the packed metadata blob
-    (penultimate write), then the superblock consistency flags (final
-    write).
+    The seam between :func:`begin_write` and :func:`finish_write`:
+    everything the metadata half needs, as plain picklable data (the
+    open handle travels as its ``fd`` number and is re-resolved against
+    the live file system, so the seam survives file-system snapshot/
+    restore -- it is a prefix-replay step boundary for applications
+    that split their checkpoint step here).
     """
+
+    path: str
+    fd: int
+    plan: LayoutPlan
+    fieldmap: FieldMap
+    metadata_blob: bytes
+    n_data_writes: int
+
+
+def begin_write(mp: MountPoint, path: str, datasets,
+                block_size: int = C.DATA_BLOCK_SIZE,
+                writer: Optional[Hdf5Writer] = None) -> PendingWrite:
+    """The data half of :func:`write_file`: plan, encode, open, and land
+    every raw-data write, leaving the file open and the metadata
+    unwritten (the on-disk state a crash between the halves exposes)."""
     specs = _normalize_specs(datasets)
     hw = writer if writer is not None else Hdf5Writer()
     plan = hw.plan(specs)
     blob, fieldmap = hw.encode_metadata(plan)
 
     n_writes = 0
-    with mp.open(path, "w") as f:
+    f = mp.open(path, "w")
+    try:
         for dp, spec in zip(plan.datasets, specs):
             if dp.is_chunked:
                 for record, payload in zip(dp.chunk_records, dp.chunk_payloads):
@@ -402,11 +417,47 @@ def write_file(mp: MountPoint, path: str, datasets,
                 chunk = raw[start : start + block_size]
                 f.pwrite(chunk, dp.data_address + start)
                 n_writes += 1
-        f.pwrite(blob, 0)
-        n_writes += 1
-        flags = FLAG_CLEAN.to_bytes(4, "little") + b"\x00" * (CONSISTENCY_FLAGS_SIZE - 4)
-        f.pwrite(flags, CONSISTENCY_FLAGS_OFFSET)
-        n_writes += 1
+    except BaseException:
+        f.close()
+        raise
+    return PendingWrite(path=path, fd=f.fd, plan=plan, fieldmap=fieldmap,
+                        metadata_blob=blob, n_data_writes=n_writes)
 
-    return WriteResult(plan=plan, fieldmap=fieldmap, metadata_blob=blob,
-                       n_writes=n_writes)
+
+def finish_write(mp: MountPoint, pending: PendingWrite) -> WriteResult:
+    """The metadata half of :func:`write_file`: the packed metadata blob
+    (penultimate write), the consistency-flag unlock (final write), and
+    the release, against the handle :func:`begin_write` left open."""
+    f = mp.fs.open_handle(pending.fd)
+    if f is None:
+        raise ValueError(
+            f"no open handle fd={pending.fd} for {pending.path!r}; "
+            "finish_write must run against the file system state "
+            "begin_write produced")
+    try:
+        f.pwrite(pending.metadata_blob, 0)
+        flags = FLAG_CLEAN.to_bytes(4, "little") + \
+            b"\x00" * (CONSISTENCY_FLAGS_SIZE - 4)
+        f.pwrite(flags, CONSISTENCY_FLAGS_OFFSET)
+    finally:
+        f.close()
+    return WriteResult(plan=pending.plan, fieldmap=pending.fieldmap,
+                       metadata_blob=pending.metadata_blob,
+                       n_writes=pending.n_data_writes + 2)
+
+
+def write_file(mp: MountPoint, path: str, datasets,
+               block_size: int = C.DATA_BLOCK_SIZE,
+               writer: Optional[Hdf5Writer] = None) -> WriteResult:
+    """Create a mini-HDF5 file at *path* on the mounted file system.
+
+    *datasets* is a sequence of ``(name, array)`` pairs or
+    :class:`DatasetSpec` objects (for chunked/compressed layouts).  Raw
+    data lands first (contiguous data in *block_size* ``ffis_write``s,
+    each stored chunk in one write), then the packed metadata blob
+    (penultimate write), then the superblock consistency flags (final
+    write).  Implemented as :func:`begin_write` + :func:`finish_write`;
+    the primitive sequence is identical to the historical monolith.
+    """
+    return finish_write(mp, begin_write(mp, path, datasets,
+                                        block_size=block_size, writer=writer))

@@ -125,11 +125,12 @@ class StudyPlan:
             campaign = compiled.planner
             if not isinstance(campaign, Campaign):
                 continue
-            profile = self.cache.profile(
-                campaign.app, campaign.fs_factory,
-                campaign.signature.primitive, campaign.profile)
             golden = self.cache.golden(
                 campaign.app, campaign.fs_factory, campaign.capture_golden)
+            profile = self.cache.derived_profile(
+                campaign.app, campaign.fs_factory,
+                campaign.signature.primitive,
+                lambda: campaign.profile_from_golden(golden))
             out[compiled.key] = CampaignResult(
                 app_name=campaign.app.name,
                 signature=str(campaign.signature),

@@ -114,11 +114,11 @@ class _InstrumentedPool:
         self.submissions = 0
         _InstrumentedPool.last = self
 
-    def submit(self, fn, item):
+    def submit(self, fn, *args):
         self.outstanding += 1
         self.submissions += 1
         self.max_outstanding = max(self.max_outstanding, self.outstanding)
-        return _InstrumentedFuture(self, fn(item))
+        return _InstrumentedFuture(self, fn(*args))
 
     def shutdown(self, wait=True, cancel_futures=False):
         pass
@@ -145,7 +145,7 @@ class TestBoundedSubmission:
         n = 500
         plan = RunPlan(context=None,
                        specs=tuple(RunSpec(run_index=i) for i in range(n)))
-        executor = ParallelExecutor(workers=2)
+        executor = ParallelExecutor(workers=2, chunk_size=8)
         records = list(executor.map(plan))
         pool = _InstrumentedPool.last
         assert [r.run_index for r in records] == list(range(n))

@@ -29,8 +29,8 @@ class TestQuickstart:
         assert "Nyx under storage faults (3 injections per model)" in text
         for key in ("nyx-BF", "nyx-SW", "nyx-DW"):
             assert key in text
-        # The fused study pays one profile + one golden for all models.
-        assert "2 shared fault-free runs" in text
+        # The fused study pays one golden capture for all models.
+        assert "1 shared fault-free runs" in text
 
 
 class TestMontageStageStudy:
@@ -53,5 +53,5 @@ class TestMontageStageStudy:
         assert "fault-free pipeline" in text
         assert "12 cells fused" in text
         assert "MT4-DW" in text
-        # All 12 cells share one profile + one golden capture.
-        assert "2 shared fault-free runs" in text
+        # All 12 cells share one golden capture (profile derived from it).
+        assert "1 shared fault-free runs" in text

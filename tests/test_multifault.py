@@ -44,9 +44,10 @@ class TestMultifaultDriver:
         result = tiny_grid(fs_factory=factory)
         assert set(result.cells) == {f"{app}-k{k}" for app in ("TOY", "ALT")
                                      for k in K_VALUES}
-        # 2 apps x (profile + golden) + 6 cells x 3 runs.
-        assert factory.count == 2 * 2 + 6 * 3
-        assert result.fault_free_runs == 4
+        # 2 apps x 1 golden capture (the profile is derived from it,
+        # not re-executed) + 6 cells x 3 runs.
+        assert factory.count == 2 * 1 + 6 * 3
+        assert result.fault_free_runs == 2
 
     def test_k1_cell_is_the_legacy_single_fault_baseline(self):
         result = tiny_grid()

@@ -74,9 +74,10 @@ class TestGoldenFixtures:
                                    "MT": fixture_montage()},
                              results_path=path)
         assert filecmp.cmp(FIGURE7_FIXTURE, path, shallow=False)
-        # 15 cells (NYX + MT1..4 across BF/SW/DW), 2 fault-free pairs.
+        # 15 cells (NYX + MT1..4 across BF/SW/DW), one fault-free
+        # golden capture per app (profiles are derived from it).
         assert len(result.cells) == 15
-        assert result.fault_free_runs == 4
+        assert result.fault_free_runs == 2
 
     def test_multifault_study_checkpoint_matches_fixture(self, tmp_path):
         spec = multifault_spec(n_runs=3, seed=6, fault_model="DW",
@@ -156,9 +157,10 @@ class TestStudyExecution:
                 return super().execute(mp)
 
         results = Study(spec, apps={"TOY": CountingToy()}).run()
-        # One app instance: profile + golden once, plus 2 cells x 2 runs.
-        assert results.fault_free_runs == 2
-        assert counting["n"] == 2 + 4
+        # One app instance: a single golden capture (profile derived
+        # from it), plus 2 cells x 2 runs.
+        assert results.fault_free_runs == 1
+        assert counting["n"] == 1 + 4
         assert set(results.keys()) == {"A-DW", "A-BF"}
 
     def test_kill_resume_round_trip(self, tmp_path):

@@ -68,10 +68,11 @@ class TestSharedFaultFreeWork:
         result = two_app_grid(tiny_nyx, other_nyx, fs_factory=factory)
         assert set(result.cells) == {"NYX-BF", "NYX-SW", "NYX-DW",
                                      "QMC-BF", "QMC-SW", "QMC-DW"}
-        # 2 apps x (1 profile + 1 golden) + 6 cells x 3 injection runs:
-        # were any cell re-profiled or re-captured, the count would rise.
-        assert factory.count == 2 * 2 + 6 * 3
-        assert result.fault_free_runs == 4
+        # 2 apps x 1 golden capture (each cell's profile is derived from
+        # it, not re-executed) + 6 cells x 3 injection runs: were any
+        # cell re-captured or separately profiled, the count would rise.
+        assert factory.count == 2 * 1 + 6 * 3
+        assert result.fault_free_runs == 2
 
     def test_fused_cells_match_solo_campaigns(self, tiny_nyx, other_nyx):
         fused = two_app_grid(tiny_nyx, other_nyx)
@@ -107,8 +108,8 @@ class TestSharedFaultFreeWork:
                             fs_factory=factory)
         cells = (meta.plan_cell("meta", cache, byte_stride=512),
                  campaign.plan_cell("dw", cache))
-        assert factory.count == 2   # locate + profile; golden was reused
-        assert cache.golden_runs == 0
+        assert factory.count == 1   # locate only: its golden capture is
+        assert cache.golden_runs == 0   # reused and the profile derived
         result = execute_sweep(SweepPlan(cells=cells))
         assert len(result.records["dw"]) == 2
 

@@ -9,15 +9,15 @@ flips inside a compressed chunk tend to break the deflate filter
 (a detectable failure) instead of silently changing one value.
 """
 
-from conftest import run_once
-
+from repro.apps.nyx import FieldConfig, NyxApplication
 from repro.core.campaign import Campaign
 from repro.core.config import CampaignConfig
 from repro.core.outcomes import Outcome
 from repro.experiments.params import default_runs
-from repro.apps.nyx import FieldConfig, NyxApplication
 from repro.fusefs.mount import mount
 from repro.fusefs.vfs import FFISFileSystem
+
+from conftest import run_once
 
 RUNS = default_runs(120)
 FIELD = FieldConfig(shape=(64, 64, 64))

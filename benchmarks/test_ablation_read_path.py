@@ -8,12 +8,12 @@ On Montage (whose stages re-read intermediates repeatedly) that
 difference is directly measurable.
 """
 
-from conftest import run_once
-
 from repro.core.campaign import Campaign
 from repro.core.config import CampaignConfig
 from repro.core.outcomes import Outcome
 from repro.experiments.params import default_runs, montage_default, qmcpack_default
+
+from conftest import run_once
 
 RUNS = default_runs(120)
 

@@ -10,13 +10,13 @@
   detected outcomes.
 """
 
-from conftest import run_once
-
+from repro.apps.nyx import NyxApplication
 from repro.core.campaign import Campaign
 from repro.core.config import CampaignConfig
 from repro.core.outcomes import Outcome
 from repro.experiments.params import default_runs, nyx_default
-from repro.apps.nyx import NyxApplication
+
+from conftest import run_once
 
 RUNS = default_runs(120)
 

@@ -50,7 +50,7 @@ def test_engine_parallel_speedup(benchmark, save_report,
         f"  serial   : {serial_s:8.2f} s\n"
         f"  parallel : {parallel_s:8.2f} s\n"
         f"  speedup  : {speedup:8.2f}x\n"
-        f"  records identical: True\n"))
+        "  records identical: True\n"))
     save_engine_baseline("engine_parallel", {
         "runs": N_RUNS,
         "workers": WORKERS,

@@ -1,9 +1,10 @@
 """Bench for Figure 5: the scale/shift signatures of typical SDC cases."""
 
 import numpy as np
-from conftest import run_once
 
 from repro.experiments import run_figure5
+
+from conftest import run_once
 
 
 def test_figure5_sdc_visualization(benchmark, save_report):

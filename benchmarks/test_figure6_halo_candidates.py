@@ -1,8 +1,8 @@
 """Bench for Figure 6: candidate loss under a faulty Mantissa Size."""
 
-from conftest import run_once
-
 from repro.experiments import run_figure6
+
+from conftest import run_once
 
 
 def test_figure6_halo_candidates(benchmark, save_report):

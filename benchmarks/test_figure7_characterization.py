@@ -6,8 +6,6 @@ qualitative shape of its row block.  ``REPRO_FI_RUNS`` scales the
 campaigns (paper: 1,000 per cell).
 """
 
-from conftest import run_once
-
 from repro.analysis.tables import render_outcome_grid
 from repro.core.outcomes import Outcome
 from repro.experiments.figure7 import (
@@ -17,6 +15,8 @@ from repro.experiments.figure7 import (
     run_figure7_cell,
 )
 from repro.experiments.params import default_runs, montage_default, nyx_default, qmcpack_default
+
+from conftest import run_once
 
 RUNS = default_runs(150)
 

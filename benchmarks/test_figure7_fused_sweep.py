@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import time
 
-from repro.core.outcomes import Outcome
 from repro.experiments.figure7 import (
     FAULT_MODELS,
     MONTAGE_STAGES,
@@ -77,13 +76,13 @@ def test_figure7_fused_sweep_beats_sequential_cells(benchmark, save_report,
     speedup = sequential_s / fused_s if fused_s else float("inf")
     save_report("figure7_fused_sweep", (
         f"Figure 7 grid ({n_cells} cells x {RUNS} runs), sequential "
-        f"cells vs fused sweep\n"
+        "cells vs fused sweep\n"
         f"  sequential cells : {sequential_s:8.2f} s "
         f"({sequential_fault_free} fault-free runs)\n"
         f"  fused sweep      : {fused_s:8.2f} s "
         f"({fused.fault_free_runs} fault-free runs)\n"
         f"  speedup          : {speedup:8.2f}x\n"
-        f"  records identical: True\n"))
+        "  records identical: True\n"))
     save_engine_baseline("figure7_fused_sweep", {
         "cells": n_cells,
         "runs_per_cell": RUNS,

@@ -1,9 +1,10 @@
 """Bench for Figure 8: halo-mass distribution under DROPPED_WRITE."""
 
 import numpy as np
-from conftest import run_once
 
 from repro.experiments import run_figure8
+
+from conftest import run_once
 
 
 def test_figure8_mass_distribution(benchmark, save_report):

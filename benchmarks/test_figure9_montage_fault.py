@@ -1,9 +1,9 @@
 """Bench for Figure 9: the dropped-write black-stripe mosaic artifact."""
 
-from conftest import run_once
-
 from repro.core.outcomes import Outcome
 from repro.experiments import run_figure9
+
+from conftest import run_once
 
 
 def test_figure9_montage_fault(benchmark, save_report):

@@ -70,7 +70,7 @@ def test_prefix_replay_beats_cold_execution(benchmark, save_report,
     speedup = cold_s / replayed_s if replayed_s else float("inf")
     save_report("prefix_replay", (
         f"Figure 7 grid ({len(cold.cells)} cells x {RUNS} runs), cold "
-        f"execution vs prefix replay\n"
+        "execution vs prefix replay\n"
         f"  cold (PR 4 engine): {cold_s:8.2f} s "
         f"({n_runs / cold_s:6.1f} runs/s)\n"
         f"  prefix replay     : {replayed_s:8.2f} s "

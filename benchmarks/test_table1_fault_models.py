@@ -1,8 +1,8 @@
 """Bench for Table I: fault-model conformance on 4 KiB writes."""
 
-from conftest import run_once
-
 from repro.experiments import run_table1
+
+from conftest import run_once
 
 
 def test_table1_fault_models(benchmark, save_report):

@@ -1,8 +1,8 @@
 """Bench for Table II: the tested applications' measured I/O inventory."""
 
-from conftest import run_once
-
 from repro.experiments import run_table2
+
+from conftest import run_once
 
 
 def test_table2_applications(benchmark, save_report):

@@ -6,10 +6,10 @@ application runs) and checks both the proportions and the identity of
 the SDC-capable fields.
 """
 
-from conftest import run_once
-
 from repro.core.outcomes import Outcome
 from repro.experiments import run_table3
+
+from conftest import run_once
 
 
 def test_table3_metadata_classification(benchmark, save_report):

@@ -1,8 +1,8 @@
 """Bench for Table IV: per-field SDC symptoms at the full workload scale."""
 
-from conftest import run_once
-
 from repro.experiments import run_table4
+
+from conftest import run_once
 
 
 def test_table4_field_symptoms(benchmark, save_report):

@@ -13,7 +13,7 @@ and chunked+deflate, then shows the two consequences:
    silent one-value change.
 """
 
-from repro import Campaign, CampaignConfig, FFISFileSystem, Outcome, mount
+from repro import Campaign, CampaignConfig, FFISFileSystem, mount
 from repro.apps.nyx import FieldConfig, NyxApplication
 
 FIELD = FieldConfig(shape=(64, 64, 64))

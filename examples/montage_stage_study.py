@@ -10,7 +10,7 @@ produces.
 """
 
 from repro import FFISFileSystem, ModelSpec, StudySpec, TargetSpec, mount
-from repro.apps.montage import MontageApplication, STAGES
+from repro.apps.montage import STAGES, MontageApplication
 
 N_RUNS = 50
 

@@ -6,7 +6,6 @@
 3. The average-value detection + auto-correction methodology in action.
 """
 
-from repro.core.outcomes import Outcome
 from repro.experiments import run_table3, run_table4
 from repro.experiments.params import nyx_small
 from repro.fusefs.mount import mount

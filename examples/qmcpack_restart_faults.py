@@ -7,15 +7,13 @@ back* the walker configuration VMC wrote, so corrupted bytes silently
 steer the projector and the final energy.
 """
 
-import numpy as np
 
-from repro import Campaign, CampaignConfig, FFISFileSystem, Outcome, mount
+from repro import Campaign, CampaignConfig, FFISFileSystem, mount
 from repro.apps.qmcpack import (
-    CONFIG_FILE,
     HE_EXACT_ENERGY,
-    QmcpackApplication,
     S001_SCALARS,
     SDC_WINDOW,
+    QmcpackApplication,
 )
 from repro.fusefs.interposer import PrimitiveCall
 

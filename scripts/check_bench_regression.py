@@ -13,7 +13,8 @@ when a headline speedup regresses below its floor:
 * ``prefix_replay_figure7.speedup >= 1.8`` -- unconditional: replay
   wins by skipping work, not by adding cores.
 
-Exit status 0 on pass, 1 on regression or a malformed baseline.
+Exit status 0 on pass, 1 on regression or a malformed baseline, 2 when
+the baseline file is missing entirely (regenerate it -- see above).
 """
 
 from __future__ import annotations
@@ -45,7 +46,7 @@ def check(baseline: dict) -> list:
     else:
         print(f"engine_parallel: recorded on {parallel.get('cores', 1)} "
               f"core(s); speedup {parallel.get('speedup')} reported, "
-              f"not gated")
+              "not gated")
 
     replay = baseline.get("prefix_replay_figure7")
     if replay is None:
@@ -67,6 +68,14 @@ def main() -> int:
     try:
         with open(path, encoding="utf-8") as fh:
             baseline = json.load(fh)
+    except FileNotFoundError:
+        # Distinct exit code: "nothing to gate on" is a setup problem,
+        # not a regression, and callers may want to tell them apart.
+        print(f"bench baseline missing: {path} -- regenerate with "
+              'PYTHONPATH=src python -m pytest benchmarks/ -q -k '
+              '"engine_parallel or fused_sweep or prefix_replay_figure7" '
+              "and commit the refreshed JSON", file=sys.stderr)
+        return 2
     except (OSError, ValueError) as exc:
         print(f"cannot read bench baseline {path}: {exc}", file=sys.stderr)
         return 1
@@ -76,10 +85,10 @@ def main() -> int:
         for failure in failures:
             print(f"BENCH REGRESSION: {failure}", file=sys.stderr)
         return 1
-    print(f"bench baseline OK: "
+    print("bench baseline OK: "
           f"engine_parallel {baseline['engine_parallel']['speedup']}x "
           f"(cores={baseline['engine_parallel']['cores']}), "
-          f"prefix_replay_figure7 "
+          "prefix_replay_figure7 "
           f"{baseline['prefix_replay_figure7']['speedup']}x")
     return 0
 

@@ -1,5 +1,19 @@
 """Statistics, table rendering, and distribution comparison utilities."""
 
+from repro.analysis.distributions import (
+    MassHistogram,
+    histogram_distance,
+    mass_histogram,
+)
+from repro.analysis.projection import (
+    FIELD_STUDY_UBER_RANGE,
+    JEDEC_ENTERPRISE_UBER,
+    DeviceModel,
+    RunProjection,
+    effective_uber_budget,
+    project_run,
+    system_sdc_rate,
+)
 from repro.analysis.stats import (
     RateEstimate,
     as_tally,
@@ -12,20 +26,6 @@ from repro.analysis.tables import (
     format_percent,
     render_outcome_grid,
     render_table,
-)
-from repro.analysis.distributions import (
-    MassHistogram,
-    histogram_distance,
-    mass_histogram,
-)
-from repro.analysis.projection import (
-    DeviceModel,
-    FIELD_STUDY_UBER_RANGE,
-    JEDEC_ENTERPRISE_UBER,
-    RunProjection,
-    effective_uber_budget,
-    project_run,
-    system_sdc_rate,
 )
 
 __all__ = [

@@ -1,13 +1,11 @@
 """Mini-Montage: synthetic m101 mosaic pipeline (mProj/mDiff/mBg/mAdd)."""
 
-from repro.apps.montage.image import RawTile, SkyConfig, generate_sky, make_raw_tiles
-from repro.apps.montage.project import ProjectedPaths, project_tile, run_mproj, shift_bilinear
-from repro.apps.montage.diff import (
-    DiffRecord,
-    Placement,
-    overlap_box,
-    placement_of,
-    run_mdiff,
+from repro.apps.montage.add import JPEG_STRETCH, MosaicStats, mosaic_stats, quantize_mosaic, run_madd, run_mjpeg
+from repro.apps.montage.app import (
+    MIN_TOLERANCE,
+    MOSAIC_PATH,
+    STAGES,
+    MontageApplication,
 )
 from repro.apps.montage.background import (
     PlaneFit,
@@ -17,13 +15,15 @@ from repro.apps.montage.background import (
     run_mbg,
     solve_corrections,
 )
-from repro.apps.montage.add import MosaicStats, mosaic_stats, run_madd, run_mjpeg, quantize_mosaic, JPEG_STRETCH
-from repro.apps.montage.app import (
-    MIN_TOLERANCE,
-    MOSAIC_PATH,
-    STAGES,
-    MontageApplication,
+from repro.apps.montage.diff import (
+    DiffRecord,
+    Placement,
+    overlap_box,
+    placement_of,
+    run_mdiff,
 )
+from repro.apps.montage.image import RawTile, SkyConfig, generate_sky, make_raw_tiles
+from repro.apps.montage.project import ProjectedPaths, project_tile, run_mproj, shift_bilinear
 
 __all__ = [
     "RawTile",

@@ -151,7 +151,7 @@ class MontageApplication(HpcApplication):
         if index == len(self._tiles) - 1 and not carry["projected"]:
             raise FormatError(
                 f"mProjExec: all {carry['mproj_failures']} "
-                f"input images unusable")
+                "input images unusable")
 
     def _step_mdiff_scan(self, mp: MountPoint, carry) -> None:
         """Read every projected image and build the pair worklist

@@ -1,7 +1,8 @@
 """Mini-Nyx: cosmological density snapshot + halo-finder post-analysis."""
 
+from repro.apps.nyx.app import DATASET, PLOTFILE, NyxApplication
 from repro.apps.nyx.field import FieldConfig, generate_baryon_density
-from repro.apps.nyx.labeling import DisjointSet, label_components
+from repro.apps.nyx.fof import FofGroup, friends_of_friends, mean_interparticle_separation
 from repro.apps.nyx.halo_finder import (
     Halo,
     HaloCatalog,
@@ -9,8 +10,7 @@ from repro.apps.nyx.halo_finder import (
     candidate_count,
     find_halos,
 )
-from repro.apps.nyx.fof import FofGroup, friends_of_friends, mean_interparticle_separation
-from repro.apps.nyx.app import DATASET, PLOTFILE, NyxApplication
+from repro.apps.nyx.labeling import DisjointSet, label_components
 
 __all__ = [
     "FieldConfig",

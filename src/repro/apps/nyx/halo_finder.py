@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -1,22 +1,5 @@
 """Mini-QMCPACK: He-atom VMC+DMC with restart-file fault propagation."""
 
-from repro.apps.qmcpack.wavefunction import HeliumWavefunction, R_EPS
-from repro.apps.qmcpack.vmc import VmcParams, run_vmc
-from repro.apps.qmcpack.dmc import DmcParams, PopulationCollapse, run_dmc
-from repro.apps.qmcpack.scalars import (
-    ScalarRow,
-    parse_scalars,
-    render_scalars,
-    rows_from_blocks,
-    write_scalars,
-)
-from repro.apps.qmcpack.qmca import (
-    AnalysisError,
-    EnergyEstimate,
-    analyze_file,
-    analyze_rows,
-    blocking_error,
-)
 from repro.apps.qmcpack.app import (
     CONFIG_FILE,
     HE_EXACT_ENERGY,
@@ -26,6 +9,23 @@ from repro.apps.qmcpack.app import (
     SDC_WINDOW,
     QmcpackApplication,
 )
+from repro.apps.qmcpack.dmc import DmcParams, PopulationCollapse, run_dmc
+from repro.apps.qmcpack.qmca import (
+    AnalysisError,
+    EnergyEstimate,
+    analyze_file,
+    analyze_rows,
+    blocking_error,
+)
+from repro.apps.qmcpack.scalars import (
+    ScalarRow,
+    parse_scalars,
+    render_scalars,
+    rows_from_blocks,
+    write_scalars,
+)
+from repro.apps.qmcpack.vmc import VmcParams, run_vmc
+from repro.apps.qmcpack.wavefunction import R_EPS, HeliumWavefunction
 
 __all__ = [
     "HeliumWavefunction",

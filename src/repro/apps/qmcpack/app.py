@@ -23,12 +23,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-import numpy as np
 
 from repro.apps.base import GoldenRecord, HpcApplication, RunStep
 from repro.apps.qmcpack.dmc import DmcParams, run_dmc
-from repro.apps.qmcpack.qmca import AnalysisError, EnergyEstimate, analyze_file
-from repro.apps.qmcpack.scalars import render_scalars, write_scalars
+from repro.apps.qmcpack.qmca import EnergyEstimate, analyze_file
+from repro.apps.qmcpack.scalars import write_scalars
 from repro.apps.qmcpack.vmc import VmcParams, run_vmc
 from repro.apps.qmcpack.wavefunction import HeliumWavefunction
 from repro.core.outcomes import Outcome

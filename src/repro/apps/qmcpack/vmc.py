@@ -41,7 +41,6 @@ def run_vmc(wf: HeliumWavefunction, params: VmcParams,
 
     rows: List[ScalarRow] = []
     for block in range(params.warmup_blocks + params.n_blocks):
-        accepted = 0
         block_energies = np.empty((params.steps_per_block, n))
         for step in range(params.steps_per_block):
             proposal = walkers + rng.normal(scale=params.step_size,
@@ -51,7 +50,6 @@ def run_vmc(wf: HeliumWavefunction, params: VmcParams,
                       2.0 * (log_psi_new - log_psi))
             walkers[accept] = proposal[accept]
             log_psi[accept] = log_psi_new[accept]
-            accepted += int(accept.sum())
             block_energies[step] = wf.local_energy(walkers)
         if block >= params.warmup_blocks:
             energies = block_energies.ravel()

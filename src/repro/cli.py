@@ -11,6 +11,8 @@ Subcommands:
 * ``campaign --app X --metadata-mode M`` -- per-byte metadata sweep
 * ``sweep --app X --app Y --model M ...`` -- fused multi-campaign grid
 * ``project --app X --model Y --uber U`` -- system-level rate projection
+* ``lint [PATH...]``                -- stdlib-only static analysis of the
+  repo's determinism/fork-safety/replay-soundness invariants
 
 ``study``, ``sweep``, and ``campaign`` all compile onto the same
 declarative Study path (one :class:`~repro.study.StudySpec` executed as
@@ -33,6 +35,8 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.devtools.lint.cli import add_arguments as _add_lint_arguments
+from repro.devtools.lint.cli import run as _run_lint
 from repro.errors import ConfigError
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.study.apps import app_ids
@@ -174,6 +178,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="metadata sweep: corrupt every Nth byte "
                                "(default 1; --metadata-mode only)")
     _add_engine_options(campaign)
+
+    lint = sub.add_parser(
+        "lint", help="static analysis: determinism, fork-safety, and "
+                     "replay-soundness rules (stdlib-only, runs before "
+                     "any dependency install)")
+    _add_lint_arguments(lint)
 
     project = sub.add_parser(
         "project", help="project campaign rates to system scale")
@@ -465,6 +475,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_run(args, parser, out)
         if args.command == "study":
             return _cmd_study(args, parser, out)
+        if args.command == "lint":
+            return _run_lint(args, out)
         if args.command == "sweep":
             return _cmd_sweep(args, parser, out)
         if args.command == "campaign":

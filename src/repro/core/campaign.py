@@ -35,8 +35,8 @@ from repro.core.engine import (
 )
 from repro.core.generator import FaultGenerator
 from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
-from repro.core.scenario import FaultScenario, SingleFault, as_scenario
 from repro.core.profiler import IOProfiler, ProfileResult
+from repro.core.scenario import FaultScenario, SingleFault, as_scenario
 from repro.core.signature import FaultSignature
 from repro.errors import FFISError
 from repro.fusefs.mount import mount
@@ -242,6 +242,7 @@ class Campaign:
             results_path: Optional[str] = None,
             resume: Optional[bool] = None) -> CampaignResult:
         """Execute the plan; keyword arguments override the config knobs."""
+        # repro: allow[R001] elapsed_seconds is reporting-only, never recorded
         start = time.perf_counter()
         golden = self.capture_golden()
         profile = self.profile_from_golden(golden)
@@ -262,5 +263,6 @@ class Campaign:
                                 profile=profile, golden=golden,
                                 scenario=None if self.scenario.legacy
                                 else self.scenario.stamp())
+        # repro: allow[R001] elapsed_seconds is reporting-only, never recorded
         result.elapsed_seconds = time.perf_counter() - start
         return result

@@ -185,7 +185,10 @@ class _Splicer:
         the golden boundary state (timestamps excluded)."""
         boundary = self.image.boundaries[j]
         backend = self.fs.backend
-        for ino in set(trace.observed) | set(trace.written):
+        # sorted(): the guard's probe order must not depend on set
+        # hashing -- any divergence path (first mismatching inode wins)
+        # has to be the same inode on every interpreter.
+        for ino in sorted(set(trace.observed) | set(trace.written)):
             golden_ext = boundary.extents.get(ino)
             live_ext = backend.extent_object(ino)
             if (golden_ext is None) != (live_ext is None):

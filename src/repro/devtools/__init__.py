@@ -1,0 +1,8 @@
+"""Developer tooling that guards the repository's invariants.
+
+Everything under :mod:`repro.devtools` is **stdlib-only by contract**:
+it must run on a bare Python interpreter before any dependency install
+(the CI fast lane invokes ``repro lint`` ahead of ``pip install
+numpy``).  Importing numpy -- directly or transitively -- from this
+package is itself a bug.
+"""

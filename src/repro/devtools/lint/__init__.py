@@ -1,0 +1,56 @@
+"""``repro lint``: AST-based static analysis of the repo's invariants.
+
+The runtime stack guarantees record streams are byte-identical across
+serial, parallel, and prefix-replayed execution; the dynamic guards
+(golden fixtures, the replay-determinism CI step) catch violations only
+once a test exercises them.  This package enforces the statically
+visible half of those invariants at commit time, with zero third-party
+imports so it runs before any dependency install:
+
+* ``R001`` no-wallclock          -- no clock/entropy reads in record paths
+* ``R002`` rng-discipline        -- RNGs flow through named substreams
+* ``R003`` unordered-iteration   -- no bare set iteration where order
+  becomes a record or a splice decision
+* ``R004`` fork-safety           -- no lambdas/closures into worker pools
+* ``R005`` replay-soundness      -- scenarios/apps opt into replay
+  explicitly (no silent cold fallback)
+* ``R006`` frozen-spec-mutation  -- planning specs are immutable values
+
+Suppression grammar (reason mandatory)::
+
+    expr  # repro: allow[R001] elapsed-time report only, never recorded
+
+Rules live in :mod:`repro.devtools.lint.rules`; adding one is a
+:class:`~repro.devtools.lint.registry.Rule` subclass plus the
+``@register`` decorator (see the README's "Static analysis" section).
+"""
+
+from repro.devtools.lint import rules as _rules  # populate the registry
+from repro.devtools.lint.engine import LintReport, lint_file, lint_paths
+from repro.devtools.lint.pragmas import PRAGMA_RULE_ID, parse_pragmas
+from repro.devtools.lint.registry import (
+    RULES,
+    FileContext,
+    LintConfig,
+    Rule,
+    Scope,
+    Violation,
+    register,
+)
+
+del _rules
+
+__all__ = [
+    "FileContext",
+    "LintConfig",
+    "LintReport",
+    "PRAGMA_RULE_ID",
+    "RULES",
+    "Rule",
+    "Scope",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "parse_pragmas",
+    "register",
+]

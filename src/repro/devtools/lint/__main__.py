@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.devtools.lint`` (stdlib-only)."""
+
+from repro.devtools.lint.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,104 @@
+"""``repro lint`` -- the command-line face of the static analyzer.
+
+Also runnable without the main CLI (``python -m repro.devtools.lint``),
+which is what the CI fast lane does before any dependency install.
+
+Exit-code contract:
+
+* ``0`` -- clean: no violations anywhere in the scanned tree
+* ``1`` -- at least one violation (including pragma-grammar problems)
+* ``2`` -- usage error: unknown rule id, nonexistent path
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.devtools.lint.engine import PARSE_ERROR_ID, lint_paths
+from repro.devtools.lint.pragmas import PRAGMA_RULE_ID
+from repro.devtools.lint.registry import RULES, LintConfig
+
+DEFAULT_PATHS = ["src", "scripts"]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options (shared with the ``repro`` CLI)."""
+    parser.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                        help="files or directories to lint "
+                             f"(default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="report format (default text)")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--root", default=".", metavar="DIR",
+                        help="repository root that rule scopes match "
+                             "against (default: the working directory)")
+    parser.add_argument("--keep-unused-pragmas", action="store_true",
+                        help="do not flag allow[...] pragmas that "
+                             "suppressed nothing")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe the registered rules and exit")
+
+
+def _render_rules() -> str:
+    lines = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(f"{rule.id} {rule.name}")
+        lines.append(f"     {rule.rationale}")
+        lines.append(f"     scope: {', '.join(rule.scope.include)}")
+    lines.append(f"{PRAGMA_RULE_ID} pragma-hygiene")
+    lines.append("     malformed/reason-less/stale '# repro: allow[...]' "
+                 "pragmas (not suppressible)")
+    lines.append(f"{PARSE_ERROR_ID} parse-error")
+    lines.append("     files the linter cannot read or parse "
+                 "(not suppressible)")
+    return "\n".join(lines)
+
+
+def run(args: argparse.Namespace, out=None) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    out = out if out is not None else sys.stdout
+    if args.list_rules:
+        print(_render_rules(), file=out)
+        return 0
+    select = tuple(s.strip().upper() for s in args.select.split(",")
+                   if s.strip()) if args.select else ()
+    config = LintConfig(select=select,
+                        flag_unused_pragmas=not args.keep_unused_pragmas)
+    paths = args.paths or DEFAULT_PATHS
+    import os
+
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"repro lint: no such path: {path}", file=sys.stderr)
+            return 2
+    try:
+        report = lint_paths(paths, config, root=args.root)
+    except KeyError as exc:
+        print(f"repro lint: unknown rule id {exc.args[0]!r} "
+              f"(known: {', '.join(sorted(RULES))})", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        json.dump(report.to_json(), out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        print(report.render_text(), file=out)
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism/fork-safety/replay-soundness "
+                    "checks (stdlib-only; see README 'Static analysis')")
+    add_arguments(parser)
+    return run(parser.parse_args(argv), out=out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""The lint driver: file discovery, rule dispatch, pragma filtering.
+
+Deterministic by construction (files sorted, violations sorted): the
+linter is itself record-emitting code and practices what it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.devtools.lint.names import import_map
+from repro.devtools.lint.pragmas import (
+    PRAGMA_RULE_ID,
+    parse_pragmas,
+    unknown_rule_problems,
+)
+from repro.devtools.lint.registry import (
+    RULES,
+    FileContext,
+    LintConfig,
+    Violation,
+)
+
+#: Rule id for files the linter cannot parse at all.  Not suppressible:
+#: a file that does not parse cannot host a pragma either.
+PARSE_ERROR_ID = "E001"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache",
+              ".benchmarks", "node_modules"}
+
+
+@dataclasses.dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: List[Violation]
+    files_scanned: int
+    rules: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for violation in self.violations:
+            tally[violation.rule] = tally.get(violation.rule, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def to_json(self) -> Dict[str, object]:
+        """The stable JSON schema (``--format json``)."""
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules": list(self.rules),
+            "counts": self.counts(),
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+    def render_text(self) -> str:
+        lines = [v.render() for v in self.violations]
+        if self.ok:
+            lines.append("repro lint: clean "
+                         f"({self.files_scanned} files, "
+                         f"{len(self.rules)} rules)")
+        else:
+            lines.append(f"repro lint: {len(self.violations)} violation(s) "
+                         f"in {self.files_scanned} files scanned")
+        return "\n".join(lines)
+
+
+def discover(paths: Iterable[str]) -> Iterator[str]:
+    """Every ``.py`` file under *paths* (files pass through), sorted."""
+    found = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in _SKIP_DIRS
+                                 and not d.startswith("."))
+            found.extend(os.path.join(dirpath, name)
+                         for name in filenames if name.endswith(".py"))
+    return iter(sorted(dict.fromkeys(found)))
+
+
+def _relpath(path: str, root: str) -> str:
+    rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    rel = rel.replace(os.sep, "/")
+    return path.replace(os.sep, "/") if rel.startswith("..") else rel
+
+
+def lint_file(path: str, relpath: str, config: LintConfig) -> List[Violation]:
+    """All violations for one file under *config*."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Violation(path=relpath, line=1, col=1, rule=PARSE_ERROR_ID,
+                          message=f"cannot read file: {exc}")]
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path=relpath, line=exc.lineno or 1,
+                          col=(exc.offset or 0) + 1, rule=PARSE_ERROR_ID,
+                          message=f"syntax error: {exc.msg}")]
+
+    ctx = FileContext(relpath, source, tree, import_map(tree))
+    pragmas = parse_pragmas(relpath, source)
+    violations: List[Violation] = list(pragmas.problems)
+    violations.extend(unknown_rule_problems(relpath, pragmas, RULES))
+
+    for rule in config.rules():
+        if not config.scope_for(rule).matches(relpath):
+            continue
+        for violation in rule.check(ctx):
+            if not pragmas.suppresses(violation.rule, violation.line):
+                violations.append(violation)
+
+    if config.flag_unused_pragmas:
+        selected = {rule.id for rule in config.rules()}
+        for pragma in pragmas.unused():
+            # Only flag when every rule the pragma names actually ran;
+            # a partial --select must not call live pragmas stale.
+            if all(rule_id in selected for rule_id in pragma.rules):
+                violations.append(Violation(
+                    path=relpath, line=pragma.line, col=1,
+                    rule=PRAGMA_RULE_ID,
+                    message="unused pragma: "
+                            f"allow[{','.join(pragma.rules)}] suppressed "
+                            "nothing -- remove it (stale suppressions "
+                            "hide future violations)"))
+    return violations
+
+
+def lint_paths(paths: Iterable[str], config: Optional[LintConfig] = None,
+               root: str = ".") -> LintReport:
+    """Lint every Python file under *paths*; the public entry point.
+
+    *root* anchors the repository-relative paths that rule scopes match
+    against (and that reports print); pass the repository root when
+    linting from elsewhere.
+    """
+    config = config or LintConfig()
+    rules = config.rules()     # validates --select before any I/O
+    violations: List[Violation] = []
+    scanned = 0
+    for path in discover(paths):
+        scanned += 1
+        violations.extend(lint_file(path, _relpath(path, root), config))
+    return LintReport(violations=sorted(violations),
+                      files_scanned=scanned,
+                      rules=[rule.id for rule in rules])

@@ -1,0 +1,70 @@
+"""Import-aware name resolution for AST nodes.
+
+Rules reason about *fully qualified* names (``numpy.random.default_rng``,
+``time.time``) so they fire regardless of how a module spells its
+imports (``import numpy as np``, ``from time import time``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict
+
+
+def import_map(tree: ast.Module) -> Dict[str, str]:
+    """Map every locally bound import alias to its qualified name.
+
+    * ``import numpy as np``            -> ``{"np": "numpy"}``
+    * ``import numpy.random``           -> ``{"numpy": "numpy"}``
+    * ``from numpy import random``      -> ``{"random": "numpy.random"}``
+    * ``from time import time as now``  -> ``{"now": "time.time"}``
+
+    Conditional or function-local imports are included too (the walk is
+    whole-tree): resolution is about *what a name can mean*, and a
+    false negative from a skipped local import would hide a violation.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds the root name ``a``.
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:      # relative imports never alias stdlib/3p
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                aliases[bound] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted(node: ast.AST) -> str:
+    """The literal dotted path of a Name/Attribute chain, or ``""``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve(node: ast.AST, imports: Dict[str, str]) -> str:
+    """Fully qualify a Name/Attribute chain through the import map.
+
+    Unimported roots resolve to themselves (``set`` stays ``set``), so
+    builtins are matchable too.
+    """
+    path = dotted(node)
+    if not path:
+        return ""
+    root, _, rest = path.partition(".")
+    qualified = imports.get(root, root)
+    return f"{qualified}.{rest}" if rest else qualified

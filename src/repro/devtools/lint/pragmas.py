@@ -1,0 +1,130 @@
+"""The ``# repro: allow[RULE] reason`` suppression grammar.
+
+One pragma, one spelling::
+
+    x = time.time()  # repro: allow[R001] wall clock feeds the report only
+
+* ``allow[R001]`` or ``allow[R001,R004]`` names the rule(s) suppressed.
+* The trailing free text is the **mandatory** reason; a pragma without
+  one is itself a violation (``R000``) -- an unexplained suppression is
+  exactly the kind of silent invariant erosion the linter exists to
+  stop.
+* A pragma sharing a line with code suppresses that line.  A pragma on
+  a line of its own suppresses the **next** line (for statements too
+  long to annotate in place).
+
+Anything that starts with ``# repro:`` but does not parse is reported
+as ``R000`` rather than ignored: a typo like ``alow[R001]`` must not
+silently re-arm the rule it meant to suppress.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+from typing import Dict, List, Tuple
+
+from repro.devtools.lint.registry import Violation
+
+#: The id under which pragma-grammar problems are reported.  R000 is not
+#: itself suppressible -- a broken suppression cannot excuse itself.
+PRAGMA_RULE_ID = "R000"
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*(?P<body>.*)$")
+_ALLOW_RE = re.compile(
+    r"^allow\[(?P<rules>[A-Za-z]\d{3}(?:\s*,\s*[A-Za-z]\d{3})*)\]"
+    r"(?:\s+(?P<reason>\S.*))?$")
+
+
+@dataclasses.dataclass
+class Pragma:
+    """One parsed ``allow`` pragma."""
+
+    line: int                  #: line the pragma comment sits on
+    target_line: int           #: line whose violations it suppresses
+    rules: Tuple[str, ...]
+    reason: str
+    used: bool = False         #: did it suppress at least one violation?
+
+
+@dataclasses.dataclass
+class PragmaSet:
+    """All pragmas of one file plus the grammar problems found."""
+
+    pragmas: List[Pragma]
+    problems: List[Violation]
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        """Consume a suppression for *rule_id* at *line*, if any."""
+        hit = False
+        for pragma in self.pragmas:
+            if pragma.target_line == line and rule_id in pragma.rules:
+                pragma.used = True
+                hit = True
+        return hit
+
+    def unused(self) -> List[Pragma]:
+        return [p for p in self.pragmas if not p.used]
+
+
+def parse_pragmas(path: str, source: str) -> PragmaSet:
+    """Extract every ``# repro:`` pragma from *source*.
+
+    Tokenization (rather than a per-line regex) keeps the parser honest
+    about what is a comment: ``"# repro: allow[R001]"`` inside a string
+    literal is data, not a pragma.
+    """
+    pragmas: List[Pragma] = []
+    problems: List[Violation] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, ValueError):
+        # The engine reports unparsable files separately; no pragmas.
+        return PragmaSet([], [])
+    code_lines = {tok.start[0]
+                  for tok in tokens
+                  if tok.type not in (tokenize.COMMENT, tokenize.NL,
+                                      tokenize.NEWLINE, tokenize.INDENT,
+                                      tokenize.DEDENT, tokenize.ENDMARKER)}
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        line, col = tok.start
+        body = match.group("body").strip()
+        parsed = _ALLOW_RE.match(body)
+        if parsed is None:
+            problems.append(Violation(
+                path=path, line=line, col=col + 1, rule=PRAGMA_RULE_ID,
+                message=f"unparsable pragma {body!r}: expected "
+                        "'allow[R00N[,R00M...]] reason'"))
+            continue
+        if not parsed.group("reason"):
+            problems.append(Violation(
+                path=path, line=line, col=col + 1, rule=PRAGMA_RULE_ID,
+                message="pragma is missing its reason: every suppression "
+                        "must say why the rule does not apply"))
+            continue
+        rules = tuple(r.strip().upper()
+                      for r in parsed.group("rules").split(","))
+        target = line if line in code_lines else line + 1
+        pragmas.append(Pragma(line=line, target_line=target, rules=rules,
+                              reason=parsed.group("reason").strip()))
+    return PragmaSet(pragmas, problems)
+
+
+def unknown_rule_problems(path: str, pragmas: PragmaSet,
+                          known: Dict[str, object]) -> List[Violation]:
+    """R000 violations for pragmas naming rules that do not exist."""
+    problems = []
+    for pragma in pragmas.pragmas:
+        for rule_id in pragma.rules:
+            if rule_id not in known:
+                problems.append(Violation(
+                    path=path, line=pragma.line, col=1, rule=PRAGMA_RULE_ID,
+                    message=f"pragma allows unknown rule {rule_id}"))
+    return problems

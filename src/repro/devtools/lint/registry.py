@@ -1,0 +1,154 @@
+"""Rule registry: violations, file scopes, and the rule base class.
+
+A rule is a small :class:`Rule` subclass registered under a stable id
+(``R001``...).  Each rule carries a default :class:`Scope` -- the set of
+repository paths its invariant governs -- which a :class:`LintConfig`
+may override per rule without touching the rule itself (the engine owns
+path discovery; rules only ever see files already inside their scope).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from fnmatch import fnmatch
+from typing import Callable, Dict, Iterable, Iterator, List, Tuple
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit, pointing at a source location.
+
+    Ordered by location so reports are stable regardless of the order
+    rules ran in.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+@dataclasses.dataclass(frozen=True)
+class Scope:
+    """Which repository-relative paths a rule applies to.
+
+    Patterns are :func:`fnmatch.fnmatch` globs matched against POSIX
+    relative paths (``src/repro/core/engine/replay.py``); ``**`` in a
+    pattern matches across directory separators because fnmatch treats
+    ``*`` that way already.  A file is in scope when it matches at least
+    one ``include`` pattern and no ``exclude`` pattern.
+    """
+
+    include: Tuple[str, ...]
+    exclude: Tuple[str, ...] = ()
+
+    def matches(self, relpath: str) -> bool:
+        if not any(fnmatch(relpath, pat) for pat in self.include):
+            return False
+        return not any(fnmatch(relpath, pat) for pat in self.exclude)
+
+
+EVERYWHERE = Scope(include=("*",))
+
+
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module,
+                 imports: Dict[str, str]) -> None:
+        self.path = path          #: repository-relative POSIX path
+        self.source = source
+        self.tree = tree
+        self.imports = imports    #: local alias -> fully qualified name
+
+    def resolve(self, node: ast.AST) -> str:
+        """The fully qualified dotted name *node* refers to, or ``""``.
+
+        ``np.random.default_rng`` resolves through ``import numpy as
+        np`` to ``numpy.random.default_rng``; expressions that are not a
+        plain attribute/name chain resolve to the empty string.
+        """
+        from repro.devtools.lint.names import resolve
+
+        return resolve(node, self.imports)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding :class:`Violation` objects for one already-parsed file.
+    Rules never do path filtering -- the engine calls them only for
+    files inside their (possibly config-overridden) scope.
+    """
+
+    id: str = ""
+    name: str = ""          #: short kebab-case slug
+    rationale: str = ""     #: one line: why the invariant exists
+    scope: Scope = EVERYWHERE
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST,
+                  message: str) -> Violation:
+        return Violation(path=ctx.path, line=getattr(node, "lineno", 1),
+                         col=getattr(node, "col_offset", 0) + 1,
+                         rule=self.id, message=message)
+
+
+#: All registered rules by id, in registration order.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Callable[[], Rule]) -> Callable[[], Rule]:
+    """Class decorator adding one instance of *cls* to :data:`RULES`."""
+    rule = cls()
+    if not rule.id or rule.id in RULES:
+        raise ValueError(f"rule id {rule.id!r} missing or duplicate")
+    RULES[rule.id] = rule
+    return cls
+
+
+def iter_rules(select: Iterable[str] = ()) -> Iterator[Rule]:
+    """The selected rules (all when *select* is empty), in id order.
+
+    Raises :class:`KeyError` naming the first unknown id.
+    """
+    wanted = list(select)
+    for rule_id in wanted:
+        if rule_id not in RULES:
+            raise KeyError(rule_id)
+    for rule_id in sorted(RULES):
+        if not wanted or rule_id in wanted:
+            yield RULES[rule_id]
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Engine configuration: rule selection and per-rule scope overrides.
+
+    ``scope_overrides`` maps a rule id to the :class:`Scope` to use
+    instead of the rule's default -- the seam that lets a repository (or
+    a test fixture tree) re-scope an invariant without editing the rule.
+    """
+
+    select: Tuple[str, ...] = ()
+    scope_overrides: Dict[str, Scope] = dataclasses.field(default_factory=dict)
+    #: Report allow pragmas that suppressed nothing (stale suppressions).
+    flag_unused_pragmas: bool = True
+
+    def scope_for(self, rule: Rule) -> Scope:
+        return self.scope_overrides.get(rule.id, rule.scope)
+
+    def rules(self) -> List[Rule]:
+        return list(iter_rules(self.select))

@@ -1,0 +1,438 @@
+"""The initial rule pack: the engine's invariants, statically enforced.
+
+Every rule here encodes a promise the runtime stack makes dynamically
+-- record streams byte-identical across serial/parallel/replayed
+execution -- as a property visible in the source.  See the README's
+"Static analysis" section for the narrative; each rule's ``rationale``
+is the one-line version.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.lint.registry import (
+    EVERYWHERE,
+    FileContext,
+    Rule,
+    Scope,
+    Violation,
+    register,
+)
+
+#: Paths that execute inside (or feed) a recorded run.  The leading
+#: ``*`` keeps the globs working for any lint root: ``src/repro/...``
+#: from the repository root, ``repro/...`` when linting ``src`` itself,
+#: and fixture trees living under a tmp directory.
+_ENGINE_PATHS = ("*repro/core/*", "*repro/apps/*", "*repro/fusefs/*",
+                 "*repro/mhdf5/*", "*repro/mfits/*", "*repro/study/*",
+                 "*repro/experiments/*")
+
+#: Code that orders record emission or splice decisions: iteration
+#: order here IS the record stream / replay soundness.
+_ORDER_SENSITIVE_PATHS = (
+    "*repro/core/engine/*", "*repro/core/scenario.py",
+    "*repro/core/injector.py", "*repro/core/campaign.py",
+    "*repro/core/metadata_campaign.py", "*repro/fusefs/*", "*repro/apps/*")
+
+_DEVTOOLS = ("*repro/devtools/*",)
+
+
+@register
+class WallClockRule(Rule):
+    """R001: no wall-clock or entropy source may feed a record path."""
+
+    id = "R001"
+    name = "no-wallclock"
+    rationale = ("wall-clock/entropy reads in engine, app, or record "
+                 "paths break record-stream determinism across runs")
+    scope = Scope(include=_ENGINE_PATHS, exclude=_DEVTOOLS)
+
+    #: Exact qualified names that read a clock or entropy pool.  The
+    #: perf counters are included deliberately: elapsed-time reporting
+    #: is legitimate but must be visibly pragma-annotated so nobody
+    #: promotes a duration into a record field.
+    banned = frozenset({
+        "time.time", "time.time_ns", "time.perf_counter",
+        "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns", "time.localtime",
+        "time.gmtime", "time.ctime", "time.asctime", "time.strftime",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+        "os.urandom", "os.getrandom",
+    })
+    #: Whole modules whose every callable is an entropy source.
+    banned_prefixes = ("uuid.", "secrets.", "random.")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            qualified = ctx.resolve(node)
+            if not qualified:
+                continue
+            if qualified in self.banned or \
+                    qualified.startswith(self.banned_prefixes):
+                yield self.violation(
+                    ctx, node,
+                    f"{qualified} is a wall-clock/entropy source; record "
+                    "paths must be deterministic (derive randomness from "
+                    "repro.util.rngstream, or pragma-annotate "
+                    "reporting-only timing)")
+
+
+@register
+class RngDisciplineRule(Rule):
+    """R002: RNGs in core/apps must come from named substreams."""
+
+    id = "R002"
+    name = "rng-discipline"
+    rationale = ("a numpy Generator built outside repro.util.rngstream "
+                 "is seeded by call order, not by name -- adding a "
+                 "consumer would silently perturb every later draw")
+    scope = Scope(include=("*repro/core/*", "*repro/apps/*"),
+                  exclude=_DEVTOOLS)
+
+    banned_call_prefixes = ("numpy.random.",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.resolve(node.func)
+            if qualified.startswith(self.banned_call_prefixes):
+                yield self.violation(
+                    ctx, node,
+                    f"{qualified}(...) constructs RNG state outside the "
+                    "named-substream discipline; use "
+                    "RngStream(seed, ...).generator() so streams derive "
+                    "by name, not call order")
+
+
+def _is_unordered(node: ast.AST, ctx: FileContext) -> bool:
+    """Does *node* evaluate to a set (hash-ordered) collection?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        return (_is_unordered(node.left, ctx)
+                or _is_unordered(node.right, ctx))
+    if isinstance(node, ast.Call):
+        if ctx.resolve(node.func) in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union", "intersection", "difference",
+                "symmetric_difference"):
+            # ``a.union(b)`` only yields a set when ``a`` is one; the
+            # attr name alone is strong enough signal in order-critical
+            # code, and ``sorted(...)`` is the universal fix either way.
+            return True
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """R003: no bare set iteration where order becomes a record."""
+
+    id = "R003"
+    name = "unordered-iteration"
+    rationale = ("iterating a set in replay/sink/record-emitting code "
+                 "makes the record stream depend on hash seeds and "
+                 "integer interning -- wrap the iterable in sorted()")
+    scope = Scope(include=_ORDER_SENSITIVE_PATHS, exclude=_DEVTOOLS)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            iters: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_unordered(it, ctx):
+                    yield self.violation(
+                        ctx, it,
+                        "iteration over an unordered set expression in "
+                        "order-sensitive code; wrap it in sorted() so "
+                        "the traversal is deterministic by construction")
+
+
+def _closure_names(tree: ast.Module) -> Set[str]:
+    """Names bound to functions that cannot cross a process boundary:
+    defs nested inside another function, and lambda assignments."""
+    names: Set[str] = set()
+
+    def walk(node: ast.AST, depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if depth >= 1:
+                    names.add(child.name)
+                walk(child, depth + 1)
+            else:
+                if isinstance(child, ast.Assign) and \
+                        isinstance(child.value, ast.Lambda):
+                    for target in child.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+                walk(child, depth)
+
+    walk(tree, 0)
+    return names
+
+
+@register
+class ForkSafetyRule(Rule):
+    """R004: nothing unpicklable may be handed to a worker pool."""
+
+    id = "R004"
+    name = "fork-safety"
+    rationale = ("lambdas and nested closures pickle on spawn-start "
+                 "platforms only by failing at runtime -- pool tasks "
+                 "and initializers must be module-level functions")
+    scope = EVERYWHERE
+
+    #: Dispatch methods whose first positional argument is a callable
+    #: shipped to another process.
+    dispatch_attrs = frozenset({
+        "submit", "map", "map_tagged", "map_async", "apply", "apply_async",
+        "imap", "imap_unordered", "starmap", "starmap_async",
+    })
+
+    def _receiver_is_pool(self, func: ast.Attribute, ctx: FileContext) -> bool:
+        receiver = ctx.resolve(func.value).lower()
+        return "pool" in receiver or "executor" in receiver
+
+    def _unpicklable(self, node: ast.AST, closures: Set[str]) -> bool:
+        if isinstance(node, ast.Lambda):
+            return True
+        return isinstance(node, ast.Name) and node.id in closures
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        closures = _closure_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg == "initializer" and \
+                        self._unpicklable(kw.value, closures):
+                    yield self.violation(
+                        ctx, kw.value,
+                        "pool initializer is a lambda/nested closure; it "
+                        "cannot be pickled to spawn-started workers -- "
+                        "hoist it to module level")
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in self.dispatch_attrs and \
+                    self._receiver_is_pool(node.func, ctx) and node.args:
+                if self._unpicklable(node.args[0], closures):
+                    yield self.violation(
+                        ctx, node.args[0],
+                        f"callable handed to {node.func.attr}() is a "
+                        "lambda/nested closure; fork workers would run "
+                        "it but spawn workers cannot unpickle it -- "
+                        "hoist it to module level")
+
+
+def _base_names(node: ast.ClassDef) -> Set[str]:
+    names = set()
+    for base in node.bases:
+        if isinstance(base, ast.Attribute):
+            names.add(base.attr)
+        elif isinstance(base, ast.Name):
+            names.add(base.id)
+    return names
+
+
+def _defined_in_body(node: ast.ClassDef) -> Set[str]:
+    defined: Set[str] = set()
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defined.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            defined.update(t.id for t in stmt.targets
+                           if isinstance(t, ast.Name))
+        elif isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name):
+            defined.add(stmt.target.id)
+    return defined
+
+
+@register
+class ReplaySoundnessRule(Rule):
+    """R005: scenarios and apps must opt into replay *explicitly*."""
+
+    id = "R005"
+    name = "replay-soundness"
+    rationale = ("a FaultScenario without replay_constraint (or an "
+                 "HpcApplication without steps) silently falls back to "
+                 "cold execution -- correct but quietly forfeiting the "
+                 "replay speedup; the opt-out must be visible")
+    scope = EVERYWHERE
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = _base_names(node)
+            defined = _defined_in_body(node)
+            if "FaultScenario" in bases and \
+                    "replay_constraint" not in defined:
+                yield self.violation(
+                    ctx, node,
+                    f"{node.name} subclasses FaultScenario but does not "
+                    "define replay_constraint(); every run would fall "
+                    "back to cold execution -- declare the constraint "
+                    "(or return None with a pragma explaining why "
+                    "replay is unsound for this scenario)")
+            if "HpcApplication" in bases and "steps" not in defined:
+                yield self.violation(
+                    ctx, node,
+                    f"{node.name} subclasses HpcApplication but does not "
+                    "define steps(); it is invisible to prefix replay "
+                    "and every campaign against it runs cold -- "
+                    "implement the step protocol (or pragma-annotate "
+                    "the intentional opt-out)")
+
+
+#: Frozen value types of the planning layer.  Mutating one after
+#: construction would desynchronize the plan from its checkpoint
+#: identity (and frozen dataclasses make it a runtime error anyway --
+#: this rule moves the failure to commit time).
+_FROZEN_SPECS = frozenset({
+    "StudySpec", "RunSpec", "SweepCell", "TargetSpec", "ModelSpec",
+    "ScenarioSpec", "CellSpec", "SweepPlan", "RunPlan", "ReplayConstraint",
+    "RunStep", "StepTrace", "ReplayImage",
+})
+
+#: Methods allowed to touch not-yet-published instances.
+_CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__setstate__",
+                           "__new__"})
+
+
+def _annotation_name(node: Optional[ast.AST]) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.rsplit(".", 1)[-1]
+    return ""
+
+
+class _FrozenTracker(ast.NodeVisitor):
+    """Per-function tracking of names bound to frozen-spec instances."""
+
+    def __init__(self, rule: Rule, ctx: FileContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.violations: List[Violation] = []
+        #: Stack of (function name, {var -> spec class}) scopes.
+        self.scopes: List[Tuple[str, Dict[str, str]]] = [("<module>", {})]
+
+    # -- scope maintenance ------------------------------------------------
+
+    def _enter_function(self, node) -> None:
+        bound: Dict[str, str] = {}
+        args = node.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+            cls = _annotation_name(arg.annotation)
+            if cls in _FROZEN_SPECS:
+                bound[arg.arg] = cls
+        self.scopes.append((node.name, bound))
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    visit_FunctionDef = _enter_function
+    visit_AsyncFunctionDef = _enter_function
+
+    def _track(self, name: str, cls: str) -> None:
+        self.scopes[-1][1][name] = cls
+
+    def _lookup(self, name: str) -> str:
+        for _, bound in reversed(self.scopes):
+            if name in bound:
+                return bound[name]
+        return ""
+
+    def _in_constructor(self) -> bool:
+        return self.scopes[-1][0] in _CONSTRUCTORS
+
+    # -- bindings ---------------------------------------------------------
+
+    def _spec_class_of(self, value: ast.AST) -> str:
+        if isinstance(value, ast.Call):
+            name = _annotation_name(value.func)
+            if name in _FROZEN_SPECS:
+                return name
+        return ""
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        cls = self._spec_class_of(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name) and cls:
+                self._track(target.id, cls)
+            elif isinstance(target, ast.Attribute):
+                self._flag_attribute_write(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            cls = _annotation_name(node.annotation)
+            if cls in _FROZEN_SPECS:
+                self._track(node.target.id, cls)
+        elif isinstance(node.target, ast.Attribute):
+            self._flag_attribute_write(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Attribute):
+            self._flag_attribute_write(node.target)
+        self.generic_visit(node)
+
+    # -- the actual checks ------------------------------------------------
+
+    def _flag_attribute_write(self, target: ast.Attribute) -> None:
+        if not isinstance(target.value, ast.Name):
+            return
+        cls = self._lookup(target.value.id)
+        if cls and not self._in_constructor():
+            self.violations.append(self.rule.violation(
+                self.ctx, target,
+                f"attribute assignment on frozen {cls} instance "
+                f"{target.value.id!r}; build a new instance "
+                "(dataclasses.replace / with_knobs) instead of mutating "
+                "a published spec"))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qualified = _annotation_name(node.func)
+        dotted = self.ctx.resolve(node.func)
+        is_setattr = (qualified == "setattr" and dotted == "setattr") or \
+            dotted == "object.__setattr__"
+        if is_setattr and node.args and isinstance(node.args[0], ast.Name):
+            cls = self._lookup(node.args[0].id)
+            if cls and not self._in_constructor():
+                self.violations.append(self.rule.violation(
+                    self.ctx, node,
+                    f"setattr on frozen {cls} instance "
+                    f"{node.args[0].id!r} outside a constructor; frozen "
+                    "specs are immutable identities -- derive a new one"))
+        self.generic_visit(node)
+
+
+@register
+class FrozenSpecMutationRule(Rule):
+    """R006: planning specs are immutable once constructed."""
+
+    id = "R006"
+    name = "frozen-spec-mutation"
+    rationale = ("StudySpec/RunSpec/SweepCell are hashable identities "
+                 "(checkpoint keys, cache keys); mutation after "
+                 "construction desynchronizes plans from their "
+                 "checkpoints")
+    scope = EVERYWHERE
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        tracker = _FrozenTracker(self, ctx)
+        tracker.visit(ctx.tree)
+        return tracker.violations

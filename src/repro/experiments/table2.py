@@ -17,9 +17,9 @@ import repro.apps.montage as montage_pkg
 import repro.apps.nyx as nyx_pkg
 import repro.apps.qmcpack as qmcpack_pkg
 from repro.analysis.tables import render_table
+from repro.core.fault_models import BitFlipFault
 from repro.core.profiler import IOProfiler
 from repro.core.signature import FaultSignature
-from repro.core.fault_models import BitFlipFault
 from repro.experiments.params import montage_default, nyx_default, qmcpack_default
 
 PAPER_ROWS = [

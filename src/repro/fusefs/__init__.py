@@ -10,12 +10,12 @@ POSIX-style primitive set, every primitive funnels through an
 mount/unmount lifecycle the paper performs between injection runs.
 """
 
-from repro.fusefs.backend import MemoryBackend, DirectoryBackend, StorageBackend
+from repro.fusefs.backend import DirectoryBackend, MemoryBackend, StorageBackend
 from repro.fusefs.inode import Inode, InodeKind, InodeTable
-from repro.fusefs.vfs import FFISFileSystem, FileHandle, StatResult, PRIMITIVES
-from repro.fusefs.interposer import Interposer, PrimitiveCall, Hook, CallDecision
+from repro.fusefs.interposer import CallDecision, Hook, Interposer, PrimitiveCall
 from repro.fusefs.mount import MountPoint, mount
 from repro.fusefs.profiler_hooks import CountingHook, TraceHook, TraceRecord
+from repro.fusefs.vfs import PRIMITIVES, FFISFileSystem, FileHandle, StatResult
 
 __all__ = [
     "MemoryBackend",

@@ -22,7 +22,7 @@ from repro.errors import (
     VFSError,
 )
 from repro.fusefs.backend import MemoryBackend, StorageBackend
-from repro.fusefs.inode import Inode, InodeImage, InodeKind, InodeTable
+from repro.fusefs.inode import InodeImage, InodeKind, InodeTable
 from repro.fusefs.interposer import Interposer
 
 #: The primitive names that can host faults, in the paper's nomenclature.

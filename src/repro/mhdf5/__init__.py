@@ -24,23 +24,23 @@ single packed metadata blob (the **penultimate** write), then a small
 superblock close-flag update (the final write).
 """
 
-from repro.mhdf5.datatype import DatatypeMessage, ByteOrder, MantissaNorm, ieee_f32le, ieee_f64le
+from repro.mhdf5 import constants
+from repro.mhdf5.chunks import (
+    FILTER_DEFLATE,
+    ChunkRecord,
+    chunk_btree_size,
+    split_into_chunks,
+)
 from repro.mhdf5.dataspace import DataspaceMessage
+from repro.mhdf5.datatype import ByteOrder, DatatypeMessage, MantissaNorm, ieee_f32le, ieee_f64le
+from repro.mhdf5.fieldmap import FieldClass, FieldMap, FieldSpan
+from repro.mhdf5.floatcodec import decode_floats, encode_floats
 from repro.mhdf5.layout import (
     ChunkedLayoutMessage,
     ContiguousLayoutMessage,
     decode_layout,
 )
-from repro.mhdf5.chunks import (
-    ChunkRecord,
-    FILTER_DEFLATE,
-    chunk_btree_size,
-    split_into_chunks,
-)
-from repro.mhdf5.fieldmap import FieldMap, FieldSpan, FieldClass
-from repro.mhdf5.floatcodec import decode_floats, encode_floats
-from repro.mhdf5.writer import DatasetSpec, Hdf5Writer, write_file, LayoutPlan
-from repro.mhdf5.reader import Hdf5Reader, read_dataset, list_datasets
+from repro.mhdf5.reader import Hdf5Reader, list_datasets, read_dataset
 from repro.mhdf5.repair import (
     Diagnosis,
     DiagnosisKind,
@@ -49,7 +49,7 @@ from repro.mhdf5.repair import (
     diagnose_dataset,
     repair_file,
 )
-from repro.mhdf5 import constants
+from repro.mhdf5.writer import DatasetSpec, Hdf5Writer, LayoutPlan, write_file
 
 __all__ = [
     "DatatypeMessage",

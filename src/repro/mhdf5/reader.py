@@ -15,7 +15,7 @@ the HDF5 C library:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -35,7 +35,6 @@ from repro.mhdf5.floatcodec import decode_floats
 from repro.mhdf5.heap import decode_heap
 from repro.mhdf5.layout import (
     ChunkedLayoutMessage,
-    ContiguousLayoutMessage,
     LayoutMessage,
     decode_layout,
 )

@@ -19,7 +19,7 @@ metadata campaign to report per-field outcomes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -34,16 +34,16 @@ from repro.mhdf5.btree import (
     snod_size,
 )
 from repro.mhdf5.chunks import (
-    ChunkRecord,
     FILTER_DEFLATE,
+    ChunkRecord,
     chunk_btree_size,
     compress_chunk,
     encode_chunk_btree,
     split_into_chunks,
 )
 from repro.mhdf5.codec import FieldWriter
-from repro.mhdf5.datatype import DatatypeMessage, ieee_f32le, ieee_f64le
 from repro.mhdf5.dataspace import DataspaceMessage
+from repro.mhdf5.datatype import DatatypeMessage, ieee_f32le, ieee_f64le
 from repro.mhdf5.fieldmap import FieldClass, FieldMap, FieldSpan
 from repro.mhdf5.heap import HEAP_HEADER_SIZE, LocalHeap
 from repro.mhdf5.layout import ChunkedLayoutMessage, ContiguousLayoutMessage

@@ -88,7 +88,7 @@ class TargetSpec:
                                             for b in _as_tuple(self.bits)))
             except (TypeError, ValueError) as exc:
                 raise ConfigError(
-                    f"bits entries must be (field-substring, byte, bit) "
+                    "bits entries must be (field-substring, byte, bit) "
                     f"triplets, got {self.bits!r}: {exc}") from None
             object.__setattr__(self, "bits", normalized)
         if self.kind == "fault":

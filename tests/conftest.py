@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.apps.nyx import FieldConfig, NyxApplication
-from repro.fusefs.mount import MountPoint, mount
+from repro.fusefs.mount import mount
 from repro.fusefs.vfs import FFISFileSystem
 
 

@@ -68,7 +68,7 @@ class TestTables:
     def test_render_table_aligns(self):
         text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
         lines = text.splitlines()
-        assert len({len(l) for l in lines if l}) == 1   # uniform width
+        assert len({len(ln) for ln in lines if ln}) == 1   # uniform width
 
     def test_row_length_validated(self):
         with pytest.raises(ValueError):

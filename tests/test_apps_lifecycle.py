@@ -4,12 +4,12 @@ import numpy as np
 import pytest
 
 from repro.apps.base import GoldenRecord, PhaseSpan
-from repro.apps.montage import MontageApplication, SkyConfig, STAGES
+from repro.apps.montage import STAGES, MontageApplication, SkyConfig
 from repro.apps.nyx import FieldConfig, NyxApplication
 from repro.apps.qmcpack import (
+    SDC_WINDOW,
     DmcParams,
     QmcpackApplication,
-    SDC_WINDOW,
     VmcParams,
 )
 from repro.core.outcomes import Outcome

@@ -1,14 +1,13 @@
 """Tests for the CLI and the system-level rate projection."""
 
 import io
-import math
 
 import pytest
 
 from repro.analysis.projection import (
-    DeviceModel,
     FIELD_STUDY_UBER_RANGE,
     JEDEC_ENTERPRISE_UBER,
+    DeviceModel,
     effective_uber_budget,
     project_run,
     system_sdc_rate,

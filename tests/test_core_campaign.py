@@ -4,12 +4,12 @@ import pytest
 
 from repro.core.campaign import Campaign
 from repro.core.config import CampaignConfig
+from repro.core.fault_models import BitFlipFault, DroppedWriteFault
 from repro.core.generator import FaultGenerator
 from repro.core.injector import FaultInjector, InjectionHook
 from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
 from repro.core.profiler import IOProfiler
 from repro.core.signature import FaultSignature
-from repro.core.fault_models import BitFlipFault, DroppedWriteFault
 from repro.errors import ConfigError, FFISError
 from repro.fusefs.mount import mount
 from repro.fusefs.vfs import FFISFileSystem

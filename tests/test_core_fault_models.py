@@ -5,9 +5,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.fault_models import (
+    SECTOR_SIZE,
     BitFlipFault,
     DroppedWriteFault,
-    SECTOR_SIZE,
     ShornWriteFault,
     make_fault_model,
 )

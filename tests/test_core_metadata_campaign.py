@@ -6,8 +6,6 @@ from repro.core.metadata_campaign import MetadataCampaign
 from repro.core.outcomes import Outcome
 from repro.errors import FFISError
 from repro.experiments.table3 import fieldmap_for
-from repro.fusefs.mount import mount
-from repro.fusefs.vfs import FFISFileSystem
 
 
 @pytest.fixture(scope="module")

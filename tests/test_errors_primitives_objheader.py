@@ -1,11 +1,10 @@
 """Coverage for the error taxonomy, primitive routing, and object headers."""
 
-import numpy as np
 import pytest
 
 from repro import errors
 from repro.fusefs.mount import mount
-from repro.fusefs.vfs import FFISFileSystem, PRIMITIVES
+from repro.fusefs.vfs import PRIMITIVES, FFISFileSystem
 from repro.mhdf5 import constants as C
 from repro.mhdf5.codec import FieldReader, FieldWriter
 from repro.mhdf5.fieldmap import FieldClass

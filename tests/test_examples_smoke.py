@@ -6,9 +6,7 @@ keeps their imports and the public surface they demonstrate honest.
 
 import importlib.util
 import os
-import sys
 
-import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
 

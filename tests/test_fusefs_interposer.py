@@ -1,7 +1,5 @@
 """Tests for the interposer hook chain and the profiler hooks."""
 
-import pytest
-
 from repro.fusefs.interposer import CallDecision, Interposer, PrimitiveCall
 from repro.fusefs.mount import mount
 from repro.fusefs.profiler_hooks import CountingHook, TraceHook

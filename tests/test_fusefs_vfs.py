@@ -12,7 +12,6 @@ from repro.errors import (
 )
 from repro.fusefs.inode import InodeKind, InodeTable
 from repro.fusefs.mount import mount
-from repro.fusefs.vfs import FFISFileSystem
 
 
 class TestInodeTable:

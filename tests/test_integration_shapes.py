@@ -9,9 +9,9 @@ import pytest
 from repro.core.campaign import Campaign
 from repro.core.config import CampaignConfig
 from repro.core.outcomes import Outcome
-from repro.mhdf5.repair import repair_file
 from repro.fusefs.mount import mount
 from repro.fusefs.vfs import FFISFileSystem
+from repro.mhdf5.repair import repair_file
 
 N_RUNS = 40
 

@@ -4,11 +4,10 @@ import numpy as np
 import pytest
 
 from repro.errors import FormatError
-from repro.mhdf5.api import File
 from repro.mhdf5.chunks import (
     CHUNK_BTREE_CAPACITY,
-    ChunkRecord,
     FILTER_DEFLATE,
+    ChunkRecord,
     chunk_btree_size,
     compress_chunk,
     decode_chunk_btree,
@@ -16,9 +15,8 @@ from repro.mhdf5.chunks import (
     encode_chunk_btree,
     split_into_chunks,
 )
-from repro.mhdf5.codec import FieldWriter
+from repro.mhdf5.codec import FieldReader, FieldWriter
 from repro.mhdf5.layout import ChunkedLayoutMessage, decode_layout
-from repro.mhdf5.codec import FieldReader
 from repro.mhdf5.reader import Hdf5Reader, read_dataset
 from repro.mhdf5.repair import DiagnosisKind, diagnose_dataset, repair_file
 from repro.mhdf5.writer import DatasetSpec, write_file

@@ -8,7 +8,7 @@ from repro.mhdf5.api import File
 from repro.mhdf5.fieldmap import FieldClass
 from repro.mhdf5.reader import Hdf5Reader, list_datasets, read_dataset
 from repro.mhdf5.superblock import CONSISTENCY_FLAGS_OFFSET
-from repro.mhdf5.writer import Hdf5Writer, write_file
+from repro.mhdf5.writer import write_file
 
 
 @pytest.fixture

@@ -16,8 +16,7 @@ from repro.mhdf5.btree import (
 )
 from repro.mhdf5.codec import FieldReader, FieldWriter
 from repro.mhdf5.dataspace import DataspaceMessage
-from repro.mhdf5.datatype import ByteOrder, DatatypeMessage, MantissaNorm, ieee_f32le, ieee_f64le
-from repro.mhdf5.fieldmap import FieldClass
+from repro.mhdf5.datatype import DatatypeMessage, MantissaNorm, ieee_f32le, ieee_f64le
 from repro.mhdf5.heap import LocalHeap, decode_heap
 from repro.mhdf5.layout import ContiguousLayoutMessage
 from repro.mhdf5.superblock import Superblock

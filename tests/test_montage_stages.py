@@ -15,10 +15,9 @@ from repro.apps.montage.background import (
     fit_plane,
     parse_fits_table,
     render_fits_table,
-    run_mbg,
     solve_corrections,
 )
-from repro.apps.montage.diff import Placement, overlap_box, run_mdiff
+from repro.apps.montage.diff import Placement, overlap_box
 from repro.apps.montage.image import SkyConfig, generate_sky, make_raw_tiles
 from repro.apps.montage.project import project_tile, run_mproj, shift_bilinear
 from repro.errors import FormatError
@@ -72,7 +71,6 @@ class TestProjection:
         """Reprojection undoes the subpixel dither: two tiles of the same
         smooth sky with different dithers agree on the mosaic grid."""
         yy, xx = np.mgrid[0:40, 0:40].astype(float)
-        sky = 0.1 * yy + 0.05 * xx
 
         def tile(dy, dx):
             sampled = 0.1 * (yy[:32, :32] + dy) + 0.05 * (xx[:32, :32] + dx)
@@ -202,7 +200,6 @@ class TestAdd:
                  shape, "/out")
         mosaic = read_fits(mp, "/out/m101_mosaic.fits").data
         # (10*1 + 30*3)/4 = 25 in the covered region (margin-cropped).
-        inner = mosaic[2 - COVERAGE_MARGIN + 2 : 4, 2 : 4]
         assert np.allclose(mosaic[2, 2], 25.0)
 
     def test_run_madd_no_usable_inputs_crashes(self, mp):

@@ -79,8 +79,8 @@ class TestFindHalos:
         rho = field_with_blob() + field_with_blob(center=(3, 3, 3)) - 1.0
         rho /= rho.mean()
         text = find_halos(rho, min_cells=2).to_text()
-        lines = [l for l in text.splitlines() if not l.startswith("#")]
-        assert lines == sorted(lines, key=lambda l: float(l.split()[0]))
+        lines = [ln for ln in text.splitlines() if not ln.startswith("#")]
+        assert lines == sorted(lines, key=lambda ln: float(ln.split()[0]))
 
     def test_non_3d_rejected(self):
         with pytest.raises(ValueError):

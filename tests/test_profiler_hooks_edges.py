@@ -11,13 +11,13 @@ from typing import Dict, List, Tuple
 
 import pytest
 
+from repro.apps.base import GoldenRecord, HpcApplication
 from repro.core.campaign import Campaign
 from repro.core.config import CampaignConfig
+from repro.core.fault_models import BitFlipFault
 from repro.core.outcomes import Outcome
 from repro.core.profiler import IOProfiler, ProfileResult
 from repro.core.signature import FaultSignature
-from repro.core.fault_models import BitFlipFault
-from repro.apps.base import GoldenRecord, HpcApplication
 from repro.errors import FFISError
 from repro.fusefs.mount import MountPoint, mount
 from repro.fusefs.profiler_hooks import CountingHook, TraceHook

@@ -6,7 +6,6 @@ import pytest
 from repro.apps.qmcpack import (
     DmcParams,
     HeliumWavefunction,
-    PopulationCollapse,
     VmcParams,
     run_dmc,
     run_vmc,

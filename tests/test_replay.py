@@ -9,7 +9,7 @@ fault-point-aware suffix fast-forward.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import pytest
 
@@ -399,3 +399,47 @@ class TestReplayedCheckpointResume:
         cold = Campaign(app, CampaignConfig(fault_model="BF", n_runs=6,
                                             seed=9, replay=False)).run()
         assert cold.records == fresh.records
+
+
+class TestSpliceGuardOrdering:
+    """The splice guard probes inodes in sorted order, not set order.
+
+    Regression for the ordering hazard at ``replay.py``'s
+    ``_state_clean``: iterating ``set(observed) | set(written)`` bare
+    made the *first mismatching inode* -- and with it any divergence
+    behavior -- depend on CPython's hash layout.  The guard now sorts,
+    so the probe sequence is deterministic by construction.
+    """
+
+    def _probe_order(self, observed, written):
+        from types import SimpleNamespace
+
+        from repro.apps.base import StepTrace
+        from repro.core.engine.replay import ReplayConstraint, _Splicer
+
+        probed = []
+
+        def extent_object(ino):
+            probed.append(ino)
+            return None
+
+        fs = SimpleNamespace(
+            backend=SimpleNamespace(extent_object=extent_object),
+            inodes=SimpleNamespace(get_or_none=lambda ino: None))
+        boundary = SimpleNamespace(extents={}, inodes={})
+        image = SimpleNamespace(boundaries=[boundary])
+        splicer = _Splicer(fs, image, ReplayConstraint(), carry={})
+        trace = StepTrace(name="s", phase="p", ends_phase=True,
+                          observed=tuple(observed), written=tuple(written),
+                          removed=())
+        assert splicer._state_clean(0, trace) is True
+        return probed
+
+    def test_probe_order_is_sorted_not_hash_ordered(self):
+        # {32, 1} iterates [32, 1] in CPython's small-set layout -- the
+        # exact case where bare set iteration diverges from sorted().
+        assert self._probe_order(observed=(32,), written=(1,)) == [1, 32]
+
+    def test_union_deduplicates_and_sorts(self):
+        assert self._probe_order(observed=(7, 32, 1),
+                                 written=(1, 7, 100)) == [1, 7, 32, 100]

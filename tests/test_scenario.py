@@ -16,7 +16,9 @@ from repro.cli import main
 from repro.core.campaign import Campaign
 from repro.core.config import CampaignConfig
 from repro.core.engine import RunSpec
+from repro.core.fault_models import BitFlipFault
 from repro.core.injector import MultiShotHook
+from repro.core.outcomes import Outcome, RunRecord
 from repro.core.scenario import (
     AtRestDecay,
     AtRestDecayHook,
@@ -28,8 +30,6 @@ from repro.core.scenario import (
     scenario_from_record,
 )
 from repro.core.signature import FaultSignature
-from repro.core.fault_models import BitFlipFault
-from repro.core.outcomes import Outcome, RunRecord
 from repro.errors import ConfigError, FFISError
 from repro.fusefs.mount import mount
 from repro.fusefs.vfs import FFISFileSystem

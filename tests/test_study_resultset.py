@@ -8,7 +8,6 @@ mid-``emit`` kill; terminated corruption raises).
 """
 
 import json
-import os
 
 import pytest
 

@@ -28,7 +28,6 @@ from repro.study.registry import (
     figure7_spec,
     get_study,
     multifault_spec,
-    table3_spec,
 )
 from repro.study.spec import ModelSpec, ScenarioSpec, TargetSpec
 

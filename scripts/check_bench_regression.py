@@ -6,10 +6,15 @@ engine benches: ``PYTHONPATH=src python -m pytest benchmarks/ -q -k
 "engine_parallel or fused_sweep or prefix_replay_figure7"``) and fails
 when a headline speedup regresses below its floor:
 
-* ``engine_parallel.speedup >= 1.5`` -- only enforced when the baseline
-  was *recorded* on a multi-core host (``cores >= 2``); on a single
-  core the pool degenerates to serial-plus-fork-overhead by design and
-  the number is reported, not gated.
+* ``engine_parallel.speedup >= 1.5`` -- enforced when the baseline was
+  *recorded* on a multi-core host (``cores >= 2``); on a single core
+  the pool degenerates to serial-plus-fork-overhead by design and the
+  number is reported, not gated.  A single-core baseline is only a
+  valid reason to skip on a single-core *runner*: when this script
+  itself runs on >= 2 cores against a 1-core baseline, the gate has
+  silently never fired, so that combination **fails** with instructions
+  to re-record (CI re-runs the engine_parallel bench on its own runner
+  right before this gate, which refreshes the recorded core count).
 * ``prefix_replay_figure7.speedup >= 1.8`` -- unconditional: replay
   wins by skipping work, not by adding cores.
 
@@ -31,7 +36,9 @@ PARALLEL_FLOOR = 1.5
 REPLAY_FLOOR = 1.8
 
 
-def check(baseline: dict) -> list:
+def check(baseline: dict, runner_cores: int = None) -> list:
+    if runner_cores is None:
+        runner_cores = os.cpu_count() or 1
     failures = []
 
     parallel = baseline.get("engine_parallel")
@@ -43,10 +50,21 @@ def check(baseline: dict) -> list:
             failures.append(
                 f"engine_parallel.speedup {speedup} < {PARALLEL_FLOOR} "
                 f"on {parallel['cores']} cores")
+    elif runner_cores >= 2:
+        # Skipping here would mean the 1.5x gate never fires anywhere:
+        # the only machine that could enforce it is the one reading a
+        # baseline that exempts itself.  Refuse the combination.
+        failures.append(
+            f"engine_parallel baseline was recorded on "
+            f"{parallel.get('cores', 1)} core(s) but this runner has "
+            f"{runner_cores}; the {PARALLEL_FLOOR}x gate would be "
+            "silently skipped -- re-record the baseline here "
+            "(PYTHONPATH=src python -m pytest "
+            "benchmarks/test_engine_parallel.py -q) before gating")
     else:
         print(f"engine_parallel: recorded on {parallel.get('cores', 1)} "
               f"core(s); speedup {parallel.get('speedup')} reported, "
-              "not gated")
+              "not gated (single-core runner)")
 
     replay = baseline.get("prefix_replay_figure7")
     if replay is None:

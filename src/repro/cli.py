@@ -7,6 +7,10 @@ Subcommands:
 * ``study run|plan|describe``       -- declarative studies: registered
   ids (``figure7``, ``multifault``, ...), a TOML spec file, or inline
   ``--app/--model/--scenario`` axes
+* ``study serve --queue DIR``       -- coordinate a distributed fleet:
+  post the study's leases and merge the workers' shards when done
+* ``worker --queue DIR``            -- attach to a served queue, rebuild
+  the study from its spec, and execute leases until released
 * ``campaign --app X --model Y``    -- run a custom campaign
 * ``campaign --app X --metadata-mode M`` -- per-byte metadata sweep
 * ``sweep --app X --app Y --model M ...`` -- fused multi-campaign grid
@@ -125,8 +129,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "run": "execute a study and print its report",
         "plan": "list a study's cells without executing anything",
         "describe": "print a study's canonical TOML spec",
+        "serve": "coordinate a distributed fleet: post the study's "
+                 "leases to a shared queue directory, reassign expired "
+                 "claims, and merge the workers' shards when done",
     }
-    for name in ("run", "plan", "describe"):
+    for name in ("run", "plan", "describe", "serve"):
         p = ssub.add_parser(name, help=study_help[name])
         p.add_argument("study", nargs="?", default=None, metavar="STUDY",
                        help="registered study id (see `repro study list`)")
@@ -139,12 +146,66 @@ def _build_parser() -> argparse.ArgumentParser:
         if name == "run":
             p.add_argument("--workers", type=_positive_int, default=None,
                            help="worker processes (default: the spec's)")
+            p.add_argument("--hosts", type=_positive_int, default=None,
+                           help="> 1 runs the study through the lease-queue "
+                                "distributed engine with this many forked "
+                                "workers (results byte-identical to serial)")
+            p.add_argument("--queue", default=None, metavar="DIR",
+                           help="queue directory for --hosts (default: a "
+                                "throwaway; name one to survive coordinator "
+                                "crashes)")
+        if name in ("run", "serve"):
             p.add_argument("--out", default=None, metavar="RESULTS.jsonl",
                            help="stream every run record to this JSONL file")
             p.add_argument("--resume", action="store_true",
                            help="skip (cell, run) pairs already in --out")
             _add_replay_option(p)
+        if name == "serve":
+            p.add_argument("--queue", required=True, metavar="DIR",
+                           help="shared queue directory workers attach to "
+                                "(`repro worker --queue DIR`)")
+            p.add_argument("--hosts", type=_positive_int, default=2,
+                           help="expected fleet size (sizes the default "
+                                "lease granularity; workers may be fewer "
+                                "or more)")
+            p.add_argument("--lease-runs", type=_positive_int, default=None,
+                           help="runs per lease (default: adaptive)")
+            p.add_argument("--lease-ttl", type=float, default=30.0,
+                           help="seconds without a heartbeat before a "
+                                "claimed lease is reassigned (default 30)")
+            p.add_argument("--timeout", type=float, default=None,
+                           help="abort (resumably) if the campaign is "
+                                "still incomplete after this many seconds")
     ssub.add_parser("list", help="list the registered studies")
+
+    worker = sub.add_parser(
+        "worker", help="attach to a served queue: rebuild the study from "
+                       "its spec, verify it against the queue manifest, "
+                       "and execute leases until the coordinator finishes")
+    worker.add_argument("--queue", required=True, metavar="DIR",
+                        help="the coordinator's queue directory")
+    worker.add_argument("study", nargs="?", default=None, metavar="STUDY",
+                        help="registered study id the coordinator is serving")
+    worker.add_argument("--file", default=None, metavar="SPEC.toml",
+                        help="load the study spec from a TOML file")
+    _add_axis_options(worker, required=False)
+    worker.add_argument("--runs", type=_positive_int, default=None,
+                        help="runs per cell (must match the served study; "
+                             "the queue manifest verifies it)")
+    worker.add_argument("--id", default=None, metavar="WORKER_ID",
+                        help="stable worker identity (default host<pid>); "
+                             "reusing an id after a crash appends to the "
+                             "same shard")
+    worker.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                        help="idle poll interval (default 0.5)")
+    worker.add_argument("--reclaim-ttl", type=float, default=None,
+                        metavar="SECONDS",
+                        help="let idle workers expire peers' stale claims "
+                             "themselves (coordinator-less fleets)")
+    worker.add_argument("--max-idle-polls", type=_positive_int, default=None,
+                        help="exit after this many consecutive empty polls "
+                             "(default: poll until the coordinator finishes)")
+    _add_replay_option(worker)
 
     sweep = sub.add_parser(
         "sweep", help="run a fused sweep: a grid of apps x fault models "
@@ -313,13 +374,61 @@ def _cmd_study(args, parser, out) -> int:
         return 0
     from repro.study import Study
 
+    if args.study_command == "serve":
+        from repro.study import serve_study
+
+        def _report(counts):
+            print(f"leases: {counts['done']}/{counts['total']} done, "
+                  f"{counts['leased']} leased, {counts['pending']} pending",
+                  file=out)
+
+        try:
+            plan = Study(spec).plan()
+        except ConfigError as exc:
+            parser.error(str(exc))
+        print(f"serving {len(plan)} runs at {args.queue}; attach workers "
+              f"with: repro worker --queue {args.queue} ...", file=out)
+        results = serve_study(
+            plan, args.queue, lease_runs=args.lease_runs,
+            lease_ttl=args.lease_ttl, hosts=args.hosts,
+            results_path=spec.out, resume=bool(spec.resume),
+            timeout=args.timeout, progress=_changed_only(_report))
+        print(render(results) if render is not None else results.render(),
+              file=out)
+        print(results.footer(), file=out)
+        return 0
     try:
-        results = Study(spec).run()
+        results = Study(spec).run(hosts=args.hosts, queue_root=args.queue)
     except ConfigError as exc:
         parser.error(str(exc))
     print(render(results) if render is not None else results.render(),
           file=out)
     print(results.footer(), file=out)
+    return 0
+
+
+def _changed_only(report):
+    """Wrap a progress callback to fire only when the counts change."""
+    last = {}
+
+    def _maybe(counts):
+        nonlocal last
+        if counts != last:
+            last = counts
+            report(counts)
+    return _maybe
+
+
+def _cmd_worker(args, parser, out) -> int:
+    spec, _ = _resolve_study(args, parser)
+    from repro.study import run_study_worker
+
+    stats = run_study_worker(
+        args.queue, spec, worker_id=args.id, poll_interval=args.poll,
+        reclaim_ttl=args.reclaim_ttl, max_idle_polls=args.max_idle_polls)
+    retried = f", {stats.retries} reassigned" if stats.retries else ""
+    print(f"worker {stats.worker_id}: {stats.leases} leases, "
+          f"{stats.runs} runs{retried}", file=out)
     return 0
 
 
@@ -475,6 +584,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_run(args, parser, out)
         if args.command == "study":
             return _cmd_study(args, parser, out)
+        if args.command == "worker":
+            return _cmd_worker(args, parser, out)
         if args.command == "lint":
             return _run_lint(args, out)
         if args.command == "sweep":

@@ -24,6 +24,13 @@ from repro.core.engine.replay import (
     choose_boundary,
     try_replay_execute,
 )
+from repro.core.engine.dist import (
+    Coordinator,
+    FileQueue,
+    Lease,
+    execute_distributed,
+    run_worker,
+)
 from repro.core.engine.runner import execute_plan, execute_run_spec
 from repro.core.engine.sink import (
     SCHEMA_VERSION,
@@ -31,8 +38,10 @@ from repro.core.engine.sink import (
     ResultSink,
     TallySink,
     completed_indices,
+    iter_stamped_records,
     load_records,
     load_records_by_campaign,
+    merge_shard_records,
     record_from_json,
     record_to_json,
 )
@@ -46,9 +55,12 @@ from repro.core.engine.sweep import (
 
 __all__ = [
     "ArmedHook",
+    "Coordinator",
     "ExecutionContext",
     "Executor",
+    "FileQueue",
     "JsonlSink",
+    "Lease",
     "ParallelExecutor",
     "ProfileGoldenCache",
     "ReplayConstraint",
@@ -63,14 +75,18 @@ __all__ = [
     "TallySink",
     "choose_boundary",
     "completed_indices",
+    "execute_distributed",
     "execute_plan",
     "execute_run_spec",
     "execute_sweep",
     "golden_digest",
+    "iter_stamped_records",
     "load_records",
     "load_records_by_campaign",
     "make_executor",
+    "merge_shard_records",
     "record_from_json",
     "record_to_json",
+    "run_worker",
     "try_replay_execute",
 ]

@@ -1,0 +1,65 @@
+"""Distributed campaign execution: leases, a filesystem queue, shards.
+
+The paper's campaigns are thousands of independent runs per cell --
+embarrassingly parallel, but PR 6's process pool stops at one host.
+This package generalizes its ``(start, stop)`` range payloads into
+**leases** handed out through a shared queue directory, so any number
+of worker processes on any number of hosts that mount the directory can
+drain one campaign:
+
+* :mod:`~repro.core.engine.dist.lease` -- the work unit (cell x
+  contiguous run-range) and the plan-identity manifest workers verify;
+* :mod:`~repro.core.engine.dist.queue` -- the rename-atomic filesystem
+  queue: claims, heartbeats, expiry, completion;
+* :mod:`~repro.core.engine.dist.worker` -- the claim/execute/stream
+  loop writing per-worker stamped JSONL shards;
+* :mod:`~repro.core.engine.dist.merge` -- shard reassembly: dedup by
+  ``(campaign, run index)``, completeness check, and a checkpoint
+  byte-identical to serial execution;
+* :mod:`~repro.core.engine.dist.coordinator` -- the lease lifecycle
+  plus :func:`execute_distributed`, the fork-local fleet form.
+
+The failure model is crash-only: SIGKILL a worker at any instant and
+its lease expires, is reassigned, and re-executes; determinism makes
+the duplicate records identical and the merge drops them.  Nothing is
+lost, nothing is double-counted, and the merged checkpoint cannot be
+told apart from a ``workers=1`` serial run.
+"""
+
+from repro.core.engine.dist.coordinator import (
+    Coordinator,
+    execute_distributed,
+)
+from repro.core.engine.dist.lease import (
+    PROTOCOL_VERSION,
+    Lease,
+    default_lease_runs,
+    plan_manifest,
+    shard_plan,
+    verify_manifest,
+)
+from repro.core.engine.dist.merge import (
+    MergeStats,
+    merge_shards,
+    write_merged,
+)
+from repro.core.engine.dist.queue import Claim, FileQueue
+from repro.core.engine.dist.worker import WorkerStats, run_worker
+
+__all__ = [
+    "Claim",
+    "Coordinator",
+    "FileQueue",
+    "Lease",
+    "MergeStats",
+    "PROTOCOL_VERSION",
+    "WorkerStats",
+    "default_lease_runs",
+    "execute_distributed",
+    "merge_shards",
+    "plan_manifest",
+    "run_worker",
+    "shard_plan",
+    "verify_manifest",
+    "write_merged",
+]

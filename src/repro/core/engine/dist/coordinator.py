@@ -1,0 +1,203 @@
+"""The coordinator: post leases, keep the fleet honest, merge the truth.
+
+:class:`Coordinator` owns a campaign's queue lifecycle -- shard the plan
+into leases, post them, expire stale claims so a dead worker's work is
+reassigned, and finally merge the shards into the canonical checkpoint.
+It never executes a run itself, so one coordinator can serve workers on
+any mix of hosts that share the queue directory.
+
+:func:`execute_distributed` is the batteries-included local form: fork
+``workers`` worker processes over an in-memory plan (fork inheritance
+ships the compiled plan for free -- the capture-then-fork trick from the
+parallel executor, stretched across a queue), supervise them, and
+return a :class:`~repro.core.engine.sweep.SweepResult` indistinguishable
+from serial execution.  SIGKILLing any worker mid-lease is survivable
+by construction: its lease expires, a peer (or respawn) re-executes it,
+and the merge deduplicates whatever the dead worker had already
+written.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine.dist.lease import (
+    Lease,
+    default_lease_runs,
+    shard_plan,
+)
+from repro.core.engine.dist.merge import (
+    MergeStats,
+    merge_shards,
+    write_merged,
+)
+from repro.core.engine.dist.queue import FileQueue
+from repro.core.engine.dist.worker import run_worker
+from repro.core.engine.sweep import SweepPlan, SweepResult
+from repro.core.outcomes import RunRecord
+from repro.errors import FFISError
+
+
+class Coordinator:
+    """One campaign's lease lifecycle over a shared queue directory."""
+
+    def __init__(self, plan: SweepPlan, root: str, *,
+                 lease_runs: Optional[int] = None,
+                 lease_ttl: float = 30.0,
+                 workers: int = 2) -> None:
+        self.plan = plan
+        self.root = root
+        self.lease_ttl = lease_ttl
+        self.lease_runs = (lease_runs if lease_runs is not None
+                           else default_lease_runs(plan, workers))
+        self.leases: Tuple[Lease, ...] = shard_plan(plan, self.lease_runs)
+        self.queue: Optional[FileQueue] = None
+
+    def post(self, reuse: bool = False) -> FileQueue:
+        """Create (or resume, with ``reuse=True``) the queue and post
+        every lease not already settled."""
+        self.queue = FileQueue.create(self.root, self.plan, self.leases,
+                                      reuse=reuse)
+        return self.queue
+
+    def _require_queue(self) -> FileQueue:
+        if self.queue is None:
+            raise FFISError("coordinator has not posted its queue yet")
+        return self.queue
+
+    def expire(self) -> List[Lease]:
+        """One liveness sweep: re-post every claim past the lease TTL."""
+        return self._require_queue().expire_stale(self.lease_ttl)
+
+    def done(self) -> bool:
+        return self._require_queue().all_done()
+
+    def finish(self, results_path: Optional[str] = None, *,
+               overwrite: bool = False
+               ) -> Tuple[Dict[str, List[RunRecord]], MergeStats]:
+        """End the campaign: raise the FINISHED marker (workers drain
+        and exit) and merge the shards into plan-order records --
+        optionally also writing the canonical checkpoint file."""
+        queue = self._require_queue()
+        queue.mark_finished()
+        if results_path is not None:
+            stats = write_merged(self.plan, queue.shard_paths(),
+                                 results_path, overwrite=overwrite)
+            merged, _ = merge_shards(self.plan, queue.shard_paths())
+        else:
+            merged, stats = merge_shards(self.plan, queue.shard_paths())
+        return merged, stats
+
+
+def _worker_entry(root: str, plan: SweepPlan, worker_id: str,
+                  poll_interval: float) -> None:
+    """Module-level fork target (inherits *plan* without pickling)."""
+    run_worker(root, plan, worker_id, poll_interval=poll_interval)
+
+
+def execute_distributed(plan: SweepPlan, root: str, *,
+                        workers: int = 2,
+                        lease_runs: Optional[int] = None,
+                        lease_ttl: float = 30.0,
+                        results_path: Optional[str] = None,
+                        resume: bool = False,
+                        poll_interval: float = 0.05,
+                        max_respawns: Optional[int] = None,
+                        timeout: Optional[float] = None) -> SweepResult:
+    """Run *plan* across forked local workers via a lease queue at *root*.
+
+    The result -- records, per-cell ordering, and (when *results_path*
+    is given) the checkpoint file bytes -- is identical to
+    ``execute_sweep(plan, workers=1)``.  Dead workers are respawned (up
+    to *max_respawns*, default ``4 * workers``) and their expired
+    leases reassigned; *timeout* bounds the whole campaign as a hang
+    backstop.  ``resume=True`` re-opens an interrupted queue directory:
+    settled leases stay settled and only the remainder executes.
+    """
+    # repro: allow[R001] elapsed_seconds is reporting-only, never recorded
+    start = time.perf_counter()
+    if workers < 1:
+        raise FFISError(f"need at least one worker, got {workers}")
+    if results_path is not None and not resume \
+            and os.path.exists(results_path) and os.path.getsize(results_path):
+        # Same contract as execute_sweep: refuse before any run
+        # executes rather than clobber a file full of paid-for runs.
+        raise FFISError(
+            f"{results_path} already contains results; resume it "
+            "(--resume / resume=True) or write to a fresh --out path "
+            "instead of overwriting completed runs")
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError as exc:
+        raise FFISError(
+            "distributed local workers need the fork start method; on "
+            "this platform run separate `repro worker` processes against "
+            "the queue directory instead") from exc
+
+    coordinator = Coordinator(plan, root, lease_runs=lease_runs,
+                              lease_ttl=lease_ttl, workers=workers)
+    queue = coordinator.post(reuse=resume)
+    budget = max_respawns if max_respawns is not None else 4 * workers
+    procs: Dict[str, multiprocessing.Process] = {}
+    spawned = 0
+    deaths = 0
+
+    def _spawn() -> None:
+        nonlocal spawned
+        worker_id = f"w{spawned:02d}"
+        spawned += 1
+        proc = ctx.Process(target=_worker_entry,
+                           args=(root, plan, worker_id, poll_interval))
+        proc.start()
+        procs[worker_id] = proc
+
+    for _ in range(workers):
+        _spawn()
+    # repro: allow[R001] campaign deadline is a hang backstop, never recorded
+    deadline = None if timeout is None else time.monotonic() + timeout
+    try:
+        while not queue.all_done():
+            coordinator.expire()
+            for worker_id in sorted(procs):
+                proc = procs[worker_id]
+                if not proc.is_alive() and not queue.all_done():
+                    # A worker died (crash, OOM, SIGKILL): its claim
+                    # will expire and re-post; keep the fleet at
+                    # strength so someone is there to pick it up.
+                    del procs[worker_id]
+                    deaths += 1
+                    if deaths > budget:
+                        raise FFISError(
+                            f"distributed campaign at {root} lost "
+                            f"{deaths} workers (respawn budget {budget} "
+                            "exhausted); the queue directory is intact "
+                            "-- fix the crash and resume")
+                    _spawn()
+            # repro: allow[R001] hang-backstop check only, never recorded
+            if deadline is not None and time.monotonic() > deadline:
+                raise FFISError(
+                    f"distributed campaign at {root} exceeded its "
+                    f"{timeout}s timeout with work outstanding "
+                    f"({queue.counts()}); the queue directory is intact "
+                    "-- resume it")
+            time.sleep(poll_interval)
+    finally:
+        # Raise FINISHED first so healthy workers drain and exit on
+        # their own; anything still alive after a grace join is torn
+        # down (its lease state is crash-safe regardless).
+        queue.mark_finished()
+        for proc in procs.values():
+            proc.join(timeout=5.0)
+        for proc in procs.values():
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+    merged, stats = coordinator.finish(results_path=results_path,
+                                       overwrite=True)
+    result = SweepResult(records=merged, executed=stats.total)
+    # repro: allow[R001] elapsed_seconds is reporting-only, never recorded
+    result.elapsed_seconds = time.perf_counter() - start
+    return result

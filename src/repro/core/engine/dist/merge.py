@@ -1,0 +1,126 @@
+"""Reassembling per-worker shards into the one true checkpoint.
+
+Workers append records in whatever order their leases arrive; the merge
+step erases that history.  It streams every shard (never holding more
+than one line in memory), deduplicates re-executed ``(campaign, run
+index)`` pairs -- runs are deterministic in their spec, so the copies
+are identical and dropping all but the first is lossless -- checks that
+every planned run is accounted for, and rewrites the records in the
+**interleaved plan order** the fused sweep itself emits.  The result is
+byte-identical to the checkpoint a ``workers=1`` serial execution would
+have written: same lines, same stamps, same order.  Nothing downstream
+can tell the campaign was distributed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine.sink import JsonlSink, merge_shard_records
+from repro.core.engine.sweep import SweepPlan, _interleaved
+from repro.core.outcomes import RunRecord
+from repro.errors import FFISError
+
+
+@dataclass(frozen=True)
+class MergeStats:
+    """Accounting for one shard merge."""
+
+    total: int       #: records in the merged result (== planned runs)
+    duplicates: int  #: re-executed lines dropped by dedup
+    shards: int      #: shard files that existed and were read
+
+
+def _stamp_of(plan: SweepPlan) -> Dict[str, Optional[str]]:
+    stamps = {cell.key: cell.campaign_id for cell in plan.cells}
+    if len(plan.cells) > 1 and any(s is None for s in stamps.values()):
+        unstamped = sorted(k for k, s in stamps.items() if s is None)
+        raise FFISError(
+            f"cells {unstamped} have no campaign_id; multi-cell shards "
+            "need every record stamped to be mergeable")
+    return stamps
+
+
+def merge_shards(plan: SweepPlan, shard_paths: Sequence[str]
+                 ) -> Tuple[Dict[str, List[RunRecord]], MergeStats]:
+    """Merge worker shards into per-cell records, in run-index order.
+
+    Every planned ``(cell, run index)`` pair must appear in some shard;
+    a hole means a lease was lost rather than reassigned (or a shard
+    file is missing), and silently returning a shrunken campaign would
+    be the exact corruption the lease protocol exists to prevent -- so
+    holes raise instead.
+    """
+    stamps = _stamp_of(plan)
+    existing = [p for p in shard_paths if os.path.exists(p)]
+    groups, duplicates = merge_shard_records(existing)
+    merged: Dict[str, List[RunRecord]] = {}
+    missing: List[str] = []
+    for cell in plan.cells:
+        by_index = groups.get(stamps[cell.key], {})
+        records: List[RunRecord] = []
+        for spec in cell.plan.specs:
+            record = by_index.get(spec.run_index)
+            if record is None:
+                missing.append(f"{cell.key}:{spec.run_index}")
+            else:
+                records.append(record)
+        # Same final ordering contract as execute_sweep's result.
+        records.sort(key=lambda record: record.run_index)
+        merged[cell.key] = records
+    if missing:
+        shown = ", ".join(missing[:8])
+        more = f" (+{len(missing) - 8} more)" if len(missing) > 8 else ""
+        raise FFISError(
+            f"shard merge is missing {len(missing)} planned runs: "
+            f"{shown}{more}; the campaign is incomplete -- keep the "
+            "queue directory and resume it instead of merging")
+    known = {stamps[cell.key] for cell in plan.cells}
+    strays = sorted(str(s) for s in groups if s not in known)
+    if strays:
+        raise FFISError(
+            f"shards contain records stamped {strays}, which no cell of "
+            "this plan owns; refusing to merge unrelated science")
+    stats = MergeStats(
+        total=sum(len(records) for records in merged.values()),
+        duplicates=duplicates, shards=len(existing))
+    return merged, stats
+
+
+def write_merged(plan: SweepPlan, shard_paths: Sequence[str],
+                 results_path: str, *,
+                 overwrite: bool = False) -> MergeStats:
+    """Write the merged checkpoint, byte-identical to serial execution.
+
+    Records are emitted through the same ``JsonlSink.emit_stamped``
+    path, in the same interleaved plan order, with the same per-cell
+    stamps as :func:`~repro.core.engine.sweep.execute_sweep` -- byte
+    identity by construction, not by accident.  The file is written to
+    a temporary sibling and atomically renamed into place, so a crash
+    mid-merge never leaves a half-written checkpoint where a complete
+    one was promised.
+    """
+    if not overwrite and os.path.exists(results_path) \
+            and os.path.getsize(results_path):
+        raise FFISError(
+            f"{results_path} already contains results; merge to a fresh "
+            "--out path (or pass overwrite=True) instead of clobbering "
+            "completed runs")
+    merged, stats = merge_shards(plan, shard_paths)
+    by_pair = {
+        (cell.key, record.run_index): record
+        for cell in plan.cells
+        for record in merged[cell.key]}
+    stamps = {cell.key: cell.campaign_id for cell in plan.cells}
+    tmp = results_path + ".merging"
+    sink = JsonlSink(tmp)
+    try:
+        for key, spec in _interleaved(
+                [(cell.key, cell.plan.specs) for cell in plan.cells]):
+            sink.emit_stamped(by_pair[(key, spec.run_index)], stamps[key])
+    finally:
+        sink.close()
+    os.replace(tmp, results_path)
+    return stats

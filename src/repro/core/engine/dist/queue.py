@@ -1,0 +1,336 @@
+"""A filesystem-backed lease queue: coordination without a server.
+
+The queue is a directory -- shareable over any POSIX filesystem two
+hosts can both mount -- whose subdirectories *are* the lease states::
+
+    queue/
+      manifest.json            plan identity + the full lease id list
+      pending/<id>.json        posted, unclaimed leases
+      leased/<id>.json--<w>    claimed by worker <w>; mtime = heartbeat
+      done/<id>.json           completed leases
+      shards/shard-<w>.jsonl   per-worker stamped record shards
+      FINISHED                 coordinator's end-of-campaign marker
+
+Every transition is one atomic ``rename``: a claim moves a pending file
+into ``leased/`` (losers of the race get ``FileNotFoundError`` and move
+on), completion writes the ``done/`` file before releasing the claim,
+and expiry re-posts the lease value with its attempt bumped.  No state
+lives anywhere else, so a SIGKILL at *any* point leaves the queue in a
+position some later scan can repair: the worst case is a lease executed
+twice, which the shard merger deduplicates by design.
+
+Worker liveness is the ``leased/`` file's mtime: workers touch it per
+completed run (:meth:`FileQueue.heartbeat`), the coordinator compares
+it against the lease TTL.  Workers never read a clock -- ``utime(None)``
+stamps kernel time -- so the engine's no-wall-clock rule holds: nothing
+time-derived can leak into a record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine.dist.lease import (
+    Lease,
+    plan_manifest,
+    verify_manifest,
+)
+from repro.errors import FFISError
+
+#: Separates the lease filename from the claiming worker's id in
+#: ``leased/`` entries; therefore banned inside worker ids.
+_CLAIM_SEP = "--"
+
+_WORKER_ID_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+def _check_worker_id(worker_id: str) -> str:
+    if not _WORKER_ID_RE.match(worker_id) or _CLAIM_SEP in worker_id:
+        raise FFISError(
+            f"worker id {worker_id!r} must match [A-Za-z0-9._-]+ and "
+            f"not contain {_CLAIM_SEP!r} (it becomes part of queue "
+            "filenames)")
+    return worker_id
+
+
+def _write_json(path: str, data: Dict[str, Any]) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, path)
+
+
+def _read_json(path: str) -> Dict[str, Any]:
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A successfully claimed lease plus the file that proves it."""
+
+    lease: Lease
+    path: str        # the leased/ entry this worker owns
+    worker_id: str
+
+
+class FileQueue:
+    """One campaign's lease queue rooted at a directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.manifest_path = os.path.join(root, "manifest.json")
+        self.pending_dir = os.path.join(root, "pending")
+        self.leased_dir = os.path.join(root, "leased")
+        self.done_dir = os.path.join(root, "done")
+        self.shards_dir = os.path.join(root, "shards")
+        self.finished_path = os.path.join(root, "FINISHED")
+        if not os.path.exists(self.manifest_path):
+            raise FFISError(
+                f"{root} is not a lease queue (no manifest.json); the "
+                "coordinator creates it -- `repro study serve`")
+        self.manifest = _read_json(self.manifest_path)
+        self.lease_ids: Tuple[str, ...] = tuple(
+            self.manifest.get("lease_ids", ()))
+
+    # -- creation ---------------------------------------------------------------
+
+    @classmethod
+    def create(cls, root: str, plan, leases: Sequence[Lease],
+               reuse: bool = False) -> "FileQueue":
+        """Post a new queue for *plan*, or re-open a matching one.
+
+        ``reuse=True`` resumes an interrupted campaign in place:
+        completed leases stay completed, orphaned claims are re-posted,
+        and any lease missing from every state directory is posted
+        fresh.  Without ``reuse``, an already-populated root is refused
+        -- overwriting it would discard the shards' paid-for runs, the
+        same contract the checkpoint writer enforces.
+        """
+        manifest_path = os.path.join(root, "manifest.json")
+        if os.path.exists(manifest_path):
+            if not reuse:
+                raise FFISError(
+                    f"{root} already holds a lease queue; resume it "
+                    "(reuse=True / --resume) or serve from a fresh "
+                    "--queue directory instead of overwriting its "
+                    "shards")
+            queue = cls(root)
+            verify_manifest(plan, queue.manifest, where=root)
+            queue._repost_missing(leases)
+            try:
+                # A stale end-of-campaign marker would make resumed
+                # workers exit before claiming anything.
+                os.unlink(queue.finished_path)
+            except FileNotFoundError:
+                pass
+            return queue
+        for sub in ("pending", "leased", "done", "shards"):
+            os.makedirs(os.path.join(root, sub), exist_ok=True)
+        manifest = plan_manifest(plan)
+        manifest["lease_ids"] = [lease.lease_id for lease in leases]
+        _write_json(manifest_path, manifest)
+        queue = cls(root)
+        for lease in leases:
+            queue._post(lease)
+        return queue
+
+    def _post(self, lease: Lease) -> None:
+        _write_json(os.path.join(self.pending_dir,
+                                 f"{lease.lease_id}.json"),
+                    lease.to_dict())
+
+    def _repost_missing(self, leases: Sequence[Lease]) -> None:
+        """Resume repair: every lease must be pending, leased, or done;
+        orphaned claims go back to pending with their attempt bumped."""
+        for name in sorted(os.listdir(self.leased_dir)):
+            self._requeue(os.path.join(self.leased_dir, name))
+        settled = set(os.listdir(self.pending_dir)) \
+            | set(os.listdir(self.done_dir))
+        for lease in leases:
+            if f"{lease.lease_id}.json" not in settled:
+                self._post(lease)
+
+    # -- worker side ------------------------------------------------------------
+
+    def verify_plan(self, plan) -> None:
+        verify_manifest(plan, self.manifest, where=self.root)
+
+    def claim(self, worker_id: str) -> Optional[Claim]:
+        """Atomically claim one pending lease, oldest-posted first.
+
+        Returns ``None`` when nothing is pending right now -- which
+        does **not** mean the campaign is over: a claimed lease may yet
+        expire back into ``pending/``.  Callers poll until
+        :meth:`finished` or :meth:`all_done`.
+        """
+        _check_worker_id(worker_id)
+        try:
+            names = sorted(os.listdir(self.pending_dir))
+        except FileNotFoundError:
+            return None
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            done = os.path.join(self.done_dir, name)
+            source = os.path.join(self.pending_dir, name)
+            if os.path.exists(done):
+                # A completion raced an expiry re-post: the work is
+                # done, the stale pending copy is noise.
+                try:
+                    os.unlink(source)
+                except FileNotFoundError:
+                    pass
+                continue
+            target = os.path.join(self.leased_dir,
+                                  f"{name}{_CLAIM_SEP}{worker_id}")
+            try:
+                os.rename(source, target)
+            except (FileNotFoundError, OSError):
+                continue  # another worker won this lease; try the next
+            os.utime(target, None)   # heartbeat epoch = claim time
+            lease = Lease.from_dict(_read_json(target))
+            return Claim(lease=lease, path=target, worker_id=worker_id)
+        return None
+
+    def heartbeat(self, claim: Claim) -> None:
+        """Refresh the claim's liveness stamp (kernel time; the worker
+        itself never reads a clock)."""
+        try:
+            os.utime(claim.path, None)
+        except FileNotFoundError:
+            pass  # expired out from under us; completion will notice
+
+    def complete(self, claim: Claim) -> None:
+        """Settle the claim: record completion, then release the lease.
+
+        Written in that order so a SIGKILL between the two steps leaves
+        a ``done/`` file the expiry scan treats as authoritative (the
+        orphaned claim is cleaned up, not re-executed).
+        """
+        done = claim.lease.to_dict()
+        done["worker"] = claim.worker_id
+        _write_json(os.path.join(self.done_dir,
+                                 f"{claim.lease.lease_id}.json"), done)
+        try:
+            os.unlink(claim.path)
+        except FileNotFoundError:
+            pass  # the lease expired and was re-posted; dedup absorbs it
+
+    def shard_path(self, worker_id: str) -> str:
+        return os.path.join(self.shards_dir,
+                            f"shard-{_check_worker_id(worker_id)}.jsonl")
+
+    def shard_paths(self) -> List[str]:
+        try:
+            names = sorted(os.listdir(self.shards_dir))
+        except FileNotFoundError:
+            return []
+        return [os.path.join(self.shards_dir, name)
+                for name in names if name.endswith(".jsonl")]
+
+    # -- coordinator side -------------------------------------------------------
+
+    def _requeue(self, path: str) -> Optional[Lease]:
+        """Move one leased entry back to pending (attempt bumped)."""
+        name = os.path.basename(path).rsplit(_CLAIM_SEP, 1)[0]
+        if os.path.exists(os.path.join(self.done_dir, name)):
+            # Completed but not released (killed between the two steps
+            # of complete()): just clean up the orphaned claim.
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            return None
+        try:
+            lease = Lease.from_dict(_read_json(path)).reassigned()
+        except (FFISError, OSError, ValueError):
+            return None  # claim vanished mid-scan (completed or expired)
+        _write_json(os.path.join(self.pending_dir, name), lease.to_dict())
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+        return lease
+
+    def expire_stale(self, ttl_seconds: float,
+                     now: Optional[float] = None) -> List[Lease]:
+        """Re-post every claim whose heartbeat is older than the TTL.
+
+        The re-executed range may duplicate records a dead (or merely
+        slow) worker already wrote -- the merge step deduplicates by
+        ``(campaign, run index)``, so reassignment is always safe, just
+        potentially wasteful.  Returns the re-posted leases.
+        """
+        if now is None:
+            # repro: allow[R001] lease liveness vs file mtimes; never recorded
+            now = time.time()
+        requeued: List[Lease] = []
+        try:
+            names = sorted(os.listdir(self.leased_dir))
+        except FileNotFoundError:
+            return requeued
+        for name in names:
+            path = os.path.join(self.leased_dir, name)
+            try:
+                age = now - os.path.getmtime(path)
+            except OSError:
+                continue  # completed or already expired mid-scan
+            base = name.rsplit(_CLAIM_SEP, 1)[0]
+            if os.path.exists(os.path.join(self.done_dir, base)):
+                self._requeue(path)  # cleanup path: done is authoritative
+                continue
+            if age > ttl_seconds:
+                lease = self._requeue(path)
+                if lease is not None:
+                    requeued.append(lease)
+        return requeued
+
+    # -- progress ---------------------------------------------------------------
+
+    def _count(self, directory: str) -> int:
+        try:
+            return sum(1 for name in os.listdir(directory)
+                       if name.endswith(".json"))
+        except FileNotFoundError:
+            return 0
+
+    def counts(self) -> Dict[str, int]:
+        return {"pending": self._count(self.pending_dir),
+                "leased": len(self._leased_names()),
+                "done": self._count(self.done_dir),
+                "total": len(self.lease_ids)}
+
+    def _leased_names(self) -> List[str]:
+        try:
+            return [name for name in os.listdir(self.leased_dir)
+                    if _CLAIM_SEP in name]
+        except FileNotFoundError:
+            return []
+
+    def all_done(self) -> bool:
+        """Every manifest lease has a completion record."""
+        try:
+            done = set(os.listdir(self.done_dir))
+        except FileNotFoundError:
+            return False
+        return all(f"{lease_id}.json" in done for lease_id in self.lease_ids)
+
+    def idle(self) -> bool:
+        """Nothing pending and nothing claimed (not necessarily done --
+        a crashed queue can be idle with work missing)."""
+        return self._count(self.pending_dir) == 0 \
+            and not self._leased_names()
+
+    def mark_finished(self) -> None:
+        with open(self.finished_path, "w", encoding="utf-8") as f:
+            f.write("finished\n")
+
+    def finished(self) -> bool:
+        return os.path.exists(self.finished_path)

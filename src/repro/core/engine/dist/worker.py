@@ -1,0 +1,110 @@
+"""The distributed worker loop: claim, execute, stream, settle.
+
+A worker is deliberately boring: it claims one lease at a time, executes
+the lease's specs through the same :func:`execute_run_spec` every other
+executor uses, appends each record to its **own** stamped JSONL shard
+the moment the run completes, heartbeats its claim, and marks the lease
+done.  All the interesting guarantees live elsewhere -- determinism in
+the spec (any worker produces byte-identical records), crash recovery
+in the queue (an expired lease is re-posted), and dedup in the merge
+step (a re-executed lease's records collapse by ``(campaign, run
+index)``).
+
+The shard is opened in append mode with the same partial-tail trim the
+campaign checkpoint uses, so a worker restarted under its old id after
+a SIGKILL mid-``emit`` heals its own shard before writing to it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.engine.dist.queue import FileQueue
+from repro.core.engine.runner import execute_run_spec
+from repro.core.engine.sink import JsonlSink
+from repro.core.engine.sweep import SweepPlan, _boundary_sorted
+from repro.errors import FFISError
+
+
+@dataclass
+class WorkerStats:
+    """What one worker invocation actually did."""
+
+    worker_id: str
+    leases: int = 0
+    runs: int = 0
+    #: Leases whose ``attempt > 0`` -- work re-executed after another
+    #: worker's lease expired (each may duplicate records; the merge
+    #: step drops the copies).
+    retries: int = 0
+
+
+def run_worker(root: str, plan: SweepPlan, worker_id: str, *,
+               poll_interval: float = 0.05,
+               reclaim_ttl: Optional[float] = None,
+               max_idle_polls: Optional[int] = None) -> WorkerStats:
+    """Drain leases from the queue at *root* until the campaign settles.
+
+    *plan* must be the same sweep the coordinator posted -- the queue
+    manifest pins cell keys, campaign stamps, and run counts, and a
+    mismatch is refused before any run executes.
+
+    The loop exits when the coordinator's FINISHED marker appears or
+    every manifest lease is done.  ``reclaim_ttl`` lets a worker fleet
+    operate without a live coordinator: idle workers expire stale
+    claims themselves, so a SIGKILLed peer's lease is still reassigned.
+    ``max_idle_polls`` bounds how many consecutive empty polls a worker
+    tolerates before giving up (a liveness backstop for tests and
+    orphaned workers; ``None`` polls forever).
+    """
+    queue = FileQueue(root)
+    queue.verify_plan(plan)
+    cells = {cell.key: cell for cell in plan.cells}
+    stats = WorkerStats(worker_id=worker_id)
+    shard: Optional[JsonlSink] = None
+    idle = 0
+    try:
+        while True:
+            claim = queue.claim(worker_id)
+            if claim is None:
+                if queue.finished() or queue.all_done():
+                    break
+                idle += 1
+                if max_idle_polls is not None and idle > max_idle_polls:
+                    break
+                if reclaim_ttl is not None:
+                    queue.expire_stale(reclaim_ttl)
+                time.sleep(poll_interval)
+                continue
+            idle = 0
+            lease = claim.lease
+            cell = cells.get(lease.cell_key)
+            if cell is None or lease.stop > len(cell.plan.specs):
+                raise FFISError(
+                    f"lease {lease.lease_id} names "
+                    f"{lease.cell_key}[{lease.start}:{lease.stop}], which "
+                    "this plan does not contain; the queue manifest check "
+                    "should have refused this queue")
+            if shard is None:
+                shard = JsonlSink(queue.shard_path(worker_id), append=True)
+            context = cell.plan.context
+            specs = cell.plan.specs[lease.start:lease.stop]
+            # Same replay-locality trick as the fused sweep: runs that
+            # restore the same golden snapshot execute back to back.
+            # Shard order is free -- the merge step rewrites records in
+            # interleaved plan order regardless.
+            for spec in _boundary_sorted(context, specs):
+                record = execute_run_spec(context, spec)
+                shard.emit_stamped(record, lease.campaign_id)
+                queue.heartbeat(claim)
+                stats.runs += 1
+            queue.complete(claim)
+            stats.leases += 1
+            if lease.attempt > 0:
+                stats.retries += 1
+    finally:
+        if shard is not None:
+            shard.close()
+    return stats

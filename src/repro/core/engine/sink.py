@@ -11,8 +11,18 @@ out of the file and executing only the remainder.
 from __future__ import annotations
 
 import json
+import os
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.outcomes import Outcome, OutcomeTally, RunRecord
 from repro.errors import FFISError
@@ -82,30 +92,46 @@ def record_from_json(raw: Dict[str, Any]) -> RunRecord:
 def _iter_stamped_records(path: str) -> Iterator[Tuple[int, Optional[str], RunRecord]]:
     """Yield ``(lineno, campaign_stamp, record)`` for every results line.
 
+    The file is streamed line by line -- this is the module's O(1)-in-
+    file-size contract, and what keeps million-run resumes (and shard
+    merges) from loading a whole checkpoint into memory at once.
+
     A truncated final line is dropped only when the file lacks a
     trailing newline -- that is the one case where the writer was
-    provably killed mid-``emit``.  A final line that *is*
-    newline-terminated was fully written, so failing to decode it means
-    the checkpoint is genuinely corrupt: that raises, like corruption
-    anywhere else, instead of silently shrinking a resumed campaign.
+    provably killed mid-``emit``.  Iterating the file in binary mode
+    makes that rule local: every line except possibly the last carries
+    its own ``\\n``, so an unterminated line *is* the final line.  A
+    final line that is newline-terminated was fully written, so failing
+    to decode it means the checkpoint is genuinely corrupt: that
+    raises, like corruption anywhere else, instead of silently
+    shrinking a resumed campaign.
     """
     with open(path, "rb") as f:
-        data = f.read()
-    terminated = data.endswith(b"\n")
-    lines = data.decode("utf-8").splitlines()
-    for lineno, line in enumerate(lines):
-        if not line.strip():
-            continue
-        try:
-            raw = json.loads(line)
-            record = record_from_json(raw)
-        except (json.JSONDecodeError, KeyError, ValueError) as exc:
-            if lineno == len(lines) - 1 and not terminated:
-                break  # partial final write from a killed campaign
-            raise FFISError(
-                f"{path}:{lineno + 1}: undecodable results line: {exc}"
-            ) from exc
-        yield lineno, raw.get("campaign"), record
+        for lineno, raw_line in enumerate(f):
+            terminated = raw_line.endswith(b"\n")
+            if not raw_line.strip():
+                continue
+            try:
+                raw = json.loads(raw_line.decode("utf-8"))
+                record = record_from_json(raw)
+            except (json.JSONDecodeError, KeyError, ValueError,
+                    UnicodeDecodeError) as exc:
+                if not terminated:
+                    break  # partial final write from a killed campaign
+                raise FFISError(
+                    f"{path}:{lineno + 1}: undecodable results line: {exc}"
+                ) from exc
+            yield lineno, raw.get("campaign"), record
+
+
+def iter_stamped_records(path: str) -> Iterator[Tuple[int, Optional[str], RunRecord]]:
+    """Public streaming reader over a stamped JSONL results file.
+
+    Yields ``(lineno, campaign_stamp, record)`` without ever holding
+    more than one line in memory; the building block the distributed
+    shard merger and both ``load_records`` variants share.
+    """
+    return _iter_stamped_records(path)
 
 
 def load_records(path: str, campaign_id: Optional[str] = None) -> List[RunRecord]:
@@ -139,6 +165,35 @@ def load_records_by_campaign(path: str) -> Dict[Optional[str], List[RunRecord]]:
     return groups
 
 
+def merge_shard_records(
+    paths: Sequence[str],
+) -> Tuple[Dict[Optional[str], Dict[int, RunRecord]], int]:
+    """Merge per-worker shard checkpoints, deduplicating re-executions.
+
+    A lease re-assigned after a worker died mid-range is re-executed
+    whole, so two shards can legitimately both carry the same
+    ``(campaign stamp, run index)`` pair; runs are deterministic in
+    their spec, so the copies are identical and the *first* one (in
+    sorted shard order, for stable merges) is kept.  Returns the merged
+    ``{stamp: {run_index: record}}`` groups plus the number of
+    duplicate lines dropped.  Each shard is streamed line by line; a
+    shard file that was never created (its worker claimed no lease) is
+    skipped.
+    """
+    groups: Dict[Optional[str], Dict[int, RunRecord]] = {}
+    duplicates = 0
+    for path in sorted(paths):
+        if not os.path.exists(path):
+            continue
+        for _, stamped, record in _iter_stamped_records(path):
+            cell = groups.setdefault(stamped, {})
+            if record.run_index in cell:
+                duplicates += 1
+            else:
+                cell[record.run_index] = record
+    return groups, duplicates
+
+
 def completed_indices(path: str) -> Set[int]:
     """Run indices already present in a results file."""
     return {record.run_index for record in load_records(path)}
@@ -152,17 +207,34 @@ def _trim_partial_tail(path: str) -> None:
     onto one undecodable line and poison every later resume.  The
     partial record is the run that was in flight -- re-executing it is
     exactly what resume does anyway.
+
+    The scan works backwards from the end of the file in bounded
+    chunks, so the cost is O(partial line), not O(checkpoint) -- part
+    of the module's contract that resuming a million-run campaign never
+    loads its checkpoint into memory.
     """
     try:
         f = open(path, "rb+")
     except FileNotFoundError:
         return
     with f:
-        data = f.read()
-        if not data or data.endswith(b"\n"):
+        pos = f.seek(0, os.SEEK_END)
+        if pos == 0:
             return
-        cut = data.rfind(b"\n")
-        f.truncate(cut + 1 if cut >= 0 else 0)
+        f.seek(pos - 1)
+        if f.read(1) == b"\n":
+            return
+        chunk = 4096
+        while pos > 0:
+            step = min(chunk, pos)
+            pos -= step
+            f.seek(pos)
+            data = f.read(step)
+            cut = data.rfind(b"\n")
+            if cut != -1:
+                f.truncate(pos + cut + 1)
+                return
+        f.truncate(0)
 
 
 class ResultSink(ABC):

@@ -326,6 +326,15 @@ def execute_sweep(plan: SweepPlan, *,
     start = time.perf_counter()
     if resume and results_path is None:
         raise FFISError("resume=True requires results_path")
+    if results_path is not None and not resume and \
+            os.path.exists(results_path) and os.path.getsize(results_path):
+        # Opening with mode "w" here would silently discard a file full
+        # of paid-for runs -- hours of campaign time gone to a missing
+        # flag.  Only an empty file may be (re)started in place.
+        raise FFISError(
+            f"{results_path} already contains results; resume it "
+            "(--resume / resume=True) or write to a fresh --out path "
+            "instead of overwriting completed runs")
     if results_path is not None and len(plan.cells) > 1:
         unstamped = [cell.key for cell in plan.cells
                      if cell.campaign_id is None]
@@ -367,6 +376,24 @@ def execute_sweep(plan: SweepPlan, *,
     completed = sum(len(records) for records in result.records.values())
     contexts = {cell.key: cell.plan.context for cell in plan.cells}
     try:
+        if sinks and any(result.records.values()):
+            # Resumed records are part of this sweep's record stream: a
+            # tally (or any other extra sink) over a resumed sweep must
+            # see the already-completed runs too, or it silently
+            # undercounts every one of them.  They replay in
+            # interleaved plan order -- the order an uninterrupted
+            # sweep would have emitted them -- and only through the
+            # *extra* sinks: the checkpoint already holds their lines.
+            kept_by_pair = {
+                (key, record.run_index): record
+                for key, records in result.records.items()
+                for record in records}
+            for key, spec in _interleaved(
+                    [(cell.key, cell.plan.specs) for cell in plan.cells]):
+                record = kept_by_pair.get((key, spec.run_index))
+                if record is not None:
+                    for sink in sinks:
+                        sink.emit(record)
         if any(specs for _, specs in pending):
             # Emission stays in interleaved plan order; only the
             # dispatch sequence is boundary-sorted (see docstring).

@@ -94,14 +94,33 @@ class StudyPlan:
                 results_path: Optional[str] = None,
                 resume: Optional[bool] = None,
                 progress: Optional[Callable[[int, int], None]] = None,
-                executor=None) -> ResultSet:
+                executor=None,
+                hosts: Optional[int] = None,
+                queue_root: Optional[str] = None,
+                lease_runs: Optional[int] = None,
+                lease_ttl: float = 30.0) -> ResultSet:
         """Run the study through one fused sweep execution.
 
         Keyword arguments override the spec's engine knobs; the study
         checkpoints to one multiplexed JSONL file and resumes by
         re-executing only the missing (cell, run index) pairs.
+
+        ``hosts > 1`` switches to the lease-queue distributed engine
+        (:mod:`repro.study.dist`): the plan is sharded into leases,
+        drained by forked worker processes through the queue directory
+        at ``queue_root`` (a throwaway default), and merged back into a
+        result -- and checkpoint -- byte-identical to serial execution.
         """
         spec = self.spec
+        if hosts is not None and hosts > 1:
+            from repro.study.dist import run_distributed
+
+            return run_distributed(
+                self, hosts=hosts, queue_root=queue_root,
+                lease_runs=lease_runs, lease_ttl=lease_ttl,
+                results_path=spec.out if results_path is None
+                else results_path,
+                resume=spec.resume if resume is None else resume)
         sweep = execute_sweep(
             self.sweep,
             executor=executor,
@@ -245,11 +264,14 @@ class Study:
             results_path: Optional[str] = None,
             resume: Optional[bool] = None,
             progress: Optional[Callable[[int, int], None]] = None,
-            executor=None) -> ResultSet:
+            executor=None,
+            hosts: Optional[int] = None,
+            queue_root: Optional[str] = None) -> ResultSet:
         """``plan().execute(...)`` in one call."""
         return self.plan().execute(workers=workers, results_path=results_path,
                                    resume=resume, progress=progress,
-                                   executor=executor)
+                                   executor=executor, hosts=hosts,
+                                   queue_root=queue_root)
 
 
 def run_study(spec: StudySpec, apps: Optional[Mapping[str, object]] = None,

@@ -1,0 +1,68 @@
+"""The bench-regression gate's decision table.
+
+The subtle case is the *silently-skipped* gate: a baseline recorded on
+one core exempts the 1.5x parallel floor, which is correct on a
+single-core runner and a standing hole on a multi-core one.  CI
+re-records the engine_parallel bench on its own runner right before
+gating; this suite pins the script-side contract that a multi-core
+runner refuses to gate against a single-core baseline.
+"""
+
+import importlib.util
+import os
+
+_SCRIPT = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                       "scripts", "check_bench_regression.py")
+_spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                               _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def baseline(parallel_cores=4, parallel_speedup=2.1, replay_speedup=2.5,
+             identical=True):
+    return {
+        "engine_parallel": {"cores": parallel_cores,
+                            "speedup": parallel_speedup,
+                            "records_identical": identical},
+        "prefix_replay_figure7": {"speedup": replay_speedup,
+                                  "records_identical": True},
+    }
+
+
+class TestBenchGate:
+    def test_healthy_baseline_passes(self):
+        assert gate.check(baseline(), runner_cores=4) == []
+
+    def test_parallel_floor_enforced_on_multicore_baseline(self):
+        failures = gate.check(baseline(parallel_speedup=1.1),
+                              runner_cores=4)
+        assert any("engine_parallel.speedup 1.1" in f for f in failures)
+
+    def test_single_core_baseline_skips_only_on_single_core_runner(
+            self, capsys):
+        assert gate.check(baseline(parallel_cores=1,
+                                   parallel_speedup=0.7),
+                          runner_cores=1) == []
+        assert "not gated" in capsys.readouterr().out
+
+    def test_single_core_baseline_fails_on_multicore_runner(self):
+        failures = gate.check(baseline(parallel_cores=1,
+                                       parallel_speedup=0.7),
+                              runner_cores=4)
+        assert len(failures) == 1
+        assert "re-record" in failures[0]
+        assert "silently skipped" in failures[0]
+
+    def test_replay_floor_is_unconditional(self):
+        failures = gate.check(baseline(replay_speedup=1.2), runner_cores=1)
+        assert any("prefix_replay_figure7" in f for f in failures)
+
+    def test_nonidentical_records_fail_regardless_of_speed(self):
+        failures = gate.check(baseline(identical=False), runner_cores=4)
+        assert any("records_identical" in f for f in failures)
+
+    def test_missing_entries_fail(self):
+        failures = gate.check({}, runner_cores=1)
+        assert any("engine_parallel" in f for f in failures)
+        assert any("prefix_replay_figure7" in f for f in failures)

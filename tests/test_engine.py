@@ -310,11 +310,115 @@ class TestCheckpointResume:
             f.write(good + "\n" + '{"v": 1, "run_index": 1, "outc')
         assert [r.run_index for r in load_records(path)] == [0]
 
-    def test_overwrite_without_resume(self, tiny_nyx, bf_config, tmp_path):
+    def test_overwrite_without_resume_is_refused(self, tiny_nyx, bf_config,
+                                                 tmp_path):
+        """A checkpoint full of paid-for runs must never be silently
+        clobbered by a missing --resume flag."""
         path = str(tmp_path / "results.jsonl")
         Campaign(tiny_nyx, bf_config).run(n_runs=4, results_path=path)
+        with open(path, "rb") as f:
+            before = f.read()
+        with pytest.raises(FFISError, match="--resume"):
+            Campaign(tiny_nyx, bf_config).run(n_runs=2, results_path=path)
+        with open(path, "rb") as f:
+            assert f.read() == before
+        assert completed_indices(path) == {0, 1, 2, 3}
+
+    def test_empty_file_may_be_started_in_place(self, tiny_nyx, bf_config,
+                                                tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        open(path, "w").close()
         Campaign(tiny_nyx, bf_config).run(n_runs=2, results_path=path)
         assert completed_indices(path) == {0, 1}
+
+
+class TestStreamingCheckpointReads:
+    """The O(1)-in-file-size contract: resuming a campaign never loads
+    its checkpoint into memory.  Both binary readers -- the record
+    iterator and the partial-tail trim -- must stay bounded, which this
+    class enforces by shadowing ``open`` in the sink module with a
+    wrapper that rejects unbounded reads."""
+
+    _BOUND = 1 << 16
+
+    @pytest.fixture
+    def stream_only(self, monkeypatch):
+        import repro.core.engine.sink as sink_mod
+
+        real_open = open
+        bound = self._BOUND
+
+        class _StreamOnly:
+            def __init__(self, f):
+                self._f = f
+
+            def read(self, size=-1):
+                assert size is not None and 0 <= size <= bound, \
+                    f"unbounded checkpoint read (size={size!r})"
+                return self._f.read(size)
+
+            def readlines(self, *args, **kwargs):
+                raise AssertionError(
+                    "checkpoint must be streamed, not readlines()d")
+
+            def __iter__(self):
+                return iter(self._f)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return self._f.__exit__(*exc)
+
+            def __getattr__(self, name):
+                return getattr(self._f, name)
+
+        def guarded(path, mode="r", *args, **kwargs):
+            f = real_open(path, mode, *args, **kwargs)
+            if "b" in mode and str(path).endswith(".jsonl"):
+                return _StreamOnly(f)
+            return f
+
+        monkeypatch.setattr(sink_mod, "open", guarded, raising=False)
+
+    def test_resume_streams_the_checkpoint(self, tiny_nyx, bf_config,
+                                           tmp_path, stream_only):
+        path = str(tmp_path / "results.jsonl")
+        Campaign(tiny_nyx, bf_config).run(n_runs=3, results_path=path)
+        resumed = Campaign(tiny_nyx, bf_config).run(results_path=path,
+                                                    resume=True)
+        assert len(resumed.records) == 6
+        assert completed_indices(path) == set(range(6))
+
+    def test_partial_tail_trim_is_bounded(self, tiny_nyx, bf_config,
+                                          tmp_path, stream_only):
+        """Appending after a kill trims the partial final line with a
+        bounded backwards scan, not a whole-file read."""
+        path = str(tmp_path / "results.jsonl")
+        Campaign(tiny_nyx, bf_config).run(n_runs=3, results_path=path)
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"v": 1, "run_index": 3, "outc')
+        resumed = Campaign(tiny_nyx, bf_config).run(results_path=path,
+                                                    resume=True)
+        assert load_records(path) == resumed.records
+
+    def test_trim_handles_a_tail_longer_than_one_chunk(self, tmp_path):
+        """A partial line bigger than the scan chunk still trims back
+        to the last real newline."""
+        from repro.core.engine.sink import _trim_partial_tail
+
+        path = str(tmp_path / "results.jsonl")
+        good = json.dumps(record_to_json(RunRecord(0, Outcome.BENIGN)))
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(good + "\n" + "x" * 10_000)   # no trailing newline
+        _trim_partial_tail(path)
+        with open(path, "rb") as f:
+            assert f.read() == (good + "\n").encode("utf-8")
+        # A file that never saw a newline trims to empty.
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("y" * 10_000)
+        _trim_partial_tail(path)
+        assert not open(path, "rb").read()
 
 
 class TestJsonlSchema:

@@ -73,10 +73,14 @@ def merge_shards(plan: SweepPlan, shard_paths: Sequence[str]
     if missing:
         shown = ", ".join(missing[:8])
         more = f" (+{len(missing) - 8} more)" if len(missing) > 8 else ""
+        # Shard filenames carry the worker ids that wrote them, so a
+        # postmortem can tell "worker never ran" from "lease lost".
+        shards = ", ".join(os.path.basename(p) for p in existing) or "none"
         raise FFISError(
             f"shard merge is missing {len(missing)} planned runs: "
-            f"{shown}{more}; the campaign is incomplete -- keep the "
-            "queue directory and resume it instead of merging")
+            f"{shown}{more}; shards read: {shards}; the campaign is "
+            "incomplete -- keep the queue directory and resume it "
+            "instead of merging")
     known = {stamps[cell.key] for cell in plan.cells}
     strays = sorted(str(s) for s in groups if s not in known)
     if strays:

@@ -195,7 +195,18 @@ class FileQueue:
             except (FileNotFoundError, OSError):
                 continue  # another worker won this lease; try the next
             os.utime(target, None)   # heartbeat epoch = claim time
-            lease = Lease.from_dict(_read_json(target))
+            try:
+                lease = Lease.from_dict(_read_json(target))
+            except (FFISError, ValueError, OSError) as exc:
+                # Postmortems start from worker logs: name everything
+                # the claim knows (who, which lease file) so a corrupt
+                # entry is findable without spelunking the queue.
+                raise FFISError(
+                    f"worker {worker_id} claimed lease "
+                    f"{name[:-len('.json')]} but its payload is "
+                    f"malformed ({exc}); the claim file is {target} -- "
+                    "inspect it, then delete it and resume to re-post "
+                    "the lease") from exc
             return Claim(lease=lease, path=target, worker_id=worker_id)
         return None
 

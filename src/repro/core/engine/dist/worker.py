@@ -83,10 +83,11 @@ def run_worker(root: str, plan: SweepPlan, worker_id: str, *,
             cell = cells.get(lease.cell_key)
             if cell is None or lease.stop > len(cell.plan.specs):
                 raise FFISError(
-                    f"lease {lease.lease_id} names "
-                    f"{lease.cell_key}[{lease.start}:{lease.stop}], which "
-                    "this plan does not contain; the queue manifest check "
-                    "should have refused this queue")
+                    f"worker {worker_id} claimed lease {lease.lease_id} "
+                    f"(attempt {lease.attempt}), which names "
+                    f"{lease.cell_key}[{lease.start}:{lease.stop}] -- a "
+                    "range this plan does not contain; the queue "
+                    "manifest check should have refused this queue")
             if shard is None:
                 shard = JsonlSink(queue.shard_path(worker_id), append=True)
             context = cell.plan.context

@@ -16,35 +16,54 @@ imports so it runs before any dependency install:
   explicitly (no silent cold fallback)
 * ``R006`` frozen-spec-mutation  -- planning specs are immutable values
 
+The whole-program pack (call graph + effect summaries over every file
+in the run; :mod:`repro.devtools.lint.wholeprogram`):
+
+* ``R007`` fork-effect-safety    -- no module-global writes reachable
+  from a fork/spawn entry point (outside the sanctioned registries)
+* ``R008`` queue-protocol        -- lease-queue state dirs change only
+  through claim-by-rename / done-file-authoritative transitions
+* ``R009`` shutdown-soundness    -- explicit releases after an acquire
+  (FINISHED marker, shard close) are finally-dominated
+* ``R010`` sink-plan-order       -- no record emission driven by a raw
+  listdir/glob/iterdir enumeration
+
 Suppression grammar (reason mandatory)::
 
     expr  # repro: allow[R001] elapsed-time report only, never recorded
 
-Rules live in :mod:`repro.devtools.lint.rules`; adding one is a
-:class:`~repro.devtools.lint.registry.Rule` subclass plus the
-``@register`` decorator (see the README's "Static analysis" section).
+Rules live in :mod:`repro.devtools.lint.rules` and
+:mod:`repro.devtools.lint.wholeprogram`; adding one is a
+:class:`~repro.devtools.lint.registry.Rule` (or ``ProjectRule``)
+subclass plus the ``@register`` decorator (see the README's "Static
+analysis" section).  ``--format sarif`` emits SARIF 2.1.0
+(:mod:`repro.devtools.lint.sarif`); ``--fix`` applies the mechanical
+rewrites (:mod:`repro.devtools.lint.fixer`).
 """
 
 from repro.devtools.lint import rules as _rules  # populate the registry
+from repro.devtools.lint import wholeprogram as _wholeprogram  # noqa: F401
 from repro.devtools.lint.engine import LintReport, lint_file, lint_paths
 from repro.devtools.lint.pragmas import PRAGMA_RULE_ID, parse_pragmas
 from repro.devtools.lint.registry import (
     RULES,
     FileContext,
     LintConfig,
+    ProjectRule,
     Rule,
     Scope,
     Violation,
     register,
 )
 
-del _rules
+del _rules, _wholeprogram
 
 __all__ = [
     "FileContext",
     "LintConfig",
     "LintReport",
     "PRAGMA_RULE_ID",
+    "ProjectRule",
     "RULES",
     "Rule",
     "Scope",

@@ -1,0 +1,446 @@
+"""A project-wide call graph for the whole-program rules.
+
+The per-file rules (R001--R006) see one ``ast.Module`` at a time; the
+whole-program rules (R007--R010) reason about properties that span
+functions, modules, and processes -- "is this function reachable from a
+fork entry point", "does this loop's body eventually emit a record".
+This module builds the structure those questions are asked against:
+
+* :class:`Project` -- every parsed module, indexed by dotted module
+  name, with its top-level functions, classes, methods, and
+  module-level bindings.
+* :class:`CallGraph` -- ``caller qualname -> callee qualnames`` edges,
+  resolving direct calls, ``self`` method calls, class-attribute
+  method calls (``FileQueue.create``, ``queue.claim()`` through an
+  annotation or a visible construction), decorated defs,
+  ``functools.partial`` references, and -- specially marked -- the
+  callables handed to executor ``submit``/``map``/``initializer`` and
+  ``Process(target=...)``, which are the **fork entry points** the
+  fork-effect rule starts its reachability walk from.
+
+Resolution is deliberately conservative-by-name: an edge the builder
+cannot resolve is dropped, never guessed, so whole-program rules may
+under-report but do not hallucinate paths.  Everything here is stdlib
+``ast``; the bare-interpreter CI contract of the linter holds.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.devtools.lint.registry import FileContext
+
+#: Dispatch attributes whose first positional argument crosses a
+#: process boundary (mirrors the R004 rule's table).
+FORK_DISPATCH_ATTRS = frozenset({
+    "submit", "map", "map_tagged", "map_async", "apply", "apply_async",
+    "imap", "imap_unordered", "starmap", "starmap_async",
+})
+
+
+def module_name_for(relpath: str) -> str:
+    """The dotted module name a repository-relative path imports as.
+
+    ``src/repro/core/engine/queue.py`` -> ``repro.core.engine.queue``;
+    paths outside a ``src/`` root fall back to the path itself with
+    slashes swapped for dots, which keeps qualnames unique.
+    """
+    path = relpath[:-3] if relpath.endswith(".py") else relpath
+    parts = path.split("/")
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function or method the project defines."""
+
+    qualname: str                 #: ``module.func`` / ``module.Cls.meth``
+    module: str
+    node: ast.AST                 #: FunctionDef or AsyncFunctionDef
+    ctx: FileContext
+    class_name: Optional[str] = None   #: owning class, if a method
+    parent: Optional[str] = None       #: enclosing function, if nested
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def params(self) -> List[str]:
+        args = self.node.args
+        return [a.arg for a in (args.posonlyargs + args.args
+                                + args.kwonlyargs)]
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class: its methods and the names of its declared bases."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    methods: Dict[str, str]        #: method name -> function qualname
+    bases: Tuple[str, ...]         #: base names as written (last attr)
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    """One parsed module of the project."""
+
+    name: str                      #: dotted module name
+    relpath: str
+    ctx: FileContext
+    functions: Dict[str, str]      #: local top-level name -> qualname
+    classes: Dict[str, ClassInfo]  #: local class name -> info
+    #: Names bound at module level by plain/annotated assignment -- the
+    #: "module-level mutables" the fork-effect rule protects.
+    module_globals: Set[str]
+
+
+class Project:
+    """Every parsed file of one lint run, cross-indexed for resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: method name -> class qualnames defining it (for base lookups)
+        self._methods_by_name: Dict[str, List[str]] = {}
+
+    def add_module(self, relpath: str, ctx: FileContext) -> None:
+        name = module_name_for(relpath)
+        info = ModuleInfo(name=name, relpath=relpath, ctx=ctx,
+                          functions={}, classes={}, module_globals=set())
+        self._collect(info, ctx.tree, prefix=name, class_name=None,
+                      parent=None, top_level=True)
+        self.modules[name] = info
+
+    def _collect(self, info: ModuleInfo, node: ast.AST, prefix: str,
+                 class_name: Optional[str], parent: Optional[str],
+                 top_level: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{child.name}"
+                fn = FunctionInfo(qualname=qualname, module=info.name,
+                                  node=child, ctx=info.ctx,
+                                  class_name=class_name, parent=parent)
+                self.functions[qualname] = fn
+                if top_level and class_name is None:
+                    info.functions[child.name] = qualname
+                self._collect(info, child, prefix=qualname,
+                              class_name=None, parent=qualname,
+                              top_level=False)
+            elif isinstance(child, ast.ClassDef):
+                qualname = f"{prefix}.{child.name}"
+                methods: Dict[str, str] = {}
+                bases = tuple(
+                    b.attr if isinstance(b, ast.Attribute) else b.id
+                    for b in child.bases
+                    if isinstance(b, (ast.Attribute, ast.Name)))
+                cls = ClassInfo(qualname=qualname, module=info.name,
+                                node=child, methods=methods, bases=bases)
+                self.classes[qualname] = cls
+                if top_level:
+                    info.classes[child.name] = cls
+                for stmt in child.body:
+                    if isinstance(stmt, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        mq = f"{qualname}.{stmt.name}"
+                        methods[stmt.name] = mq
+                        self.functions[mq] = FunctionInfo(
+                            qualname=mq, module=info.name, node=stmt,
+                            ctx=info.ctx, class_name=child.name)
+                        self._methods_by_name.setdefault(
+                            stmt.name, []).append(qualname)
+                        self._collect(info, stmt, prefix=mq,
+                                      class_name=None, parent=mq,
+                                      top_level=False)
+            elif top_level and isinstance(child, ast.Assign):
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        info.module_globals.add(target.id)
+            elif top_level and isinstance(child, ast.AnnAssign):
+                if isinstance(child.target, ast.Name):
+                    info.module_globals.add(child.target.id)
+
+    # -- lookups -----------------------------------------------------------
+
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qualname)
+
+    def class_method(self, class_qualname: str,
+                     method: str) -> Optional[str]:
+        """Resolve *method* on a class, walking declared bases that the
+        project also defines (single inheritance depth-first)."""
+        seen: Set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            qualname = stack.pop(0)
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            cls = self.classes.get(qualname)
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return cls.methods[method]
+            for base in cls.bases:
+                stack.extend(self._classes_named(base))
+        return None
+
+    def _classes_named(self, name: str) -> List[str]:
+        return [q for q in self.classes
+                if q.rsplit(".", 1)[-1] == name]
+
+    def resolve_qualified(self, dotted: str) -> Optional[str]:
+        """Map a fully qualified dotted name onto a project function.
+
+        Accepts ``module.func``, ``module.Cls.meth``, and ``module.Cls``
+        (resolved to ``module.Cls.__init__`` when defined).
+        """
+        if dotted in self.functions:
+            return dotted
+        if dotted in self.classes:
+            return self.classes[dotted].methods.get("__init__")
+        return None
+
+
+@dataclasses.dataclass(frozen=True)
+class Edge:
+    """One resolved call edge."""
+
+    caller: str
+    callee: str
+    kind: str        #: "call" | "fork" (crosses a process boundary)
+    line: int
+
+
+class CallGraph:
+    """Resolved call edges plus the fork/spawn entry-point set."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.edges: Dict[str, Set[str]] = {}
+        self.edge_list: List[Edge] = []
+        #: Functions handed to an executor/pool/Process boundary -- the
+        #: roots of the fork-effect reachability walk.
+        self.fork_entries: Set[str] = set()
+
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        graph = cls(project)
+        for fn in project.functions.values():
+            CallResolver(project, fn).resolve_into(graph)
+        return graph
+
+    def _add(self, caller: str, callee: str, kind: str, line: int) -> None:
+        self.edges.setdefault(caller, set()).add(callee)
+        self.edge_list.append(Edge(caller, callee, kind, line))
+        if kind == "fork":
+            self.fork_entries.add(callee)
+
+    def callees(self, qualname: str) -> Set[str]:
+        return self.edges.get(qualname, set())
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Every function reachable over call edges from *roots*."""
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.project.functions]
+        while stack:
+            qualname = stack.pop()
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            stack.extend(self.edges.get(qualname, ()))
+        return seen
+
+
+class CallResolver:
+    """Resolve the callables referenced inside one function body.
+
+    Used two ways: :meth:`resolve_into` walks the whole body to build
+    :class:`CallGraph` edges, while the dataflow scanner drives one
+    resolver incrementally (:meth:`track_assignment` +
+    :meth:`resolve_callable`) during its own ordered pass.
+    """
+
+    def __init__(self, project: Project, fn: FunctionInfo) -> None:
+        self.graph: Optional[CallGraph] = None
+        self.project = project
+        self.fn = fn
+        self.module = project.modules[fn.module]
+        #: Local variable -> class qualname, from visible constructions
+        #: (``q = FileQueue(root)``) and parameter annotations.
+        self.var_classes: Dict[str, str] = {}
+        self._seed_annotations()
+
+    def _seed_annotations(self) -> None:
+        args = self.fn.node.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+            cls = self._class_from_annotation(arg.annotation)
+            if cls is not None:
+                self.var_classes[arg.arg] = cls
+
+    def _class_from_annotation(self,
+                               node: Optional[ast.AST]) -> Optional[str]:
+        if node is None:
+            return None
+        name = ""
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            name = node.value.rsplit(".", 1)[-1]
+        return self._class_named(name)
+
+    def _class_named(self, name: str) -> Optional[str]:
+        if not name:
+            return None
+        local = self.module.classes.get(name)
+        if local is not None:
+            return local.qualname
+        dotted = self.module.ctx.imports.get(name)
+        if dotted and dotted in self.project.classes:
+            return dotted
+        matches = self.project._classes_named(name)
+        return matches[0] if len(matches) == 1 else None
+
+    # -- the walk ----------------------------------------------------------
+
+    def resolve_into(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self._walk(self.fn.node)
+
+    def _walk(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue   # nested defs resolve as their own functions
+            if isinstance(child, ast.Assign):
+                self.track_assignment(child)
+            if isinstance(child, ast.Call):
+                self._resolve_call(child)
+            self._walk(child)
+
+    def track_assignment(self, node: ast.Assign) -> None:
+        if not isinstance(node.value, ast.Call):
+            return
+        cls = self._class_of_call(node.value)
+        if cls is None:
+            return
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.var_classes[target.id] = cls
+
+    def _class_of_call(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._class_named(func.id)
+        if isinstance(func, ast.Attribute):
+            return self._class_named(func.attr)
+        return None
+
+    def _resolve_call(self, call: ast.Call) -> None:
+        line = call.lineno
+        callee = self.resolve_callable(call.func)
+        if callee is not None:
+            self.graph._add(self.fn.qualname, callee, "call", line)
+        # functools.partial(f, ...) references f as surely as calling it.
+        dotted = self.fn.ctx.resolve(call.func)
+        if dotted in ("functools.partial", "partial") and call.args:
+            target = self.resolve_callable(call.args[0])
+            if target is not None:
+                self.graph._add(self.fn.qualname, target, "call", line)
+        self._resolve_fork_edges(call, dotted, line)
+
+    def _resolve_fork_edges(self, call: ast.Call, dotted: str,
+                            line: int) -> None:
+        # initializer=f on any call (pool constructors).
+        for kw in call.keywords:
+            if kw.arg in ("initializer", "target"):
+                target = self.resolve_callable(kw.value)
+                if target is not None:
+                    self.graph._add(self.fn.qualname, target, "fork", line)
+        func = call.func
+        if isinstance(func, ast.Attribute) and \
+                func.attr in FORK_DISPATCH_ATTRS and call.args:
+            receiver = self.fn.ctx.resolve(func.value).lower()
+            if "pool" in receiver or "executor" in receiver:
+                target = self.resolve_callable(call.args[0])
+                if target is not None:
+                    self.graph._add(self.fn.qualname, target, "fork", line)
+
+    def resolve_callable(self, node: ast.AST) -> Optional[str]:
+        """The project function a callable expression denotes, if any."""
+        if isinstance(node, ast.Call):
+            # functools.partial(f, ...) used inline as the callable.
+            dotted = self.fn.ctx.resolve(node.func)
+            if dotted in ("functools.partial", "partial") and node.args:
+                return self.resolve_callable(node.args[0])
+            return None
+        if isinstance(node, ast.Name):
+            return self._resolve_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._resolve_attribute(node)
+        return None
+
+    def _resolve_name(self, name: str) -> Optional[str]:
+        # Innermost first: a sibling nested def inside this function.
+        nested = f"{self.fn.qualname}.{name}"
+        if nested in self.project.functions:
+            return nested
+        if self.fn.parent is not None:
+            sibling = f"{self.fn.parent}.{name}"
+            if sibling in self.project.functions:
+                return sibling
+        local = self.module.functions.get(name)
+        if local is not None:
+            return local
+        cls = self.module.classes.get(name)
+        if cls is not None:
+            return cls.methods.get("__init__")
+        dotted = self.module.ctx.imports.get(name)
+        if dotted is not None:
+            return self.project.resolve_qualified(dotted)
+        return None
+
+    def _resolve_attribute(self, node: ast.Attribute) -> Optional[str]:
+        method = node.attr
+        value = node.value
+        # self.method() -> the enclosing class (and its bases).
+        if isinstance(value, ast.Name):
+            if value.id in ("self", "cls") and self.fn.class_name:
+                owner = f"{self.fn.module}.{self.fn.class_name}"
+                return self.project.class_method(owner, method)
+            # ClassName.method(...) through a local or imported class.
+            cls = self._class_named(value.id) \
+                if value.id not in self.var_classes else None
+            if cls is not None and value.id not in self.var_classes:
+                resolved = self.project.class_method(cls, method)
+                if resolved is not None:
+                    return resolved
+            # instance.method() through a visible construction or
+            # annotation.
+            instance_cls = self.var_classes.get(value.id)
+            if instance_cls is not None:
+                return self.project.class_method(instance_cls, method)
+        # module.func() through the import map.
+        dotted = self.fn.ctx.resolve(node)
+        if dotted:
+            return self.project.resolve_qualified(dotted)
+        return None
+
+
+def build_project(files: Iterable[Tuple[str, FileContext]]) -> Project:
+    """Assemble a :class:`Project` from ``(relpath, context)`` pairs."""
+    project = Project()
+    for relpath, ctx in files:
+        project.add_module(relpath, ctx)
+    return project

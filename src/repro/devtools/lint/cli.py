@@ -29,8 +29,17 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("paths", nargs="*", default=None, metavar="PATH",
                         help="files or directories to lint "
                              f"(default: {' '.join(DEFAULT_PATHS)})")
-    parser.add_argument("--format", choices=["text", "json"], default="text",
-                        help="report format (default text)")
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text",
+                        help="report format (default text; sarif emits "
+                             "SARIF 2.1.0 for code-host annotation)")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply the mechanical autofixes (sorted() "
+                             "wrapping, stale-pragma removal) and "
+                             "report what remains")
+    parser.add_argument("--diff", action="store_true",
+                        help="with --fix: print the rewrites as a "
+                             "unified diff instead of writing files")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule ids to run "
                              "(default: all)")
@@ -77,18 +86,53 @@ def run(args: argparse.Namespace, out=None) -> int:
         if not os.path.exists(path):
             print(f"repro lint: no such path: {path}", file=sys.stderr)
             return 2
+    if args.diff and not args.fix:
+        print("repro lint: --diff requires --fix", file=sys.stderr)
+        return 2
     try:
         report = lint_paths(paths, config, root=args.root)
     except KeyError as exc:
         print(f"repro lint: unknown rule id {exc.args[0]!r} "
               f"(known: {', '.join(sorted(RULES))})", file=sys.stderr)
         return 2
+    if args.fix:
+        return _run_fix(report, args, out)
     if args.format == "json":
         json.dump(report.to_json(), out, indent=2, sort_keys=True)
         out.write("\n")
+    elif args.format == "sarif":
+        from repro.devtools.lint.sarif import render_sarif
+
+        out.write(render_sarif(report))
     else:
         print(report.render_text(), file=out)
     return 0 if report.ok else 1
+
+
+def _run_fix(report, args: argparse.Namespace, out) -> int:
+    """``--fix``: apply (or preview) rewrites, then report the rest."""
+    from repro.devtools.lint.fixer import (
+        fix_report,
+        render_diff,
+        write_fixes,
+    )
+
+    new_sources, fixed, remaining = fix_report(report)
+    if args.diff:
+        out.write(render_diff(report, new_sources))
+        print(f"repro lint: {len(fixed)} violation(s) fixable in "
+              f"{len(new_sources)} file(s) (diff only, nothing written)",
+              file=out)
+    else:
+        touched = write_fixes(report, new_sources)
+        print(f"repro lint: fixed {len(fixed)} violation(s) in "
+              f"{len(touched)} file(s)", file=out)
+    for violation in remaining:
+        print(violation.render(), file=out)
+    if remaining:
+        print(f"repro lint: {len(remaining)} violation(s) need a human",
+              file=out)
+    return 0 if not remaining else 1
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:

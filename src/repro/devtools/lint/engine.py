@@ -2,6 +2,15 @@
 
 Deterministic by construction (files sorted, violations sorted): the
 linter is itself record-emitting code and practices what it enforces.
+
+Two phases.  Every file is parsed once into a :class:`FileEntry`; the
+per-file rules (R001--R006) then run file by file, and the
+whole-program rules (R007--R010) run once against the
+:class:`~repro.devtools.lint.wholeprogram.ProjectAnalysis` assembled
+from all parsed trees -- call graph plus effect summaries.  Both kinds
+of violation flow through the same scope and pragma machinery, so a
+``# repro: allow[R008] reason`` suppresses a cross-module finding
+exactly like a local one.
 """
 
 from __future__ import annotations
@@ -9,11 +18,12 @@ from __future__ import annotations
 import ast
 import dataclasses
 import os
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.devtools.lint.names import import_map
 from repro.devtools.lint.pragmas import (
     PRAGMA_RULE_ID,
+    PragmaSet,
     parse_pragmas,
     unknown_rule_problems,
 )
@@ -21,6 +31,7 @@ from repro.devtools.lint.registry import (
     RULES,
     FileContext,
     LintConfig,
+    ProjectRule,
     Violation,
 )
 
@@ -31,6 +42,13 @@ PARSE_ERROR_ID = "E001"
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache",
               ".benchmarks", "node_modules"}
 
+#: Compound statements are excluded from the pragma-extent map: a
+#: pragma deep inside a class or loop body must not suppress a
+#: violation reported on the compound's header line far above it.
+_COMPOUND_STMTS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                   ast.For, ast.AsyncFor, ast.While, ast.If, ast.With,
+                   ast.AsyncWith, ast.Try)
+
 
 @dataclasses.dataclass
 class LintReport:
@@ -39,6 +57,9 @@ class LintReport:
     violations: List[Violation]
     files_scanned: int
     rules: List[str]
+    #: repository-relative path -> filesystem path actually read; what
+    #: the autofixer uses to write rewrites back.
+    file_map: Dict[str, str] = dataclasses.field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -95,47 +116,145 @@ def _relpath(path: str, root: str) -> str:
     return path.replace(os.sep, "/") if rel.startswith("..") else rel
 
 
-def lint_file(path: str, relpath: str, config: LintConfig) -> List[Violation]:
-    """All violations for one file under *config*."""
+def statement_extents(tree: ast.Module) -> Dict[int, Tuple[int, int]]:
+    """Innermost *simple*-statement line span containing each line.
+
+    This is what lets a pragma anywhere on a multi-line statement
+    suppress a violation reported on one of its inner lines.  Compound
+    statements are skipped so the map never stretches a suppression
+    across a whole class or loop body.
+    """
+    extents: Dict[int, Tuple[int, int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt) or \
+                isinstance(node, _COMPOUND_STMTS):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        span = (node.lineno, end)
+        for line in range(node.lineno, end + 1):
+            prev = extents.get(line)
+            if prev is None or (span[1] - span[0]) < (prev[1] - prev[0]):
+                extents[line] = span
+    return extents
+
+
+@dataclasses.dataclass
+class FileEntry:
+    """One discovered file, parsed (or not) and ready for rules."""
+
+    path: str                      #: filesystem path as read
+    relpath: str                   #: repository-relative POSIX path
+    source: str
+    ctx: Optional[FileContext]     #: ``None`` when the file failed to parse
+    pragmas: PragmaSet
+    extents: Dict[int, Tuple[int, int]]
+    violations: List[Violation]
+
+
+def parse_file(path: str, relpath: str) -> FileEntry:
+    """Read and parse one file; parse failures become E001 violations."""
     try:
         with open(path, encoding="utf-8") as handle:
             source = handle.read()
     except (OSError, UnicodeDecodeError) as exc:
-        return [Violation(path=relpath, line=1, col=1, rule=PARSE_ERROR_ID,
-                          message=f"cannot read file: {exc}")]
+        return FileEntry(
+            path=path, relpath=relpath, source="", ctx=None,
+            pragmas=PragmaSet([], []), extents={},
+            violations=[Violation(path=relpath, line=1, col=1,
+                                  rule=PARSE_ERROR_ID,
+                                  message=f"cannot read file: {exc}")])
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [Violation(path=relpath, line=exc.lineno or 1,
-                          col=(exc.offset or 0) + 1, rule=PARSE_ERROR_ID,
-                          message=f"syntax error: {exc.msg}")]
-
+        return FileEntry(
+            path=path, relpath=relpath, source=source, ctx=None,
+            pragmas=PragmaSet([], []), extents={},
+            violations=[Violation(path=relpath, line=exc.lineno or 1,
+                                  col=(exc.offset or 0) + 1,
+                                  rule=PARSE_ERROR_ID,
+                                  message=f"syntax error: {exc.msg}")])
     ctx = FileContext(relpath, source, tree, import_map(tree))
     pragmas = parse_pragmas(relpath, source)
     violations: List[Violation] = list(pragmas.problems)
     violations.extend(unknown_rule_problems(relpath, pragmas, RULES))
+    return FileEntry(path=path, relpath=relpath, source=source, ctx=ctx,
+                     pragmas=pragmas, extents=statement_extents(tree),
+                     violations=violations)
 
+
+def _admit(entry: FileEntry, violation: Violation) -> None:
+    """Append *violation* unless a pragma on its statement suppresses it."""
+    start, end = entry.extents.get(violation.line,
+                                   (violation.line, violation.line))
+    if not entry.pragmas.suppresses_span(violation.rule, violation.line,
+                                         start, end):
+        entry.violations.append(violation)
+
+
+def _run_file_rules(entry: FileEntry, config: LintConfig) -> None:
     for rule in config.rules():
-        if not config.scope_for(rule).matches(relpath):
+        if isinstance(rule, ProjectRule):
             continue
-        for violation in rule.check(ctx):
-            if not pragmas.suppresses(violation.rule, violation.line):
-                violations.append(violation)
+        if not config.scope_for(rule).matches(entry.relpath):
+            continue
+        for violation in rule.check(entry.ctx):
+            _admit(entry, violation)
 
-    if config.flag_unused_pragmas:
-        selected = {rule.id for rule in config.rules()}
-        for pragma in pragmas.unused():
-            # Only flag when every rule the pragma names actually ran;
-            # a partial --select must not call live pragmas stale.
-            if all(rule_id in selected for rule_id in pragma.rules):
-                violations.append(Violation(
-                    path=relpath, line=pragma.line, col=1,
-                    rule=PRAGMA_RULE_ID,
-                    message="unused pragma: "
-                            f"allow[{','.join(pragma.rules)}] suppressed "
-                            "nothing -- remove it (stale suppressions "
-                            "hide future violations)"))
-    return violations
+
+def _run_project_rules(entries: List[FileEntry],
+                       config: LintConfig) -> None:
+    project_rules = [rule for rule in config.rules()
+                     if isinstance(rule, ProjectRule)]
+    if not project_rules:
+        return
+    parsed = [entry for entry in entries if entry.ctx is not None]
+    if not parsed:
+        return
+    from repro.devtools.lint.wholeprogram import build_analysis
+
+    analysis = build_analysis([(e.relpath, e.ctx) for e in parsed])
+    by_relpath = {entry.relpath: entry for entry in parsed}
+    for rule in project_rules:
+        scope = config.scope_for(rule)
+        for violation in rule.check_project(analysis):
+            entry = by_relpath.get(violation.path)
+            if entry is None or not scope.matches(violation.path):
+                continue
+            _admit(entry, violation)
+
+
+def _flag_unused_pragmas(entry: FileEntry, config: LintConfig) -> None:
+    selected = {rule.id for rule in config.rules()}
+    for pragma in entry.pragmas.unused():
+        # Only flag when every rule the pragma names actually ran;
+        # a partial --select must not call live pragmas stale.
+        if all(rule_id in selected for rule_id in pragma.rules):
+            from repro.devtools.lint.fixer import pragma_removal_fix
+
+            entry.violations.append(Violation(
+                path=entry.relpath, line=pragma.line, col=1,
+                rule=PRAGMA_RULE_ID,
+                message="unused pragma: "
+                        f"allow[{','.join(pragma.rules)}] suppressed "
+                        "nothing -- remove it (stale suppressions "
+                        "hide future violations)",
+                fix=pragma_removal_fix(entry.source, pragma)))
+
+
+def lint_file(path: str, relpath: str, config: LintConfig) -> List[Violation]:
+    """All violations for one file under *config*.
+
+    Whole-program rules see a single-file project here; this is the
+    fixture-sized entry point the tests drive.  :func:`lint_paths` is
+    the multi-file public surface.
+    """
+    entry = parse_file(path, relpath)
+    if entry.ctx is not None:
+        _run_file_rules(entry, config)
+        _run_project_rules([entry], config)
+        if config.flag_unused_pragmas:
+            _flag_unused_pragmas(entry, config)
+    return entry.violations
 
 
 def lint_paths(paths: Iterable[str], config: Optional[LintConfig] = None,
@@ -144,15 +263,27 @@ def lint_paths(paths: Iterable[str], config: Optional[LintConfig] = None,
 
     *root* anchors the repository-relative paths that rule scopes match
     against (and that reports print); pass the repository root when
-    linting from elsewhere.
+    linting from elsewhere.  Whole-program rules (R007--R010) analyze
+    all discovered files as one project, so *paths* should cover the
+    package top (``--root``/default paths do) for cross-module edges to
+    resolve.
     """
     config = config or LintConfig()
     rules = config.rules()     # validates --select before any I/O
-    violations: List[Violation] = []
-    scanned = 0
+    entries: List[FileEntry] = []
     for path in discover(paths):
-        scanned += 1
-        violations.extend(lint_file(path, _relpath(path, root), config))
+        entries.append(parse_file(path, _relpath(path, root)))
+    for entry in entries:
+        if entry.ctx is not None:
+            _run_file_rules(entry, config)
+    _run_project_rules(entries, config)
+    if config.flag_unused_pragmas:
+        for entry in entries:
+            if entry.ctx is not None:
+                _flag_unused_pragmas(entry, config)
+    violations = [v for entry in entries for v in entry.violations]
     return LintReport(violations=sorted(violations),
-                      files_scanned=scanned,
-                      rules=[rule.id for rule in rules])
+                      files_scanned=len(entries),
+                      rules=[rule.id for rule in rules],
+                      file_map={entry.relpath: entry.path
+                                for entry in entries})

@@ -1,0 +1,155 @@
+"""Exact-span autofixes for the mechanical subset of lint findings.
+
+A fix is a tuple of :data:`Edit` spans -- ``(line, col, end_line,
+end_col, replacement)`` with 1-based lines and 0-based columns --
+attached to a :class:`~repro.devtools.lint.registry.Violation` by the
+rule that produced it.  Only rules whose remedy is purely syntactic
+carry fixes:
+
+* **R003** -- wrap the unordered iterable in ``sorted(...)`` (two
+  zero-width insertions around the exact expression span).
+* **R000 unused pragma** -- delete the stale comment (the whole line
+  when the pragma is the line's only content).
+
+:func:`fix_report` applies every fix in a report bottom-up per file,
+skipping overlapping spans, and returns the rewritten sources plus the
+violations that remain unfixed.  Applying the fixer twice is a no-op:
+each fix removes the condition its rule fires on, so the second run
+finds nothing to rewrite -- the idempotence contract the tests pin.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Dict, List, Tuple
+
+from repro.devtools.lint.pragmas import Pragma
+from repro.devtools.lint.registry import Violation
+
+#: One source rewrite: replace ``[(line, col), (end_line, end_col))``
+#: with ``replacement``.  Lines 1-based, columns 0-based (ast's own
+#: convention), so rules can mint edits straight from node positions.
+Edit = Tuple[int, int, int, int, str]
+
+
+def sorted_wrap_fix(node) -> Tuple[Edit, ...]:
+    """Wrap the expression *node* in ``sorted(...)`` in place."""
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return ()
+    return (
+        (node.lineno, node.col_offset, node.lineno, node.col_offset,
+         "sorted("),
+        (end_line, end_col, end_line, end_col, ")"),
+    )
+
+
+def pragma_removal_fix(source: str, pragma: Pragma) -> Tuple[Edit, ...]:
+    """Delete an unused pragma comment (or its whole line)."""
+    lines = source.splitlines(keepends=True)
+    if pragma.line > len(lines):
+        return ()
+    if pragma.own_line:
+        # The comment is the line's only content: drop the line.
+        return ((pragma.line, 0, pragma.line + 1, 0, ""),)
+    # Trailing comment: delete it plus the whitespace separating it
+    # from the code, leaving the statement (and newline) intact.
+    text = lines[pragma.line - 1]
+    start = pragma.col
+    while start > 0 and text[start - 1] in " \t":
+        start -= 1
+    return ((pragma.line, start, pragma.line, pragma.end_col, ""),)
+
+
+def _offset_of(line_starts: List[int], source_len: int,
+               line: int, col: int) -> int:
+    if line - 1 >= len(line_starts):
+        return source_len
+    return min(line_starts[line - 1] + col, source_len)
+
+
+def apply_edits(source: str, edits: List[Edit]) -> str:
+    """Apply *edits* to *source*, last-span-first, skipping overlaps."""
+    line_starts = [0]
+    for text_line in source.splitlines(keepends=True):
+        line_starts.append(line_starts[-1] + len(text_line))
+    spans = []
+    for line, col, end_line, end_col, replacement in edits:
+        start = _offset_of(line_starts, len(source), line, col)
+        end = _offset_of(line_starts, len(source), end_line, end_col)
+        if end >= start:
+            spans.append((start, end, replacement))
+    spans.sort(key=lambda s: (s[0], s[1]))
+    result = source
+    last_start = len(source) + 1
+    for start, end, replacement in reversed(spans):
+        if end > last_start:
+            continue   # overlaps an edit already applied; leave it
+        result = result[:start] + replacement + result[end:]
+        last_start = start
+    return result
+
+
+def fix_report(report) -> Tuple[Dict[str, str], List[Violation],
+                                List[Violation]]:
+    """Compute the rewrites for every fixable violation in *report*.
+
+    Returns ``(new_sources, fixed, remaining)``: repository-relative
+    path -> rewritten content for each file with at least one applied
+    fix, the violations whose fixes were applied, and those left for a
+    human.  Nothing is written to disk here -- the CLI owns that.
+    """
+    by_file: Dict[str, List[Violation]] = {}
+    for violation in report.violations:
+        if violation.fix:
+            by_file.setdefault(violation.path, []).append(violation)
+    new_sources: Dict[str, str] = {}
+    fixed: List[Violation] = []
+    fixable = {id(v) for vs in by_file.values() for v in vs}
+    for relpath, violations in sorted(by_file.items()):
+        real = report.file_map.get(relpath, relpath)
+        try:
+            with open(real, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError:
+            fixable.difference_update(id(v) for v in violations)
+            continue
+        edits = [edit for v in violations for edit in v.fix]
+        rewritten = apply_edits(source, edits)
+        if rewritten != source:
+            new_sources[relpath] = rewritten
+            fixed.extend(violations)
+        else:
+            fixable.difference_update(id(v) for v in violations)
+    remaining = [v for v in report.violations if id(v) not in fixable]
+    return new_sources, fixed, remaining
+
+
+def render_diff(report, new_sources: Dict[str, str]) -> str:
+    """Unified diff of the rewrites (``--fix --diff`` preview)."""
+    chunks: List[str] = []
+    for relpath in sorted(new_sources):
+        real = report.file_map.get(relpath, relpath)
+        try:
+            with open(real, encoding="utf-8") as handle:
+                before = handle.read()
+        except OSError:
+            continue
+        diff = difflib.unified_diff(
+            before.splitlines(keepends=True),
+            new_sources[relpath].splitlines(keepends=True),
+            fromfile=f"a/{relpath}", tofile=f"b/{relpath}")
+        chunks.append("".join(diff))
+    return "".join(chunks)
+
+
+def write_fixes(report, new_sources: Dict[str, str]) -> List[str]:
+    """Write the rewrites to disk; returns the files touched."""
+    touched = []
+    for relpath in sorted(new_sources):
+        real = report.file_map.get(relpath, relpath)
+        with open(real, "w", encoding="utf-8") as handle:
+            handle.write(new_sources[relpath])
+        touched.append(relpath)
+    return touched

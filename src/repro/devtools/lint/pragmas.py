@@ -47,6 +47,9 @@ class Pragma:
     rules: Tuple[str, ...]
     reason: str
     used: bool = False         #: did it suppress at least one violation?
+    col: int = 0               #: 0-based column the comment starts at
+    end_col: int = 0           #: 0-based column just past the comment
+    own_line: bool = False     #: the comment is the line's only content
 
 
 @dataclasses.dataclass
@@ -58,9 +61,26 @@ class PragmaSet:
 
     def suppresses(self, rule_id: str, line: int) -> bool:
         """Consume a suppression for *rule_id* at *line*, if any."""
+        return self.suppresses_span(rule_id, line, line, line)
+
+    def suppresses_span(self, rule_id: str, line: int,
+                        start: int, end: int) -> bool:
+        """Consume a suppression for *rule_id* anywhere on the
+        violating statement.
+
+        *line* is the violating node's own line; ``[start, end]`` is
+        the full physical extent of the (possibly multi-line) statement
+        containing it.  A pragma targeting any of those lines
+        suppresses -- so annotating a multi-line ``executor.submit(...)``
+        works on the statement's first physical line, on the violating
+        argument's line, or on the closing-paren line alike.
+        """
         hit = False
         for pragma in self.pragmas:
-            if pragma.target_line == line and rule_id in pragma.rules:
+            if rule_id not in pragma.rules:
+                continue
+            if pragma.target_line == line or \
+                    start <= pragma.target_line <= end:
                 pragma.used = True
                 hit = True
         return hit
@@ -111,9 +131,12 @@ def parse_pragmas(path: str, source: str) -> PragmaSet:
             continue
         rules = tuple(r.strip().upper()
                       for r in parsed.group("rules").split(","))
-        target = line if line in code_lines else line + 1
+        own_line = line not in code_lines
+        target = line + 1 if own_line else line
         pragmas.append(Pragma(line=line, target_line=target, rules=rules,
-                              reason=parsed.group("reason").strip()))
+                              reason=parsed.group("reason").strip(),
+                              col=col, end_col=tok.end[1],
+                              own_line=own_line))
     return PragmaSet(pragmas, problems)
 
 

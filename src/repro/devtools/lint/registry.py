@@ -12,7 +12,7 @@ from __future__ import annotations
 import ast
 import dataclasses
 from fnmatch import fnmatch
-from typing import Callable, Dict, Iterable, Iterator, List, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 
 @dataclasses.dataclass(frozen=True, order=True)
@@ -20,7 +20,9 @@ class Violation:
     """One rule hit, pointing at a source location.
 
     Ordered by location so reports are stable regardless of the order
-    rules ran in.
+    rules ran in.  ``fix`` optionally carries exact-span rewrites (see
+    :mod:`repro.devtools.lint.fixer`) for the mechanical subset of
+    rules; it never participates in ordering, JSON, or equality.
     """
 
     path: str
@@ -28,6 +30,8 @@ class Violation:
     col: int
     rule: str
     message: str
+    fix: Optional[Tuple] = dataclasses.field(
+        default=None, compare=False, repr=False)
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -100,10 +104,33 @@ class Rule:
         raise NotImplementedError
 
     def violation(self, ctx: FileContext, node: ast.AST,
-                  message: str) -> Violation:
+                  message: str, fix: Optional[Tuple] = None) -> Violation:
         return Violation(path=ctx.path, line=getattr(node, "lineno", 1),
                          col=getattr(node, "col_offset", 0) + 1,
-                         rule=self.id, message=message)
+                         rule=self.id, message=message, fix=fix)
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    A project rule sees every parsed file of the run at once -- wrapped
+    in a :class:`~repro.devtools.lint.wholeprogram.ProjectAnalysis`
+    (call graph + effect summaries) -- and yields violations anywhere
+    in the tree.  The engine still applies the rule's :class:`Scope`
+    and the target file's pragmas to each violation, so suppression
+    works identically to per-file rules.
+    """
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        return ()    # the per-file phase is a no-op for project rules
+
+    def check_project(self, analysis) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def project_violation(self, path: str, line: int, col: int,
+                          message: str) -> Violation:
+        return Violation(path=path, line=line, col=col, rule=self.id,
+                         message=message)
 
 
 #: All registered rules by id, in registration order.

@@ -152,11 +152,14 @@ class UnorderedIterationRule(Rule):
                 iters.extend(gen.iter for gen in node.generators)
             for it in iters:
                 if _is_unordered(it, ctx):
+                    from repro.devtools.lint.fixer import sorted_wrap_fix
+
                     yield self.violation(
                         ctx, it,
                         "iteration over an unordered set expression in "
                         "order-sensitive code; wrap it in sorted() so "
-                        "the traversal is deterministic by construction")
+                        "the traversal is deterministic by construction",
+                        fix=sorted_wrap_fix(it))
 
 
 def _closure_names(tree: ast.Module) -> Set[str]:

@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 output: lint findings as a standard interchange report.
+
+SARIF (Static Analysis Results Interchange Format) is what code hosts
+ingest to surface findings as inline PR annotations -- CI uploads the
+file produced here via ``github/codeql-action/upload-sarif``.  The
+emitter writes the minimal conforming subset: one run, one tool driver
+listing every rule that executed (id, name, one-line help), and one
+result per violation with a physical location.  Stdlib ``json`` only;
+the bare-interpreter contract of the linter holds.
+
+Determinism: the report is built from an already-sorted
+:class:`~repro.devtools.lint.engine.LintReport` and serialized with
+sorted keys, so identical trees produce byte-identical SARIF.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.devtools.lint.engine import LintReport
+from repro.devtools.lint.registry import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: Rule ids violations may carry that are not in the registry (pragma
+#: grammar and parse failures), with the help text SARIF requires.
+_SYNTHETIC_RULES = {
+    "R000": ("pragma-hygiene",
+             "repro: pragmas must parse, carry a reason, and suppress "
+             "something"),
+    "E001": ("parse-error", "the file could not be read or parsed"),
+}
+
+
+def _rule_descriptor(rule_id: str) -> Dict[str, object]:
+    rule = RULES.get(rule_id)
+    if rule is not None:
+        name, help_text = rule.name, rule.rationale
+    else:
+        name, help_text = _SYNTHETIC_RULES.get(
+            rule_id, (rule_id.lower(), "repro lint rule"))
+    return {
+        "id": rule_id,
+        "name": name,
+        "shortDescription": {"text": name},
+        "fullDescription": {"text": help_text},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def to_sarif(report: LintReport) -> Dict[str, object]:
+    """The report as a SARIF 2.1.0 ``log`` object (JSON-ready dict)."""
+    rule_ids = sorted(set(report.rules)
+                      | {v.rule for v in report.violations})
+    results: List[Dict[str, object]] = []
+    for violation in report.violations:
+        results.append({
+            "ruleId": violation.rule,
+            "ruleIndex": rule_ids.index(violation.rule),
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.col,
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro-lint",
+                    "rules": [_rule_descriptor(rule_id)
+                              for rule_id in rule_ids],
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    """The SARIF log serialized deterministically (sorted keys)."""
+    return json.dumps(to_sarif(report), indent=2, sort_keys=True) + "\n"

@@ -198,6 +198,38 @@ class TestFileQueue:
             with pytest.raises(FFISError, match="worker id"):
                 queue.claim(bad)
 
+    def test_mismatched_lease_error_names_worker_and_attempt(self, tmp_path):
+        """The out-of-range refusal carries worker id, lease id, and
+        attempt count -- enough context to start a postmortem from the
+        worker's log line alone."""
+        plan, leases, queue = self.queue(tmp_path, sizes=(2,), lease_runs=2)
+        bad = Lease(lease_id=leases[0].lease_id,
+                    cell_key=leases[0].cell_key,
+                    campaign_id=leases[0].campaign_id,
+                    start=0, stop=999, attempt=3)
+        with open(os.path.join(queue.pending_dir, f"{bad.lease_id}.json"),
+                  "w", encoding="utf-8") as f:
+            json.dump(bad.to_dict(), f)
+        with pytest.raises(FFISError) as err:
+            run_worker(str(tmp_path / "q"), plan, "w9", max_idle_polls=2)
+        message = str(err.value)
+        assert "worker w9" in message
+        assert bad.lease_id in message
+        assert "attempt 3" in message
+
+    def test_malformed_claim_names_worker_and_lease(self, tmp_path):
+        """A corrupt lease payload surfaces who claimed which lease --
+        postmortems must not require spelunking the queue directory."""
+        _, leases, queue = self.queue(tmp_path)
+        victim = leases[0].lease_id
+        with open(os.path.join(queue.pending_dir, f"{victim}.json"),
+                  "w", encoding="utf-8") as f:
+            f.write("not json {")
+        with pytest.raises(FFISError) as err:
+            queue.claim("w7")
+        assert "worker w7" in str(err.value)
+        assert victim in str(err.value)
+
     def test_two_workers_race_one_lease(self, tmp_path):
         plan = synthetic_plan((2,))
         leases = shard_plan(plan, 2)
@@ -325,6 +357,17 @@ class TestMerge:
         paths = self.shards(tmp_path, plan, drop={("B", 1)})
         with pytest.raises(FFISError, match="missing 1 planned runs: B:1"):
             merge_shards(plan, paths)
+
+    def test_hole_error_names_the_shards_read(self, tmp_path):
+        """Shard filenames carry worker ids; the hole report must list
+        them so 'worker never ran' and 'lease lost' are tellable apart."""
+        plan = synthetic_plan((3, 2))
+        paths = self.shards(tmp_path, plan, drop={("B", 1)})
+        with pytest.raises(FFISError) as err:
+            merge_shards(plan, paths)
+        message = str(err.value)
+        assert "shards read:" in message
+        assert os.path.basename(paths[0]) in message
 
     def test_stray_campaign_stamp_refused(self, tmp_path):
         plan = synthetic_plan((2,))

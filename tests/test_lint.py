@@ -358,6 +358,289 @@ class TestR006FrozenSpecMutation:
         assert not rule_hits(report, "R006")
 
 
+# -- the whole-program rule pack: R007-R010 -------------------------------------
+
+
+class TestR007ForkEffect:
+    VIOLATION = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        CACHE = {}
+
+        def work(x):
+            CACHE[x] = x * 2
+            return x
+
+        def drive(pool: ProcessPoolExecutor, items):
+            return list(pool.map(work, items))
+    """
+
+    def test_fires_on_global_write_reachable_from_fork(self, tmp_path):
+        report = lint_source(tmp_path, self.VIOLATION)
+        (hit,) = rule_hits(report, "R007")
+        assert "CACHE" in hit.message
+        assert "fork" in hit.message
+
+    def test_fires_through_initializer_edge(self, tmp_path):
+        report = lint_source(tmp_path, """
+            from concurrent.futures import ProcessPoolExecutor
+
+            SEEN = []
+
+            def _init():
+                SEEN.append(1)
+
+            def drive(items):
+                with ProcessPoolExecutor(initializer=_init) as pool:
+                    return list(pool.map(str, items))
+        """)
+        (hit,) = rule_hits(report, "R007")
+        assert "SEEN" in hit.message
+
+    def test_sanctioned_registry_write_is_clean(self, tmp_path):
+        report = lint_source(tmp_path, """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _WORKER_STATE = None
+
+            def _init(payload):
+                global _WORKER_STATE
+                _WORKER_STATE = payload
+
+            def drive(pool: ProcessPoolExecutor, items):
+                return list(pool.map(_init, items))
+        """)
+        assert not rule_hits(report, "R007")
+
+    def test_unreachable_global_write_is_clean(self, tmp_path):
+        report = lint_source(tmp_path, """
+            CACHE = {}
+
+            def local_only(x):
+                CACHE[x] = x
+                return x
+        """)
+        assert not rule_hits(report, "R007")
+
+    def test_pragma_suppresses(self, tmp_path):
+        report = lint_source(tmp_path, """
+            from concurrent.futures import ProcessPoolExecutor
+
+            CACHE = {}
+
+            def work(x):
+                # repro: allow[R007] per-child memo, never read back
+                CACHE[x] = x * 2
+                return x
+
+            def drive(pool: ProcessPoolExecutor, items):
+                return list(pool.map(work, items))
+        """)
+        assert not rule_hits(report, "R007")
+        assert not rule_hits(report, PRAGMA_RULE_ID)
+
+
+class TestR008QueueProtocol:
+    VIOLATION = """
+        import os
+
+        def post(root, payload):
+            with open(os.path.join(root, "pending", "a.json"), "w") as f:
+                f.write(payload)
+    """
+
+    def test_fires_on_inplace_state_write(self, tmp_path):
+        report = lint_source(tmp_path, self.VIOLATION)
+        (hit,) = rule_hits(report, "R008")
+        assert "pending" in hit.message
+        assert "tmp sibling" in hit.message
+
+    def test_fires_across_a_helper_boundary(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def raw_write(path, payload):
+                with open(path, "w") as f:
+                    f.write(payload)
+
+            def post(root, payload):
+                raw_write(os.path.join(root, "pending", "a.json"), payload)
+        """)
+        (hit,) = rule_hits(report, "R008")
+        assert "raw_write" in hit.message
+
+    def test_fires_on_rename_into_done(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def settle(root, name):
+                os.rename(os.path.join(root, "leased", name),
+                          os.path.join(root, "done", name))
+        """)
+        (hit,) = rule_hits(report, "R008")
+        assert "done/" in hit.message
+
+    def test_fires_on_unguarded_pending_unlink(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def drop(root, name):
+                os.unlink(os.path.join(root, "pending", name))
+        """)
+        (hit,) = rule_hits(report, "R008")
+        assert "done/" in hit.message
+
+    def test_atomic_publish_is_clean(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def post(root, payload):
+                path = os.path.join(root, "pending", "a.json")
+                tmp = path + ".tmp"
+                with open(tmp, "w") as f:
+                    f.write(payload)
+                os.replace(tmp, path)
+        """)
+        assert not rule_hits(report, "R008")
+
+    def test_done_guarded_unlink_is_clean(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def drop(root, name):
+                if os.path.exists(os.path.join(root, "done", name)):
+                    os.unlink(os.path.join(root, "pending", name))
+        """)
+        assert not rule_hits(report, "R008")
+
+    def test_pragma_suppresses(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def post(root, payload):
+                # repro: allow[R008] one-shot test fixture, no readers
+                with open(os.path.join(root, "pending", "a.json"), "w") as f:
+                    f.write(payload)
+        """)
+        assert not rule_hits(report, "R008")
+        assert not rule_hits(report, PRAGMA_RULE_ID)
+
+
+class TestR009ShutdownSoundness:
+    VIOLATION = """
+        from repro.core.engine.sink import JsonlSink
+
+        def write_all(path, records):
+            sink = JsonlSink(path)
+            for record in records:
+                sink.emit(record)
+            sink.close()
+    """
+
+    def test_fires_on_release_outside_finally(self, tmp_path):
+        report = lint_source(tmp_path, self.VIOLATION)
+        (hit,) = rule_hits(report, "R009")
+        assert "close()" in hit.message
+        assert "finally" in hit.message
+
+    def test_finally_dominated_release_is_clean(self, tmp_path):
+        report = lint_source(tmp_path, """
+            from repro.core.engine.sink import JsonlSink
+
+            def write_all(path, records):
+                sink = JsonlSink(path)
+                try:
+                    for record in records:
+                        sink.emit(record)
+                finally:
+                    sink.close()
+        """)
+        assert not rule_hits(report, "R009")
+
+    def test_no_acquire_no_flag(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def close_it(handle):
+                handle.close()
+        """)
+        assert not rule_hits(report, "R009")
+
+    def test_pragma_suppresses(self, tmp_path):
+        report = lint_source(tmp_path, """
+            from repro.core.engine.sink import JsonlSink
+
+            def write_all(path, records):
+                sink = JsonlSink(path)
+                for record in records:
+                    sink.emit(record)
+                sink.close()  # repro: allow[R009] caller owns the raise path
+        """)
+        assert not rule_hits(report, "R009")
+        assert not rule_hits(report, PRAGMA_RULE_ID)
+
+
+class TestR010SinkPlanOrder:
+    VIOLATION = """
+        import os
+
+        def merge(shards_dir, sink):
+            for name in os.listdir(shards_dir):
+                sink.emit(name)
+    """
+
+    def test_fires_on_emission_in_listdir_order(self, tmp_path):
+        report = lint_source(tmp_path, self.VIOLATION)
+        (hit,) = rule_hits(report, "R010")
+        assert "hash-arbitrary" in hit.message
+
+    def test_fires_through_an_emitting_callee(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def forward(sink, name):
+                sink.emit_stamped(name, "c")
+
+            def merge(shards_dir, sink):
+                for name in os.listdir(shards_dir):
+                    forward(sink, name)
+        """)
+        (hit,) = rule_hits(report, "R010")
+        assert hit.rule == "R010"
+
+    def test_sorted_enumeration_is_clean(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def merge(shards_dir, sink):
+                for name in sorted(os.listdir(shards_dir)):
+                    sink.emit(name)
+        """)
+        assert not rule_hits(report, "R010")
+
+    def test_nonemitting_listdir_loop_is_clean(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def census(shards_dir):
+                total = 0
+                for _name in os.listdir(shards_dir):
+                    total += 1
+                return total
+        """)
+        assert not rule_hits(report, "R010")
+
+    def test_pragma_suppresses(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def merge(shards_dir, sink):
+                # repro: allow[R010] dedup pass; merge re-sorts downstream
+                for name in os.listdir(shards_dir):
+                    sink.emit(name)
+        """)
+        assert not rule_hits(report, "R010")
+        assert not rule_hits(report, PRAGMA_RULE_ID)
+
+
 # -- pragma grammar -------------------------------------------------------------
 
 
@@ -461,7 +744,8 @@ class TestFramework:
         assert hit.rule == PARSE_ERROR_ID
 
     def test_every_rule_has_id_name_rationale_scope(self):
-        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005", "R006"}
+        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005",
+                              "R006", "R007", "R008", "R009", "R010"}
         for rule in RULES.values():
             assert rule.id and rule.name and rule.rationale
             assert rule.scope.include
@@ -492,7 +776,8 @@ class TestJsonOutput:
         assert payload["files_scanned"] == 1
         assert payload["counts"] == {"R003": 1}
         assert payload["rules"] == ["R001", "R002", "R003", "R004",
-                                    "R005", "R006"]
+                                    "R005", "R006", "R007", "R008",
+                                    "R009", "R010"]
         (violation,) = payload["violations"]
         assert set(violation) == {"rule", "path", "line", "col", "message"}
         assert violation["rule"] == "R003"
@@ -523,6 +808,165 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in list(RULES) + [PRAGMA_RULE_ID, PARSE_ERROR_ID]:
             assert rule_id in out
+
+
+# -- multi-line statements: pragma placement (regression) -----------------------
+
+
+class TestMultiLinePragma:
+    def test_pragma_on_violating_line_of_multiline_statement(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def run(pool, items):
+                futures = pool.submit(
+                    lambda x: x,  # repro: allow[R004] inline test-only task
+                    items,
+                )
+                return futures
+        """)
+        assert not rule_hits(report, "R004")
+        assert not rule_hits(report, PRAGMA_RULE_ID)
+
+    def test_pragma_on_sibling_line_of_multiline_statement(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def run(pool, items):
+                futures = pool.submit(
+                    lambda x: x,
+                    items,  # repro: allow[R004] inline test-only task
+                )
+                return futures
+        """)
+        assert not rule_hits(report, "R004")
+        assert not rule_hits(report, PRAGMA_RULE_ID)
+
+    def test_pragma_does_not_leak_across_statements(self, tmp_path):
+        # A pragma inside one statement must not silence the next one.
+        report = lint_source(tmp_path, """
+            def run(pool, items):
+                first = pool.submit(
+                    lambda x: x,  # repro: allow[R004] inline test-only task
+                )
+                second = pool.submit(lambda x: x, items)
+                return first, second
+        """)
+        assert len(rule_hits(report, "R004")) == 1
+
+
+# -- SARIF output ---------------------------------------------------------------
+
+
+class TestSarifOutput:
+    def _emit(self, tmp_path, capsys):
+        target = tmp_path / ENGINE_REL
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(
+            TestR003UnorderedIteration.VIOLATION))
+        rc = lint_main([str(target), "--format", "sarif",
+                        "--root", str(tmp_path)])
+        return rc, capsys.readouterr().out
+
+    def test_sarif_2_1_0_shape(self, tmp_path, capsys):
+        rc, out = self._emit(tmp_path, capsys)
+        payload = json.loads(out)
+        assert rc == 1
+        assert payload["version"] == "2.1.0"
+        assert payload["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = payload["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["fullDescription"]["text"]
+        (result,) = run["results"]
+        assert result["ruleId"] == "R003"
+        assert rule_ids[result["ruleIndex"]] == "R003"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith(
+            "fixture_mod.py")
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+
+    def test_sarif_is_deterministic(self, tmp_path, capsys):
+        _, first = self._emit(tmp_path, capsys)
+        _, second = self._emit(tmp_path, capsys)
+        assert first == second
+
+    def test_clean_tree_sarif_has_empty_results(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        rc = lint_main([str(target), "--format", "sarif",
+                        "--root", str(tmp_path)])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["runs"][0]["results"] == []
+
+
+# -- the autofixer --------------------------------------------------------------
+
+
+FIXABLE = """
+    import json  # repro: allow[R001] stale pragma that suppresses nothing
+
+    def emit(trace, sink):
+        for ino in set(trace.observed):
+            sink.write(json.dumps(ino))
+"""
+
+
+class TestAutofix:
+    def _plant(self, tmp_path):
+        target = tmp_path / ENGINE_REL
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(FIXABLE))
+        return target
+
+    def test_fix_rewrites_and_relints_clean(self, tmp_path, capsys):
+        target = self._plant(tmp_path)
+        rc = lint_main([str(target), "--fix", "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "fixed 2 violation(s)" in out
+        fixed = target.read_text()
+        assert "sorted(set(trace.observed))" in fixed
+        assert "repro: allow" not in fixed
+        assert lint_main([str(target), "--root", str(tmp_path)]) == 0
+
+    def test_fix_is_idempotent(self, tmp_path, capsys):
+        target = self._plant(tmp_path)
+        lint_main([str(target), "--fix", "--root", str(tmp_path)])
+        capsys.readouterr()
+        once = target.read_text()
+        rc = lint_main([str(target), "--fix", "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fixed 0 violation(s)" in out
+        assert target.read_text() == once
+
+    def test_fix_diff_previews_without_writing(self, tmp_path, capsys):
+        target = self._plant(tmp_path)
+        before = target.read_text()
+        rc = lint_main([str(target), "--fix", "--diff",
+                        "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "+++ " in out and "--- " in out
+        assert "sorted(set(trace.observed))" in out
+        assert target.read_text() == before
+
+    def test_diff_without_fix_is_a_usage_error(self, tmp_path):
+        target = self._plant(tmp_path)
+        assert lint_main([str(target), "--diff",
+                          "--root", str(tmp_path)]) == 2
+
+    def test_unfixable_violations_keep_exit_one(self, tmp_path, capsys):
+        target = tmp_path / ENGINE_REL
+        target.parent.mkdir(parents=True)
+        target.write_text(textwrap.dedent(TestR001WallClock.VIOLATION))
+        rc = lint_main([str(target), "--fix", "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "need a human" in out
 
 
 # -- the meta-test: the committed tree is clean, with zero 3p imports -----------
@@ -559,6 +1003,8 @@ class TestCommittedTree:
             capture_output=True, text=True, timeout=120)
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "clean" in proc.stdout
+        # The whole-program pack (R007-R010) ran too, still stdlib-only.
+        assert "10 rules" in proc.stdout
 
     def test_standalone_module_entry_point(self):
         env = dict(os.environ,

@@ -1,0 +1,251 @@
+"""The whole-program analysis substrate: call graph + effect fixpoint.
+
+Pins the resolution cases the R007-R010 rules lean on -- decorated
+defs, ``functools.partial`` references, bound methods through ``self``,
+executor fork edges (``submit``/``map``/``initializer``) -- and the
+termination property: effect propagation over a mutual-recursion cycle
+reaches a fixpoint instead of looping.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.devtools.lint.callgraph import CallGraph, build_project
+from repro.devtools.lint.dataflow import propagate, summarize
+from repro.devtools.lint.names import import_map
+from repro.devtools.lint.registry import FileContext
+
+
+def make_file(relpath, source):
+    source = textwrap.dedent(source)
+    tree = ast.parse(source)
+    return relpath, FileContext(relpath, source, tree, import_map(tree))
+
+
+def graph_of(*files):
+    project = build_project([make_file(rel, src) for rel, src in files])
+    return project, CallGraph.build(project)
+
+
+MOD = "src/repro/core/engine/mod.py"
+
+
+class TestCallResolution:
+    def test_module_level_call_edge(self):
+        _, graph = graph_of((MOD, """
+            def helper():
+                return 1
+
+            def driver():
+                return helper()
+        """))
+        assert "repro.core.engine.mod.helper" in \
+            graph.callees("repro.core.engine.mod.driver")
+
+    def test_decorated_def_still_resolves(self):
+        _, graph = graph_of((MOD, """
+            import functools
+
+            def wrap(fn):
+                @functools.wraps(fn)
+                def inner(*a):
+                    return fn(*a)
+                return inner
+
+            @wrap
+            def task():
+                return 1
+
+            def driver():
+                return task()
+        """))
+        assert "repro.core.engine.mod.task" in \
+            graph.callees("repro.core.engine.mod.driver")
+
+    def test_functools_partial_references_its_target(self):
+        _, graph = graph_of((MOD, """
+            import functools
+
+            def task(x, y):
+                return x + y
+
+            def driver():
+                return functools.partial(task, 1)
+        """))
+        assert "repro.core.engine.mod.task" in \
+            graph.callees("repro.core.engine.mod.driver")
+
+    def test_bound_method_through_self(self):
+        _, graph = graph_of((MOD, """
+            class Engine:
+                def step(self):
+                    return self.emit_one()
+
+                def emit_one(self):
+                    return 1
+        """))
+        assert "repro.core.engine.mod.Engine.emit_one" in \
+            graph.callees("repro.core.engine.mod.Engine.step")
+
+    def test_method_through_visible_construction(self):
+        _, graph = graph_of((MOD, """
+            class Queue:
+                def claim(self):
+                    return 1
+
+            def driver():
+                queue = Queue()
+                return queue.claim()
+        """))
+        assert "repro.core.engine.mod.Queue.claim" in \
+            graph.callees("repro.core.engine.mod.driver")
+
+    def test_method_through_parameter_annotation(self):
+        _, graph = graph_of((MOD, """
+            class Queue:
+                def claim(self):
+                    return 1
+
+            def driver(queue: Queue):
+                return queue.claim()
+        """))
+        assert "repro.core.engine.mod.Queue.claim" in \
+            graph.callees("repro.core.engine.mod.driver")
+
+    def test_cross_module_call_through_import(self):
+        _, graph = graph_of(
+            ("src/repro/core/engine/util.py", """
+                def helper():
+                    return 1
+            """),
+            (MOD, """
+                from repro.core.engine.util import helper
+
+                def driver():
+                    return helper()
+            """))
+        assert "repro.core.engine.util.helper" in \
+            graph.callees("repro.core.engine.mod.driver")
+
+    def test_unresolvable_calls_are_dropped_not_guessed(self):
+        _, graph = graph_of((MOD, """
+            import os
+
+            def driver(thing):
+                os.getpid()
+                return thing.spin()
+        """))
+        assert graph.callees("repro.core.engine.mod.driver") == set()
+
+
+class TestForkEdges:
+    def test_executor_submit_marks_a_fork_entry(self):
+        _, graph = graph_of((MOD, """
+            def task(x):
+                return x
+
+            def driver(executor, items):
+                return [executor.submit(task, x) for x in items]
+        """))
+        assert "repro.core.engine.mod.task" in graph.fork_entries
+
+    def test_pool_map_marks_a_fork_entry(self):
+        _, graph = graph_of((MOD, """
+            def task(x):
+                return x
+
+            def driver(pool, items):
+                return pool.map(task, items)
+        """))
+        assert "repro.core.engine.mod.task" in graph.fork_entries
+
+    def test_initializer_kwarg_marks_a_fork_entry(self):
+        _, graph = graph_of((MOD, """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def _init():
+                pass
+
+            def driver():
+                return ProcessPoolExecutor(initializer=_init)
+        """))
+        assert "repro.core.engine.mod._init" in graph.fork_entries
+
+    def test_process_target_marks_a_fork_entry(self):
+        _, graph = graph_of((MOD, """
+            import multiprocessing
+
+            def entry():
+                pass
+
+            def driver():
+                return multiprocessing.Process(target=entry)
+        """))
+        assert "repro.core.engine.mod.entry" in graph.fork_entries
+
+    def test_plain_call_is_not_a_fork_entry(self):
+        _, graph = graph_of((MOD, """
+            def task(x):
+                return x
+
+            def driver(items):
+                return [task(x) for x in items]
+        """))
+        assert "repro.core.engine.mod.task" not in graph.fork_entries
+
+
+class TestEffectFixpoint:
+    def test_mutual_recursion_terminates_and_propagates(self):
+        project, graph = graph_of((MOD, """
+            def ping(sink, n):
+                if n:
+                    return pong(sink, n - 1)
+                sink.emit(n)
+
+            def pong(sink, n):
+                return ping(sink, n)
+
+            def driver(sink):
+                return pong(sink, 3)
+        """))
+        summaries = propagate(project, graph, summarize(project))
+        # The emit fact crossed the ping<->pong cycle to every caller:
+        # the fixpoint converged rather than spinning.
+        assert summaries["repro.core.engine.mod.ping"].emits_trans
+        assert summaries["repro.core.engine.mod.pong"].emits_trans
+        assert summaries["repro.core.engine.mod.driver"].emits_trans
+
+    def test_effects_do_not_flow_backwards(self):
+        project, graph = graph_of((MOD, """
+            def quiet():
+                return 1
+
+            def noisy(sink):
+                quiet()
+                sink.emit(1)
+        """))
+        summaries = propagate(project, graph, summarize(project))
+        assert not summaries["repro.core.engine.mod.quiet"].emits_trans
+        assert summaries["repro.core.engine.mod.noisy"].emits_trans
+
+    def test_param_flow_reaches_raw_writer_transitively(self):
+        project, graph = graph_of((MOD, """
+            def raw(path):
+                with open(path, "w") as f:
+                    f.write("x")
+
+            def via(path):
+                raw(path)
+
+            def outer(path):
+                via(path)
+        """))
+        summaries = propagate(project, graph, summarize(project))
+        assert "path" in \
+            summaries["repro.core.engine.mod.raw"].unatomic_write_params
+        assert "path" in \
+            summaries["repro.core.engine.mod.via"].unatomic_write_params
+        assert "path" in \
+            summaries["repro.core.engine.mod.outer"].unatomic_write_params

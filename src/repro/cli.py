@@ -154,6 +154,13 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="queue directory for --hosts (default: a "
                                 "throwaway; name one to survive coordinator "
                                 "crashes)")
+            p.add_argument("--quarantine-after", type=_positive_int,
+                           default=None, metavar="N",
+                           help="attempts before a repeatedly failing "
+                                "lease is quarantined instead of "
+                                "reassigned (default 3); the campaign "
+                                "then completes around the hole and "
+                                "reports it")
         if name in ("run", "serve"):
             p.add_argument("--out", default=None, metavar="RESULTS.jsonl",
                            help="stream every run record to this JSONL file")
@@ -176,6 +183,13 @@ def _build_parser() -> argparse.ArgumentParser:
             p.add_argument("--timeout", type=float, default=None,
                            help="abort (resumably) if the campaign is "
                                 "still incomplete after this many seconds")
+            p.add_argument("--quarantine-after", type=_positive_int,
+                           default=None, metavar="N",
+                           help="attempts before a repeatedly failing "
+                                "lease is quarantined instead of "
+                                "reassigned (default 3); the campaign "
+                                "then completes around the hole and "
+                                "reports it")
     ssub.add_parser("list", help="list the registered studies")
 
     worker = sub.add_parser(
@@ -378,8 +392,11 @@ def _cmd_study(args, parser, out) -> int:
         from repro.study import serve_study
 
         def _report(counts):
+            quarantined = counts.get("quarantined", 0)
+            parked = f", {quarantined} quarantined" if quarantined else ""
             print(f"leases: {counts['done']}/{counts['total']} done, "
-                  f"{counts['leased']} leased, {counts['pending']} pending",
+                  f"{counts['leased']} leased, {counts['pending']} pending"
+                  f"{parked}",
                   file=out)
 
         try:
@@ -388,17 +405,25 @@ def _cmd_study(args, parser, out) -> int:
             parser.error(str(exc))
         print(f"serving {len(plan)} runs at {args.queue}; attach workers "
               f"with: repro worker --queue {args.queue} ...", file=out)
+        serve_knobs = {}
+        if args.quarantine_after is not None:
+            serve_knobs["quarantine_after"] = args.quarantine_after
         results = serve_study(
             plan, args.queue, lease_runs=args.lease_runs,
             lease_ttl=args.lease_ttl, hosts=args.hosts,
             results_path=spec.out, resume=bool(spec.resume),
-            timeout=args.timeout, progress=_changed_only(_report))
+            timeout=args.timeout, progress=_changed_only(_report),
+            **serve_knobs)
         print(render(results) if render is not None else results.render(),
               file=out)
         print(results.footer(), file=out)
         return 0
+    run_knobs = {}
+    if getattr(args, "quarantine_after", None) is not None:
+        run_knobs["quarantine_after"] = args.quarantine_after
     try:
-        results = Study(spec).run(hosts=args.hosts, queue_root=args.queue)
+        results = Study(spec).run(hosts=args.hosts, queue_root=args.queue,
+                                  **run_knobs)
     except ConfigError as exc:
         parser.error(str(exc))
     print(render(results) if render is not None else results.render(),
@@ -427,8 +452,9 @@ def _cmd_worker(args, parser, out) -> int:
         args.queue, spec, worker_id=args.id, poll_interval=args.poll,
         reclaim_ttl=args.reclaim_ttl, max_idle_polls=args.max_idle_polls)
     retried = f", {stats.retries} reassigned" if stats.retries else ""
+    failed = f", {stats.failures} failed back" if stats.failures else ""
     print(f"worker {stats.worker_id}: {stats.leases} leases, "
-          f"{stats.runs} runs{retried}", file=out)
+          f"{stats.runs} runs{retried}{failed}", file=out)
     return 0
 
 

@@ -10,24 +10,43 @@ drain one campaign:
 * :mod:`~repro.core.engine.dist.lease` -- the work unit (cell x
   contiguous run-range) and the plan-identity manifest workers verify;
 * :mod:`~repro.core.engine.dist.queue` -- the rename-atomic filesystem
-  queue: claims, heartbeats, expiry, completion;
+  queue: claims, heartbeats, expiry, completion, quarantine;
 * :mod:`~repro.core.engine.dist.worker` -- the claim/execute/stream
-  loop writing per-worker stamped JSONL shards;
+  loop publishing per-lease stamped JSONL segments atomically;
 * :mod:`~repro.core.engine.dist.merge` -- shard reassembly: dedup by
   ``(campaign, run index)``, completeness check, and a checkpoint
-  byte-identical to serial execution;
-* :mod:`~repro.core.engine.dist.coordinator` -- the lease lifecycle
-  plus :func:`execute_distributed`, the fork-local fleet form.
+  byte-identical to serial execution (or a ``partial`` merge plus a
+  machine-readable hole report);
+* :mod:`~repro.core.engine.dist.coordinator` -- the lease lifecycle,
+  :func:`execute_distributed` (the fork-local fleet form), and the
+  degradation ladder that finishes campaigns over failing storage;
+* :mod:`~repro.core.engine.dist.chaos` -- the injectable
+  :class:`QueueIO` filesystem seam and the seeded, deterministic
+  :class:`FaultyIO` fault injector (the paper's methodology, pointed
+  at this engine);
+* :mod:`~repro.core.engine.dist.retry` -- bounded exponential backoff
+  with deterministic jitter for transient queue I/O.
 
 The failure model is crash-only: SIGKILL a worker at any instant and
 its lease expires, is reassigned, and re-executes; determinism makes
 the duplicate records identical and the merge drops them.  Nothing is
 lost, nothing is double-counted, and the merged checkpoint cannot be
-told apart from a ``workers=1`` serial run.
+told apart from a ``workers=1`` serial run.  When a fault is
+*persistent* rather than crash-shaped -- a poison lease, a full disk,
+a flaky mount -- the queue quarantines, the coordinator degrades, and
+the campaign still completes with every hole named.
 """
 
+from repro.core.engine.dist.chaos import (
+    ChaosCrash,
+    ChaosEvent,
+    FaultSpec,
+    FaultyIO,
+    QueueIO,
+)
 from repro.core.engine.dist.coordinator import (
     Coordinator,
+    DegradationReport,
     execute_distributed,
 )
 from repro.core.engine.dist.lease import (
@@ -39,25 +58,48 @@ from repro.core.engine.dist.lease import (
     verify_manifest,
 )
 from repro.core.engine.dist.merge import (
+    HoleReport,
     MergeStats,
     merge_shards,
     write_merged,
 )
-from repro.core.engine.dist.queue import Claim, FileQueue
+from repro.core.engine.dist.queue import (
+    DEFAULT_QUARANTINE_AFTER,
+    Claim,
+    FileQueue,
+)
+from repro.core.engine.dist.retry import (
+    DEFAULT_RETRY,
+    TRANSIENT_ERRNOS,
+    RetryPolicy,
+    retry_io,
+)
 from repro.core.engine.dist.worker import WorkerStats, run_worker
 
 __all__ = [
+    "ChaosCrash",
+    "ChaosEvent",
     "Claim",
     "Coordinator",
+    "DEFAULT_QUARANTINE_AFTER",
+    "DEFAULT_RETRY",
+    "DegradationReport",
+    "FaultSpec",
+    "FaultyIO",
     "FileQueue",
+    "HoleReport",
     "Lease",
     "MergeStats",
     "PROTOCOL_VERSION",
+    "QueueIO",
+    "RetryPolicy",
+    "TRANSIENT_ERRNOS",
     "WorkerStats",
     "default_lease_runs",
     "execute_distributed",
     "merge_shards",
     "plan_manifest",
+    "retry_io",
     "run_worker",
     "shard_plan",
     "verify_manifest",

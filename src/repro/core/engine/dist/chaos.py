@@ -1,0 +1,310 @@
+"""Injectable infrastructure faults for the distributed engine.
+
+The paper's whole method is injecting storage-stack faults under an
+application and watching what breaks; this module turns that method on
+the campaign engine itself.  :class:`QueueIO` is the seam: every
+filesystem call the lease queue, the workers' shard writers, and the
+merge publisher make goes through one injectable object instead of
+``os`` directly.  :class:`FaultyIO` is the fault-injecting
+implementation -- seeded, deterministic, and schedulable by site and
+probability -- so a chaos test can replay the exact same ``ENOSPC`` at
+the exact same claim on every run.
+
+Fault kinds mirror the paper's device taxonomy, lifted to the queue's
+own I/O:
+
+* ``error`` -- the call raises ``OSError(errno)`` (``ENOSPC``, ``EIO``,
+  ``EACCES``...) without touching the filesystem;
+* ``torn`` -- a write persists only a prefix of its payload, then
+  raises: the shorn-write model applied to shard lines and lease JSON;
+* ``crash`` -- the call *succeeds*, then raises :class:`ChaosCrash`:
+  the process died immediately after the syscall (rename-then-crash is
+  ``site="replace", kind="crash"``);
+* ``stale`` -- a directory listing returns the *previous* snapshot of
+  that directory, reproducing NFS-attribute-cache races where a peer's
+  unlink is not yet visible;
+* ``slow`` -- the call succeeds after an injected latency, which is how
+  lease-claim and shard-finalize timeouts get exercised.
+
+Determinism discipline (lint R001/R002): injection decisions are pure
+hashes of ``(seed, site, spec index, call counter)`` via
+:func:`repro.util.rngstream.derive_seed` -- no ``random`` module, no
+clock, no numpy generator outside the named-substream rule -- so the
+schedule is a function of the seed and the call sequence alone.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import os
+import time
+from dataclasses import dataclass
+from typing import IO, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FFISError
+from repro.util.rngstream import derive_seed
+
+#: Every site a :class:`FaultSpec` may name; one per :class:`QueueIO`
+#: operation that can fail distinctly in the wild.
+SITES: Tuple[str, ...] = (
+    "listdir", "exists", "getmtime", "utime", "replace", "unlink",
+    "makedirs", "read", "open", "write", "fsync",
+)
+
+_KINDS = ("error", "torn", "crash", "stale", "slow")
+
+
+class ChaosCrash(Exception):
+    """The injected process death: the preceding syscall completed, the
+    process did not.  Workers treat it exactly like a SIGKILL -- no
+    cleanup, no lease release -- so every crash-recovery path is
+    exercised without actually forking a victim."""
+
+
+class QueueIO:
+    """The real filesystem, one overridable method per queue syscall.
+
+    This is the injection seam: the dist stack never calls ``os``
+    directly for queue/shard/merge state, it calls these methods on
+    whatever ``io`` object it was handed.  The default implementation
+    is a thin pass-through; :class:`FaultyIO` subclasses it to inject.
+    """
+
+    def listdir(self, path: str) -> List[str]:
+        return os.listdir(path)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def getmtime(self, path: str) -> float:
+        return os.path.getmtime(path)
+
+    def utime(self, path: str) -> None:
+        os.utime(path, None)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def unlink(self, path: str) -> None:
+        os.unlink(path)
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def read_bytes(self, path: str) -> bytes:
+        with open(path, "rb") as f:
+            return f.read()
+
+    def open_w(self, path: str, append: bool = False) -> IO[bytes]:
+        return open(path, "ab" if append else "wb")
+
+    def write(self, f: IO[bytes], data: bytes) -> None:
+        f.write(data)
+        f.flush()
+
+    def fsync(self, f: IO[bytes]) -> None:
+        f.flush()
+        os.fsync(f.fileno())
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault family at one I/O site.
+
+    ``probability`` is evaluated per call at the site (deterministically
+    -- see module docstring); ``match`` restricts injection to paths
+    containing the substring, which is how a test poisons one specific
+    lease's shard writes; ``max_faults`` bounds the total injections so
+    a schedule provably leaves the queue drainable.
+    """
+
+    site: str
+    kind: str = "error"
+    err: int = _errno.EIO
+    probability: float = 1.0
+    match: str = ""
+    max_faults: Optional[int] = None
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise FFISError(
+                f"unknown fault site {self.site!r}; sites: {SITES}")
+        if self.kind not in _KINDS:
+            raise FFISError(
+                f"unknown fault kind {self.kind!r}; kinds: {_KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise FFISError(
+                f"fault probability must be in [0, 1], got "
+                f"{self.probability}")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One injected fault, for diagnostics and schedule assertions."""
+
+    site: str
+    index: int          #: the site's call counter when this fired
+    kind: str
+    path: str
+    detail: str = ""
+
+
+class FaultyIO(QueueIO):
+    """A :class:`QueueIO` that injects a seeded, deterministic fault
+    schedule.
+
+    Per-site call counters advance on *every* call (injected or not),
+    so the schedule is stable under code that merely re-reads state.
+    Injected events accumulate in :attr:`events` in call order -- the
+    machine-readable schedule the chaos suite asserts against.
+    """
+
+    def __init__(self, seed: int, faults: Sequence[FaultSpec], *,
+                 sleep=time.sleep) -> None:
+        self.seed = int(seed)
+        self.faults = tuple(faults)
+        self.events: List[ChaosEvent] = []
+        self._sleep = sleep
+        self._calls: Dict[str, int] = {}
+        self._shot: Dict[int, int] = {}      # spec index -> faults fired
+        self._snapshots: Dict[str, List[str]] = {}
+
+    # -- the schedule ----------------------------------------------------------
+
+    def _roll(self, site: str, path: str) -> Optional[Tuple[int, FaultSpec]]:
+        index = self._calls.get(site, 0)
+        self._calls[site] = index + 1
+        for spec_index, spec in enumerate(self.faults):
+            if spec.site != site:
+                continue
+            if spec.match and spec.match not in path:
+                continue
+            if spec.max_faults is not None and \
+                    self._shot.get(spec_index, 0) >= spec.max_faults:
+                continue
+            unit = derive_seed(self.seed, "chaos", site, spec_index,
+                               index) % 10**6 / 10**6
+            if unit < spec.probability:
+                self._shot[spec_index] = self._shot.get(spec_index, 0) + 1
+                return index, spec
+        return None
+
+    def _fire(self, site: str, path: str, spec: FaultSpec, index: int,
+              detail: str = "") -> None:
+        self.events.append(ChaosEvent(site=site, index=index,
+                                      kind=spec.kind, path=path,
+                                      detail=detail))
+
+    def _inject(self, site: str, path: str):
+        """Roll for *site*; raise/delay per the winning spec.
+
+        Returns the winning ``(index, spec)`` for kinds the caller must
+        finish itself (``crash`` fires *after* the real op, ``torn``
+        needs the payload, ``stale`` needs the snapshot), else ``None``.
+        """
+        hit = self._roll(site, path)
+        if hit is None:
+            return None
+        index, spec = hit
+        if spec.kind == "error":
+            self._fire(site, path, spec, index,
+                       detail=_errno.errorcode.get(spec.err, str(spec.err)))
+            raise OSError(spec.err, f"injected {site} fault", path)
+        if spec.kind == "slow":
+            self._fire(site, path, spec, index,
+                       detail=f"latency={spec.latency}")
+            self._sleep(spec.latency)
+            return None
+        return hit
+
+    # -- injected operations ---------------------------------------------------
+
+    def listdir(self, path: str) -> List[str]:
+        hit = self._inject("listdir", path)
+        if hit is not None and hit[1].kind == "stale":
+            index, spec = hit
+            stale = self._snapshots.get(path)
+            if stale is not None:
+                self._fire("listdir", path, spec, index,
+                           detail=f"stale snapshot of {len(stale)} names")
+                return list(stale)
+        names = super().listdir(path)
+        self._snapshots[path] = list(names)
+        if hit is not None and hit[1].kind == "crash":
+            index, spec = hit
+            self._fire("listdir", path, spec, index)
+            raise ChaosCrash(f"injected crash after listdir({path})")
+        return names
+
+    def exists(self, path: str) -> bool:
+        self._inject("exists", path)
+        return super().exists(path)
+
+    def getmtime(self, path: str) -> float:
+        self._inject("getmtime", path)
+        return super().getmtime(path)
+
+    def utime(self, path: str) -> None:
+        hit = self._inject("utime", path)
+        super().utime(path)
+        if hit is not None and hit[1].kind == "crash":
+            index, spec = hit
+            self._fire("utime", path, spec, index)
+            raise ChaosCrash(f"injected crash after utime({path})")
+
+    def replace(self, src: str, dst: str) -> None:
+        hit = self._inject("replace", dst)
+        super().replace(src, dst)
+        if hit is not None and hit[1].kind == "crash":
+            index, spec = hit
+            self._fire("replace", dst, spec, index,
+                       detail="rename-then-crash")
+            raise ChaosCrash(
+                f"injected crash after replace({src} -> {dst})")
+
+    def unlink(self, path: str) -> None:
+        hit = self._inject("unlink", path)
+        super().unlink(path)
+        if hit is not None and hit[1].kind == "crash":
+            index, spec = hit
+            self._fire("unlink", path, spec, index)
+            raise ChaosCrash(f"injected crash after unlink({path})")
+
+    def makedirs(self, path: str) -> None:
+        self._inject("makedirs", path)
+        super().makedirs(path)
+
+    def read_bytes(self, path: str) -> bytes:
+        hit = self._inject("read", path)
+        data = super().read_bytes(path)
+        if hit is not None and hit[1].kind == "torn":
+            index, spec = hit
+            self._fire("read", path, spec, index,
+                       detail=f"short read {len(data) // 2}/{len(data)}")
+            return data[:len(data) // 2]
+        return data
+
+    def open_w(self, path: str, append: bool = False) -> IO[bytes]:
+        self._inject("open", path)
+        return super().open_w(path, append=append)
+
+    def write(self, f: IO[bytes], data: bytes) -> None:
+        path = getattr(f, "name", "")
+        hit = self._inject("write", str(path))
+        if hit is not None and hit[1].kind == "torn":
+            index, spec = hit
+            torn = data[:len(data) // 2]
+            super().write(f, torn)
+            self._fire("write", str(path), spec, index,
+                       detail=f"torn write {len(torn)}/{len(data)}")
+            raise OSError(spec.err, "injected torn write", str(path))
+        super().write(f, data)
+        if hit is not None and hit[1].kind == "crash":
+            index, spec = hit
+            self._fire("write", str(path), spec, index)
+            raise ChaosCrash(f"injected crash after write({path})")
+
+    def fsync(self, f: IO[bytes]) -> None:
+        self._inject("fsync", str(getattr(f, "name", "")))
+        super().fsync(f)

@@ -26,7 +26,10 @@ from repro.errors import FFISError
 
 #: Bump when the lease/manifest layout changes meaning; workers refuse
 #: queues written by a newer protocol instead of misreading them.
-PROTOCOL_VERSION = 1
+#: v2: adds the ``quarantine/`` state and the manifest's
+#: ``quarantine_after`` attempt budget -- a v1 worker would wait
+#: forever on a campaign that settled around a quarantined lease.
+PROTOCOL_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,10 @@ hosts can both mount -- whose subdirectories *are* the lease states::
       pending/<id>.json        posted, unclaimed leases
       leased/<id>.json--<w>    claimed by worker <w>; mtime = heartbeat
       done/<id>.json           completed leases
-      shards/shard-<w>.jsonl   per-worker stamped record shards
+      quarantine/<id>.json     poison leases, with a diagnostic payload
+      quarantine/*.damaged     unparseable lease files, moved aside
+      shards/*.jsonl           stamped record segments, one per
+                               completed (lease, worker) pair
       FINISHED                 coordinator's end-of-campaign marker
 
 Every transition is one atomic ``rename``: a claim moves a pending file
@@ -18,6 +21,23 @@ and expiry re-posts the lease value with its attempt bumped.  No state
 lives anywhere else, so a SIGKILL at *any* point leaves the queue in a
 position some later scan can repair: the worst case is a lease executed
 twice, which the shard merger deduplicates by design.
+
+Two hardening layers sit under every transition (the paper's own
+methodology, turned on this engine):
+
+* all filesystem calls go through an injectable
+  :class:`~repro.core.engine.dist.chaos.QueueIO` seam, so the chaos
+  suite can schedule ENOSPC/EIO/torn-write/stale-scandir faults into
+  any site deterministically;
+* transient errnos are retried with bounded, deterministically
+  jittered backoff (:mod:`repro.core.engine.dist.retry`); persistent
+  faults propagate to the coordinator's degradation ladder.
+
+A lease that keeps failing -- its attempt count reaches the queue's
+``quarantine_after`` budget -- is *quarantined* rather than reassigned
+forever: the lease value plus a diagnostic payload moves to
+``quarantine/``, the campaign settles around the hole, and the merge
+step reports it instead of silently dropping the cell.
 
 Worker liveness is the ``leased/`` file's mtime: workers touch it per
 completed run (:meth:`FileQueue.heartbeat`), the coordinator compares
@@ -32,19 +52,33 @@ import json
 import os
 import re
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.engine.dist.chaos import QueueIO
 from repro.core.engine.dist.lease import (
     Lease,
     plan_manifest,
     verify_manifest,
 )
+from repro.core.engine.dist.retry import RetryPolicy, retry_io
 from repro.errors import FFISError
 
 #: Separates the lease filename from the claiming worker's id in
 #: ``leased/`` entries; therefore banned inside worker ids.
 _CLAIM_SEP = "--"
+
+#: How many attempts a lease gets before it is declared poison and
+#: quarantined instead of reassigned.  Three grants tolerate two
+#: unlucky deaths (host reboot, OOM kill) while still bounding the harm
+#: a deterministically crashing cell can do to the fleet.
+DEFAULT_QUARANTINE_AFTER = 3
+
+#: Suffix quarantined *unparseable* files carry, distinguishing damage
+#: (re-postable from the manifest on resume) from diagnosed poison
+#: (kept quarantined until a human deletes the diagnosis).
+_DAMAGED_SUFFIX = ".damaged"
 
 _WORKER_ID_RE = re.compile(r"^[A-Za-z0-9._-]+$")
 
@@ -56,14 +90,6 @@ def _check_worker_id(worker_id: str) -> str:
             f"not contain {_CLAIM_SEP!r} (it becomes part of queue "
             "filenames)")
     return worker_id
-
-
-def _write_json(path: str, data: Dict[str, Any]) -> None:
-    tmp = path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as f:
-        json.dump(data, f, indent=2, sort_keys=True)
-        f.write("\n")
-    os.replace(tmp, path)
 
 
 def _read_json(path: str) -> Dict[str, Any]:
@@ -81,14 +107,24 @@ class Claim:
 
 
 class FileQueue:
-    """One campaign's lease queue rooted at a directory."""
+    """One campaign's lease queue rooted at a directory.
 
-    def __init__(self, root: str) -> None:
+    ``io`` is the filesystem seam -- every queue syscall goes through
+    it, which is how the chaos suite injects faults; ``retry`` governs
+    how transient errnos at each site are retried.  Both default to
+    the real filesystem and the default bounded-backoff policy.
+    """
+
+    def __init__(self, root: str, io: Optional[QueueIO] = None,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.root = root
+        self.io = io if io is not None else QueueIO()
+        self.retry = retry
         self.manifest_path = os.path.join(root, "manifest.json")
         self.pending_dir = os.path.join(root, "pending")
         self.leased_dir = os.path.join(root, "leased")
         self.done_dir = os.path.join(root, "done")
+        self.quarantine_dir = os.path.join(root, "quarantine")
         self.shards_dir = os.path.join(root, "shards")
         self.finished_path = os.path.join(root, "FINISHED")
         if not os.path.exists(self.manifest_path):
@@ -98,20 +134,60 @@ class FileQueue:
         self.manifest = _read_json(self.manifest_path)
         self.lease_ids: Tuple[str, ...] = tuple(
             self.manifest.get("lease_ids", ()))
+        self.quarantine_after: int = int(
+            self.manifest.get("quarantine_after", DEFAULT_QUARANTINE_AFTER))
+
+    # -- injected I/O helpers ---------------------------------------------------
+
+    def _io_call(self, site: str, op):
+        """One queue syscall through the seam, with transient retry."""
+        return retry_io(self.retry, site, op)
+
+    def _write_json(self, site: str, path: str,
+                    data: Dict[str, Any]) -> None:
+        """Durable, atomic JSON publish through the seam.
+
+        Tmp-sibling write + fsync + atomic rename, so a crash (or an
+        injected torn write) at any point leaves either the old file or
+        the new one -- never a half-written payload at the final path.
+        """
+        payload = (json.dumps(data, indent=2, sort_keys=True) + "\n") \
+            .encode("utf-8")
+        tmp = path + ".tmp"
+
+        def publish() -> None:
+            f = self.io.open_w(tmp)
+            try:
+                self.io.write(f, payload)
+                self.io.fsync(f)
+            finally:
+                f.close()
+            self.io.replace(tmp, path)
+
+        self._io_call(site, publish)
+
+    def _read_payload(self, site: str, path: str) -> Dict[str, Any]:
+        raw = self._io_call(site, lambda: self.io.read_bytes(path))
+        return json.loads(raw.decode("utf-8"))
 
     # -- creation ---------------------------------------------------------------
 
     @classmethod
     def create(cls, root: str, plan, leases: Sequence[Lease],
-               reuse: bool = False) -> "FileQueue":
+               reuse: bool = False, io: Optional[QueueIO] = None,
+               retry: Optional[RetryPolicy] = None,
+               quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+               ) -> "FileQueue":
         """Post a new queue for *plan*, or re-open a matching one.
 
         ``reuse=True`` resumes an interrupted campaign in place:
         completed leases stay completed, orphaned claims are re-posted,
-        and any lease missing from every state directory is posted
-        fresh.  Without ``reuse``, an already-populated root is refused
-        -- overwriting it would discard the shards' paid-for runs, the
-        same contract the checkpoint writer enforces.
+        damaged (unparseable) lease files are quarantined with a
+        warning and re-posted pristine, and any lease missing from
+        every state directory is posted fresh.  Without ``reuse``, an
+        already-populated root is refused -- overwriting it would
+        discard the shards' paid-for runs, the same contract the
+        checkpoint writer enforces.
         """
         manifest_path = os.path.join(root, "manifest.json")
         if os.path.exists(manifest_path):
@@ -121,9 +197,9 @@ class FileQueue:
                     "(reuse=True / --resume) or serve from a fresh "
                     "--queue directory instead of overwriting its "
                     "shards")
-            queue = cls(root)
+            queue = cls(root, io=io, retry=retry)
             verify_manifest(plan, queue.manifest, where=root)
-            queue._repost_missing(leases)
+            queue._repair(leases)
             try:
                 # A stale end-of-campaign marker would make resumed
                 # workers exit before claiming anything.
@@ -131,28 +207,91 @@ class FileQueue:
             except FileNotFoundError:
                 pass
             return queue
-        for sub in ("pending", "leased", "done", "shards"):
+        if quarantine_after < 1:
+            raise FFISError(
+                f"quarantine_after must be >= 1, got {quarantine_after}")
+        for sub in ("pending", "leased", "done", "quarantine", "shards"):
             os.makedirs(os.path.join(root, sub), exist_ok=True)
         manifest = plan_manifest(plan)
         manifest["lease_ids"] = [lease.lease_id for lease in leases]
-        _write_json(manifest_path, manifest)
-        queue = cls(root)
+        manifest["quarantine_after"] = quarantine_after
+        # The manifest must exist before __init__ will open the root.
+        _bootstrap_manifest(manifest_path, manifest)
+        queue = cls(root, io=io, retry=retry)
         for lease in leases:
             queue._post(lease)
         return queue
 
     def _post(self, lease: Lease) -> None:
-        _write_json(os.path.join(self.pending_dir,
-                                 f"{lease.lease_id}.json"),
-                    lease.to_dict())
+        self._write_json(
+            "post",
+            os.path.join(self.pending_dir, f"{lease.lease_id}.json"),
+            lease.to_dict())
 
-    def _repost_missing(self, leases: Sequence[Lease]) -> None:
-        """Resume repair: every lease must be pending, leased, or done;
-        orphaned claims go back to pending with their attempt bumped."""
-        for name in sorted(os.listdir(self.leased_dir)):
+    def _quarantine_damaged(self, path: str, exc: Exception) -> None:
+        """Move an unparseable lease file aside instead of crashing.
+
+        The campaign's integrity does not depend on the file's content
+        -- leases are re-postable from the plan -- so damage is a
+        diagnostic event, not a fatal one.
+        """
+        name = os.path.basename(path).split(_CLAIM_SEP, 1)[0]
+        target = os.path.join(self.quarantine_dir,
+                              name + _DAMAGED_SUFFIX)
+        self._io_call("quarantine",
+                      lambda: self.io.makedirs(self.quarantine_dir))
+        try:
+            self._io_call("quarantine",
+                          lambda: self.io.replace(path, target))
+        except FileNotFoundError:
+            return  # vanished mid-scan: someone else settled it
+        warnings.warn(
+            f"lease file {path} was unparseable ({exc}); moved to "
+            f"{target} -- resume will re-post the lease from the plan",
+            stacklevel=2)
+
+    def _quarantine_poison(self, lease: Lease, reason: str,
+                           worker_id: Optional[str] = None) -> None:
+        """Declare a lease poison: park it with a diagnosis instead of
+        reassigning it forever."""
+        diag = lease.to_dict()
+        diag["reason"] = reason
+        diag["worker"] = worker_id
+        self._io_call("quarantine",
+                      lambda: self.io.makedirs(self.quarantine_dir))
+        self._write_json(
+            "quarantine",
+            os.path.join(self.quarantine_dir, f"{lease.lease_id}.json"),
+            diag)
+        warnings.warn(
+            f"lease {lease.lease_id} quarantined after attempt "
+            f"{lease.attempt} (budget {self.quarantine_after}): {reason}",
+            stacklevel=2)
+
+    def _repair(self, leases: Sequence[Lease]) -> None:
+        """Resume repair: every lease must be pending, leased, done, or
+        poison-quarantined; orphaned claims go back to pending with
+        their attempt bumped; damaged files are quarantined and the
+        lease re-posted pristine."""
+        for name in sorted(self._io_call(
+                "expire", lambda: self.io.listdir(self.leased_dir))):
             self._requeue(os.path.join(self.leased_dir, name))
-        settled = set(os.listdir(self.pending_dir)) \
-            | set(os.listdir(self.done_dir))
+        for name in sorted(self._io_call(
+                "claim-scan", lambda: self.io.listdir(self.pending_dir))):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.pending_dir, name)
+            try:
+                Lease.from_dict(self._read_payload("claim-read", path))
+            except FileNotFoundError:
+                continue
+            except (FFISError, ValueError) as exc:
+                self._quarantine_damaged(path, exc)
+        settled = set(self._io_call(
+            "claim-scan", lambda: self.io.listdir(self.pending_dir)))
+        settled |= set(self._io_call(
+            "claim-scan", lambda: self.io.listdir(self.done_dir)))
+        settled |= self._quarantined_poison_names()
         for lease in leases:
             if f"{lease.lease_id}.json" not in settled:
                 self._post(lease)
@@ -168,11 +307,16 @@ class FileQueue:
         Returns ``None`` when nothing is pending right now -- which
         does **not** mean the campaign is over: a claimed lease may yet
         expire back into ``pending/``.  Callers poll until
-        :meth:`finished` or :meth:`all_done`.
+        :meth:`finished` or :meth:`settled`.
+
+        A pending file whose payload turns out to be unparseable is
+        quarantined with a warning and skipped -- one corrupt entry
+        must not kill the worker that happened to claim it.
         """
         _check_worker_id(worker_id)
         try:
-            names = sorted(os.listdir(self.pending_dir))
+            names = sorted(self._io_call(
+                "claim-scan", lambda: self.io.listdir(self.pending_dir)))
         except FileNotFoundError:
             return None
         for name in names:
@@ -180,33 +324,30 @@ class FileQueue:
                 continue
             done = os.path.join(self.done_dir, name)
             source = os.path.join(self.pending_dir, name)
-            if os.path.exists(done):
+            if self.io.exists(done):
                 # A completion raced an expiry re-post: the work is
                 # done, the stale pending copy is noise.
                 try:
-                    os.unlink(source)
+                    self.io.unlink(source)
                 except FileNotFoundError:
                     pass
                 continue
             target = os.path.join(self.leased_dir,
                                   f"{name}{_CLAIM_SEP}{worker_id}")
             try:
-                os.rename(source, target)
+                self._io_call("claim-rename",
+                              lambda: self.io.replace(source, target))
             except (FileNotFoundError, OSError):
                 continue  # another worker won this lease; try the next
-            os.utime(target, None)   # heartbeat epoch = claim time
+            self._io_call("heartbeat", lambda: self.io.utime(target))
             try:
-                lease = Lease.from_dict(_read_json(target))
+                lease = Lease.from_dict(
+                    self._read_payload("claim-read", target))
+            except FileNotFoundError:
+                continue  # expired out from under us already
             except (FFISError, ValueError, OSError) as exc:
-                # Postmortems start from worker logs: name everything
-                # the claim knows (who, which lease file) so a corrupt
-                # entry is findable without spelunking the queue.
-                raise FFISError(
-                    f"worker {worker_id} claimed lease "
-                    f"{name[:-len('.json')]} but its payload is "
-                    f"malformed ({exc}); the claim file is {target} -- "
-                    "inspect it, then delete it and resume to re-post "
-                    "the lease") from exc
+                self._quarantine_damaged(target, exc)
+                continue
             return Claim(lease=lease, path=target, worker_id=worker_id)
         return None
 
@@ -214,7 +355,7 @@ class FileQueue:
         """Refresh the claim's liveness stamp (kernel time; the worker
         itself never reads a clock)."""
         try:
-            os.utime(claim.path, None)
+            self._io_call("heartbeat", lambda: self.io.utime(claim.path))
         except FileNotFoundError:
             pass  # expired out from under us; completion will notice
 
@@ -227,20 +368,65 @@ class FileQueue:
         """
         done = claim.lease.to_dict()
         done["worker"] = claim.worker_id
-        _write_json(os.path.join(self.done_dir,
-                                 f"{claim.lease.lease_id}.json"), done)
+        self._write_json(
+            "complete",
+            os.path.join(self.done_dir, f"{claim.lease.lease_id}.json"),
+            done)
         try:
-            os.unlink(claim.path)
+            self.io.unlink(claim.path)
         except FileNotFoundError:
             pass  # the lease expired and was re-posted; dedup absorbs it
 
-    def shard_path(self, worker_id: str) -> str:
-        return os.path.join(self.shards_dir,
-                            f"shard-{_check_worker_id(worker_id)}.jsonl")
+    def fail(self, claim: Claim, reason: str) -> None:
+        """Give up on a claim after an infrastructure failure.
+
+        The lease goes straight back to pending with its attempt
+        bumped (no TTL wait), unless the bump would reach the
+        quarantine budget -- then it is declared poison with *reason*
+        as the diagnosis.  Either way the claiming worker is free to
+        take other work, which is what keeps one bad lease from
+        pinning a fleet.
+        """
+        lease = claim.lease.reassigned()
+        if lease.attempt >= self.quarantine_after:
+            self._quarantine_poison(lease, reason,
+                                    worker_id=claim.worker_id)
+        else:
+            self._write_json(
+                "post",
+                os.path.join(self.pending_dir,
+                             f"{lease.lease_id}.json"),
+                lease.to_dict())
+        try:
+            self.io.unlink(claim.path)
+        except FileNotFoundError:
+            pass  # expired concurrently; the re-post wins either way
+
+    # -- shards -----------------------------------------------------------------
+
+    def segment_path(self, worker_id: str, lease_id: str) -> str:
+        """Where the records of one (lease, worker) execution land.
+
+        Per-lease segments (rather than one append-mode file per
+        worker) mean a crashed execution's partial output never enters
+        the merge set: only segments published whole via
+        :meth:`publish_segment` carry the ``.jsonl`` suffix.
+        """
+        return os.path.join(
+            self.shards_dir,
+            f"seg-{lease_id}{_CLAIM_SEP}"
+            f"{_check_worker_id(worker_id)}.jsonl")
+
+    def publish_segment(self, path: str) -> None:
+        """Atomically publish the finished segment written at
+        ``path + '.tmp'`` (the writer has already flushed + fsynced)."""
+        self._io_call("segment-publish",
+                      lambda: self.io.replace(path + ".tmp", path))
 
     def shard_paths(self) -> List[str]:
         try:
-            names = sorted(os.listdir(self.shards_dir))
+            names = sorted(self._io_call(
+                "merge-scan", lambda: self.io.listdir(self.shards_dir)))
         except FileNotFoundError:
             return []
         return [os.path.join(self.shards_dir, name)
@@ -249,23 +435,38 @@ class FileQueue:
     # -- coordinator side -------------------------------------------------------
 
     def _requeue(self, path: str) -> Optional[Lease]:
-        """Move one leased entry back to pending (attempt bumped)."""
+        """Move one leased entry back to pending (attempt bumped), or
+        quarantine it if the bump exhausts the attempt budget."""
         name = os.path.basename(path).rsplit(_CLAIM_SEP, 1)[0]
-        if os.path.exists(os.path.join(self.done_dir, name)):
+        if self.io.exists(os.path.join(self.done_dir, name)):
             # Completed but not released (killed between the two steps
             # of complete()): just clean up the orphaned claim.
             try:
-                os.unlink(path)
+                self.io.unlink(path)
             except FileNotFoundError:
                 pass
             return None
         try:
-            lease = Lease.from_dict(_read_json(path)).reassigned()
-        except (FFISError, OSError, ValueError):
+            lease = Lease.from_dict(
+                self._read_payload("expire-read", path)).reassigned()
+        except FileNotFoundError:
             return None  # claim vanished mid-scan (completed or expired)
-        _write_json(os.path.join(self.pending_dir, name), lease.to_dict())
+        except (FFISError, ValueError, OSError) as exc:
+            self._quarantine_damaged(path, exc)
+            return None
+        if lease.attempt >= self.quarantine_after:
+            self._quarantine_poison(
+                lease, "lease expired past its attempt budget; the "
+                "assigned workers keep dying on it")
+            try:
+                self.io.unlink(path)
+            except FileNotFoundError:
+                pass
+            return None
+        self._write_json(
+            "post", os.path.join(self.pending_dir, name), lease.to_dict())
         try:
-            os.unlink(path)
+            self.io.unlink(path)
         except FileNotFoundError:
             pass
         return lease
@@ -277,24 +478,27 @@ class FileQueue:
         The re-executed range may duplicate records a dead (or merely
         slow) worker already wrote -- the merge step deduplicates by
         ``(campaign, run index)``, so reassignment is always safe, just
-        potentially wasteful.  Returns the re-posted leases.
+        potentially wasteful.  A claim unlinked between the scan and
+        the stat (its worker completed it) is skipped, never an error.
+        Returns the re-posted leases.
         """
         if now is None:
             # repro: allow[R001] lease liveness vs file mtimes; never recorded
             now = time.time()
         requeued: List[Lease] = []
         try:
-            names = sorted(os.listdir(self.leased_dir))
+            names = sorted(self._io_call(
+                "expire", lambda: self.io.listdir(self.leased_dir)))
         except FileNotFoundError:
             return requeued
         for name in names:
             path = os.path.join(self.leased_dir, name)
             try:
-                age = now - os.path.getmtime(path)
+                age = now - self.io.getmtime(path)
             except OSError:
                 continue  # completed or already expired mid-scan
             base = name.rsplit(_CLAIM_SEP, 1)[0]
-            if os.path.exists(os.path.join(self.done_dir, base)):
+            if self.io.exists(os.path.join(self.done_dir, base)):
                 self._requeue(path)  # cleanup path: done is authoritative
                 continue
             if age > ttl_seconds:
@@ -307,30 +511,100 @@ class FileQueue:
 
     def _count(self, directory: str) -> int:
         try:
-            return sum(1 for name in os.listdir(directory)
+            return sum(1 for name in self.io.listdir(directory)
                        if name.endswith(".json"))
-        except FileNotFoundError:
+        except (FileNotFoundError, OSError):
             return 0
 
     def counts(self) -> Dict[str, int]:
         return {"pending": self._count(self.pending_dir),
                 "leased": len(self._leased_names()),
                 "done": self._count(self.done_dir),
+                "quarantined": self._quarantined_count(),
                 "total": len(self.lease_ids)}
 
     def _leased_names(self) -> List[str]:
         try:
-            return [name for name in os.listdir(self.leased_dir)
+            return [name for name in self.io.listdir(self.leased_dir)
                     if _CLAIM_SEP in name]
-        except FileNotFoundError:
+        except (FileNotFoundError, OSError):
             return []
+
+    def _quarantined_count(self) -> int:
+        try:
+            return len(self.io.listdir(self.quarantine_dir))
+        except (FileNotFoundError, OSError):
+            return 0
+
+    def _quarantined_poison_names(self) -> set:
+        """Lease filenames parked with a poison diagnosis (resume does
+        not re-post these -- delete the diagnosis file to retry)."""
+        try:
+            names = self.io.listdir(self.quarantine_dir)
+        except (FileNotFoundError, OSError):
+            return set()
+        return {name for name in names if name.endswith(".json")}
+
+    def _quarantined_lease_names(self) -> set:
+        """Every lease filename with *any* quarantine entry (poison or
+        damaged) -- the holes the campaign settles around."""
+        try:
+            names = self.io.listdir(self.quarantine_dir)
+        except (FileNotFoundError, OSError):
+            return set()
+        settled = set()
+        for name in names:
+            if name.endswith(_DAMAGED_SUFFIX):
+                # A damaged *claim* keeps its --worker suffix; strip it
+                # so the entry maps back to its lease filename.
+                stem = name[:-len(_DAMAGED_SUFFIX)]
+                settled.add(stem.rsplit(_CLAIM_SEP, 1)[0])
+            elif name.endswith(".json"):
+                settled.add(name)
+        return settled
+
+    def quarantined(self) -> List[Dict[str, Any]]:
+        """Diagnostic payloads of every quarantined lease, in lease-id
+        order; damaged (unparseable) entries report as such."""
+        out: List[Dict[str, Any]] = []
+        try:
+            names = sorted(self.io.listdir(self.quarantine_dir))
+        except (FileNotFoundError, OSError):
+            return out
+        for name in names:
+            path = os.path.join(self.quarantine_dir, name)
+            if name.endswith(".json"):
+                try:
+                    out.append(self._read_payload("quarantine", path))
+                    continue
+                except (OSError, ValueError):
+                    pass
+            stem = name[:-len(_DAMAGED_SUFFIX)] \
+                if name.endswith(_DAMAGED_SUFFIX) else name
+            stem = stem.rsplit(_CLAIM_SEP, 1)[0]
+            if stem.endswith(".json"):
+                stem = stem[:-len(".json")]
+            out.append({"lease_id": stem,
+                        "reason": "unparseable lease file quarantined"})
+        return out
 
     def all_done(self) -> bool:
         """Every manifest lease has a completion record."""
         try:
-            done = set(os.listdir(self.done_dir))
-        except FileNotFoundError:
+            done = set(self.io.listdir(self.done_dir))
+        except (FileNotFoundError, OSError):
             return False
+        return all(f"{lease_id}.json" in done for lease_id in self.lease_ids)
+
+    def settled(self) -> bool:
+        """Every manifest lease is either done or quarantined: the
+        campaign cannot make further progress and should wrap up
+        (fully if ``all_done``, partially otherwise)."""
+        try:
+            done = set(self.io.listdir(self.done_dir))
+        except (FileNotFoundError, OSError):
+            return False
+        done |= self._quarantined_lease_names()
         return all(f"{lease_id}.json" in done for lease_id in self.lease_ids)
 
     def idle(self) -> bool:
@@ -340,8 +614,27 @@ class FileQueue:
             and not self._leased_names()
 
     def mark_finished(self) -> None:
-        with open(self.finished_path, "w", encoding="utf-8") as f:
-            f.write("finished\n")
+        def publish() -> None:
+            f = self.io.open_w(self.finished_path)
+            try:
+                self.io.write(f, b"finished\n")
+            finally:
+                f.close()
+
+        self._io_call("finish", publish)
 
     def finished(self) -> bool:
-        return os.path.exists(self.finished_path)
+        return self.io.exists(self.finished_path)
+
+
+def _bootstrap_manifest(path: str, manifest: Dict[str, Any]) -> None:
+    """First write of a fresh queue's manifest (plain filesystem: the
+    queue object that would carry the seam cannot exist before the
+    manifest does)."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(manifest, f, indent=2, sort_keys=True)
+        f.write("\n")
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)

@@ -1,0 +1,116 @@
+"""Bounded retry with deterministic backoff for transient queue I/O.
+
+The lease queue lives on whatever filesystem two hosts can both mount,
+which in practice means NFS-class behavior: transient ``EIO`` under
+load, ``ESTALE`` handles after a server failover, spurious ``EAGAIN``.
+Those faults are *retryable* -- the paper's taxonomy calls them
+transient device errors, and the right response is bounded exponential
+backoff, not a dead campaign.  Persistent faults (``ENOSPC``,
+``EACCES``, a yanked mount) are **not** retried: they escalate to the
+coordinator's degradation ladder instead, because retrying a full disk
+forever is just a slower hang.
+
+Determinism discipline: the backoff jitter derives from
+:func:`repro.util.rngstream.derive_seed` keyed by ``(seed, site,
+attempt)`` -- no wall clock, no entropy pool, no ``random`` module --
+so a chaos test that replays the same fault schedule sees the same
+retry schedule, and nothing time-derived can leak toward a record.
+"""
+
+from __future__ import annotations
+
+import errno
+import time
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Optional, TypeVar
+
+from repro.errors import FFISError
+from repro.util.rngstream import derive_seed
+
+T = TypeVar("T")
+
+#: Errnos worth retrying: the fault is expected to clear on its own.
+#: Everything else (ENOSPC, EACCES, ENOENT, EROFS...) is either a race
+#: signal the caller handles or a persistent failure the degradation
+#: ladder owns.
+TRANSIENT_ERRNOS: FrozenSet[int] = frozenset({
+    errno.EIO, errno.EAGAIN, errno.EBUSY, errno.EINTR, errno.ESTALE,
+    errno.ETIMEDOUT,
+})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How one queue client retries transient I/O.
+
+    ``attempts`` bounds total tries (first call included); ``timeout``
+    additionally bounds the wall-clock spent inside one
+    :func:`retry_io` call, which is what puts a deadline on lease
+    claims and shard finalization when every attempt is slow rather
+    than failing.  The jitter factor for ``(site, attempt)`` is a pure
+    hash, so two processes with the same policy de-synchronize their
+    retries identically on every replay of a chaos schedule.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.005
+    max_delay: float = 0.25
+    jitter: float = 0.25
+    seed: int = 0
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise FFISError(
+                f"retry policy needs attempts >= 1, got {self.attempts}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise FFISError(
+                f"retry jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff(self, site: str, attempt: int) -> float:
+        """Deterministic delay before retry *attempt* at *site*."""
+        base = min(self.max_delay, self.base_delay * (2 ** attempt))
+        if not self.jitter:
+            return base
+        unit = derive_seed(self.seed, "retry", site, attempt) % 10**6 / 10**6
+        return base * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+
+
+#: The default policy queue clients share when none is injected.
+DEFAULT_RETRY = RetryPolicy()
+
+
+def retry_io(policy: Optional[RetryPolicy], site: str,
+             op: Callable[[], T], *,
+             sleep: Callable[[float], None] = time.sleep) -> T:
+    """Run *op*, retrying transient ``OSError``\\ s per *policy*.
+
+    Non-``OSError`` exceptions and non-transient errnos propagate on
+    the first occurrence -- ``FileNotFoundError`` from a lost claim
+    race must surface immediately, and ``ENOSPC`` must reach the
+    degradation ladder, not spin here.  *op* must therefore be
+    idempotent under partial failure (the queue's tmp-sibling publishes
+    and atomic renames are, by construction).
+    """
+    if policy is None:
+        policy = DEFAULT_RETRY
+    # repro: allow[R001] retry deadline is an I/O hang backstop, never recorded
+    deadline = None if policy.timeout is None \
+        else time.monotonic() + policy.timeout
+    attempt = 0
+    while True:
+        try:
+            return op()
+        except OSError as exc:
+            if exc.errno not in TRANSIENT_ERRNOS:
+                raise
+            attempt += 1
+            if attempt >= policy.attempts:
+                raise
+            # repro: allow[R001] deadline check is reporting-only backstop
+            if deadline is not None and time.monotonic() > deadline:
+                raise FFISError(
+                    f"queue I/O at {site!r} still failing transiently "
+                    f"after {policy.timeout}s ({exc}); treating the "
+                    "fault as persistent") from exc
+            sleep(policy.backoff(site, attempt - 1))

@@ -66,6 +66,22 @@ def record_to_json(record: RunRecord) -> Dict[str, Any]:
     return raw
 
 
+def format_stamped_line(record: RunRecord,
+                        campaign_id: Optional[str]) -> str:
+    """The canonical JSONL line for one (record, campaign stamp) pair.
+
+    Every writer -- the streaming sink, the distributed workers'
+    segment files, the shard merge publisher -- formats lines through
+    this one function, which is what makes "merged output is
+    byte-identical to serial output" a property of construction rather
+    than of luck.
+    """
+    raw = record_to_json(record)
+    if campaign_id is not None:
+        raw["campaign"] = campaign_id
+    return json.dumps(raw, sort_keys=True) + "\n"
+
+
 def record_from_json(raw: Dict[str, Any]) -> RunRecord:
     version = raw.get("v", SCHEMA_VERSION)
     if version > SCHEMA_VERSION:
@@ -285,11 +301,7 @@ class JsonlSink(ResultSink):
         cell's records to one file, each line stamped with its own
         campaign identity, so resume can split the stream back apart.
         """
-        raw = record_to_json(record)
-        if campaign_id is not None:
-            raw["campaign"] = campaign_id
-        self._f.write(json.dumps(raw, sort_keys=True))
-        self._f.write("\n")
+        self._f.write(format_stamped_line(record, campaign_id))
         self._f.flush()
 
     def close(self) -> None:

@@ -195,6 +195,11 @@ class SweepResult:
     #: from the checkpoint).
     executed: int = 0
     elapsed_seconds: float = 0.0
+    #: How a distributed execution finished: ``None`` for the normal
+    #: path (and always for in-process sweeps), else the coordinator's
+    #: :class:`~repro.core.engine.dist.coordinator.DegradationReport`
+    #: naming each fallback taken and every hole left behind.
+    degradation: Optional[Any] = None
 
     @property
     def total(self) -> int:

@@ -49,7 +49,7 @@ from repro.devtools.lint.callgraph import (
 #: record stream itself.
 STATE_DIR_ATTRS = {
     "pending_dir": "pending", "leased_dir": "leased", "done_dir": "done",
-    "shards_dir": "shards",
+    "shards_dir": "shards", "quarantine_dir": "quarantine",
 }
 STATE_DIR_NAMES = frozenset(STATE_DIR_ATTRS.values())
 
@@ -64,6 +64,26 @@ _MUTATORS = frozenset({
 _UNORDERED_FS_SOURCES = frozenset({
     "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
 })
+
+#: The injectable filesystem seam (``chaos.QueueIO``): attribute calls
+#: whose receiver's *terminal* name is exactly ``io`` or ``_io`` carry
+#: the same protocol obligations as their ``os.*`` spellings -- the
+#: chaos layer wraps semantics, it never changes them.  The receiver
+#: segment is matched exactly (not by suffix), so ``scenario.replace``
+#: cannot alias ``os.replace``.
+_IO_SEAM_OPS = {
+    "replace": "os.replace", "rename": "os.rename",
+    "unlink": "os.unlink", "exists": "os.path.exists",
+    "listdir": "os.listdir", "open_w": "io.open_w",
+}
+
+
+def _io_seam_canonical(dotted: str) -> Optional[str]:
+    """The canonical ``os.*`` spelling of an io-seam call, or None."""
+    head, _, tail = dotted.rpartition(".")
+    if head.rsplit(".", 1)[-1] in ("io", "_io"):
+        return _IO_SEAM_OPS.get(tail)
+    return None
 
 #: Resource-acquire spellings: constructions/calls after which the
 #: function owns something a crash could strand (workers to drain,
@@ -394,8 +414,12 @@ class _FunctionScanner:
                 line=node.lineno, col=node.col_offset + 1, attr=attr,
                 in_finally=in_finally))
 
-        # Filesystem mutations with provenance.
-        if dotted in ("os.rename", "os.replace"):
+        # Filesystem mutations with provenance.  Calls through the
+        # injectable QueueIO seam (``self.io.replace``, ``queue.io
+        # .unlink``, ...) normalize onto their os.* spellings first so
+        # the protocol rules see straight through the chaos layer.
+        fs_call = _io_seam_canonical(dotted) or dotted
+        if fs_call in ("os.rename", "os.replace"):
             if len(node.args) >= 2:
                 src = self.roots_of(node.args[0])
                 dst = self.roots_of(node.args[1])
@@ -404,7 +428,7 @@ class _FunctionScanner:
                     col=node.col_offset + 1, src_roots=src,
                     dst_roots=dst))
                 self._rename_src_roots.append(src)
-        elif dotted in ("os.unlink", "os.remove"):
+        elif fs_call in ("os.unlink", "os.remove"):
             if node.args:
                 roots = self.roots_of(node.args[0])
                 guarded = bool(self._done_check_lines) and \
@@ -413,7 +437,15 @@ class _FunctionScanner:
                     kind="unlink", line=node.lineno,
                     col=node.col_offset + 1, path_roots=roots,
                     done_guarded=guarded))
-        elif dotted == "open" or dotted.endswith(".open"):
+        elif fs_call == "io.open_w":
+            # The seam's open-for-write: no mode argument, always a
+            # binary write handle.
+            if node.args:
+                roots = self.roots_of(node.args[0])
+                op = FsOp(kind="open_w", line=node.lineno,
+                          col=node.col_offset + 1, path_roots=roots)
+                self._open_ops.append((op, roots))
+        elif fs_call == "open" or fs_call.endswith(".open"):
             mode = self._open_mode(node)
             if mode and ("w" in mode or "a" in mode or "+" in mode):
                 roots = self.roots_of(node.args[0]) if node.args \
@@ -421,7 +453,7 @@ class _FunctionScanner:
                 op = FsOp(kind="open_w", line=node.lineno,
                           col=node.col_offset + 1, path_roots=roots)
                 self._open_ops.append((op, roots))
-        elif dotted in ("os.path.exists", "os.path.isfile"):
+        elif fs_call in ("os.path.exists", "os.path.isfile"):
             if node.args and \
                     "done" in state_roots(self.roots_of(node.args[0])):
                 self._done_check_lines.append(node.lineno)
@@ -528,6 +560,8 @@ class _FunctionScanner:
             return False
         dotted = self.ctx.resolve(node.func)
         if dotted in _UNORDERED_FS_SOURCES:
+            return True
+        if _io_seam_canonical(dotted) == "os.listdir":
             return True
         if isinstance(node.func, ast.Attribute) and \
                 node.func.attr == "iterdir":

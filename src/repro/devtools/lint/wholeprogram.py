@@ -136,11 +136,14 @@ class QueueProtocolRule(ProjectRule):
     scope = Scope(include=("*repro/core/*", "*repro/apps/*"),
                   exclude=_DEVTOOLS)
 
-    #: Legal direct state-to-state renames: claiming and re-posting.
-    #: Completion never renames into done/ directly -- it publishes a
-    #: tmp sibling (detected via the ``suffixed`` provenance marker).
+    #: Legal direct state-to-state renames: claiming, re-posting, and
+    #: quarantining a damaged or poison lease.  Completion never renames
+    #: into done/ directly -- it publishes a tmp sibling (detected via
+    #: the ``suffixed`` provenance marker).
     legal_renames = frozenset({("pending", "leased"),
-                               ("leased", "pending")})
+                               ("leased", "pending"),
+                               ("pending", "quarantine"),
+                               ("leased", "quarantine")})
 
     def check_project(self,
                       analysis: ProjectAnalysis) -> Iterator[Violation]:
@@ -192,7 +195,8 @@ class QueueProtocolRule(ProjectRule):
                         relpath, op.line, op.col,
                         f"renames {s}/ -> {d}/, which is not a lease "
                         "transition the protocol defines (legal: "
-                        "pending<->leased, tmp-sibling publishes)")
+                        "pending<->leased, quarantining, tmp-sibling "
+                        "publishes)")
 
     def _check_unlink(self, op, relpath: str) -> Iterator[Violation]:
         states = state_roots(op.path_roots)

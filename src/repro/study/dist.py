@@ -27,7 +27,9 @@ import time
 from typing import Callable, Dict, Mapping, Optional
 
 from repro.core.engine.dist import (
+    DEFAULT_QUARANTINE_AFTER,
     Coordinator,
+    DegradationReport,
     WorkerStats,
     execute_distributed,
     run_worker,
@@ -40,13 +42,15 @@ from repro.study.study import Study, StudyPlan
 
 
 def _result_set(plan: StudyPlan, records, executed: int,
-                elapsed_seconds: float) -> ResultSet:
+                elapsed_seconds: float,
+                degradation=None) -> ResultSet:
     return ResultSet(
         {cell.key: records[cell.key] for cell in plan.cells},
         info=plan.cell_info(),
         fault_free_runs=plan.cache.fault_free_runs(),
         executed=executed,
-        elapsed_seconds=elapsed_seconds)
+        elapsed_seconds=elapsed_seconds,
+        degradation=degradation)
 
 
 def run_distributed(plan: StudyPlan, *,
@@ -57,14 +61,18 @@ def run_distributed(plan: StudyPlan, *,
                     results_path: Optional[str] = None,
                     resume: bool = False,
                     poll_interval: float = 0.05,
-                    timeout: Optional[float] = None) -> ResultSet:
+                    timeout: Optional[float] = None,
+                    quarantine_after: int = DEFAULT_QUARANTINE_AFTER
+                    ) -> ResultSet:
     """Execute a compiled study across *hosts* forked local workers.
 
     Records, ordering, and the checkpoint file (when *results_path* is
     given) are byte-identical to serial execution; a worker SIGKILLed
     mid-lease costs wall-clock time, never records.  *queue_root*
     defaults to a throwaway directory; pass one explicitly to make the
-    campaign resumable after a coordinator crash.
+    campaign resumable after a coordinator crash.  A campaign that had
+    to take any fallback (poison-lease quarantine, shrunken fleet,
+    in-process draining) reports it on ``result.degradation``.
     """
     if queue_root is None:
         if resume:
@@ -75,9 +83,11 @@ def run_distributed(plan: StudyPlan, *,
     sweep = execute_distributed(
         plan.sweep, queue_root, workers=hosts, lease_runs=lease_runs,
         lease_ttl=lease_ttl, results_path=results_path, resume=resume,
-        poll_interval=poll_interval, timeout=timeout)
+        poll_interval=poll_interval, timeout=timeout,
+        quarantine_after=quarantine_after)
     return _result_set(plan, sweep.records, sweep.executed,
-                       sweep.elapsed_seconds)
+                       sweep.elapsed_seconds,
+                       degradation=sweep.degradation)
 
 
 def serve_study(plan: StudyPlan, queue_root: str, *,
@@ -88,7 +98,8 @@ def serve_study(plan: StudyPlan, queue_root: str, *,
                 resume: bool = False,
                 poll_interval: float = 0.5,
                 timeout: Optional[float] = None,
-                progress: Optional[Callable[[Dict[str, int]], None]] = None
+                progress: Optional[Callable[[Dict[str, int]], None]] = None,
+                quarantine_after: int = DEFAULT_QUARANTINE_AFTER
                 ) -> ResultSet:
     """Coordinate a worker fleet that attaches on its own schedule.
 
@@ -99,6 +110,11 @@ def serve_study(plan: StudyPlan, queue_root: str, *,
     merged (to *results_path*, if given) and the fleet is released via
     the FINISHED marker.  ``resume=True`` re-opens an interrupted
     queue; *hosts* only sizes the default lease granularity here.
+
+    A campaign that settles around quarantined poison leases finishes
+    with a **partial** merge: completed runs byte-identical to serial,
+    holes written to a machine-readable report beside the checkpoint,
+    and the result's ``degradation`` naming what is missing.
     """
     if results_path is not None and not resume \
             and os.path.exists(results_path) and os.path.getsize(results_path):
@@ -109,12 +125,16 @@ def serve_study(plan: StudyPlan, queue_root: str, *,
     # repro: allow[R001] elapsed_seconds is reporting-only, never recorded
     start = time.perf_counter()
     coordinator = Coordinator(plan.sweep, queue_root, lease_runs=lease_runs,
-                              lease_ttl=lease_ttl, workers=hosts)
+                              lease_ttl=lease_ttl, workers=hosts,
+                              quarantine_after=quarantine_after)
     queue = coordinator.post(reuse=resume)
     # repro: allow[R001] campaign deadline is a hang backstop, never recorded
     deadline = None if timeout is None else time.monotonic() + timeout
-    while not queue.all_done():
-        coordinator.expire()
+    while not queue.settled():
+        try:
+            coordinator.expire()
+        except OSError:
+            pass  # expiry is best-effort; the next sweep retries
         if progress is not None:
             progress(queue.counts())
         # repro: allow[R001] hang-backstop check only, never recorded
@@ -125,11 +145,22 @@ def serve_study(plan: StudyPlan, queue_root: str, *,
                 "the queue directory is intact -- serve it again with "
                 "--resume")
         time.sleep(poll_interval)
+    partial = not queue.all_done()
     merged, stats = coordinator.finish(results_path=results_path,
-                                       overwrite=True)
+                                       overwrite=True, partial=partial)
+    degradation = None
+    if partial:
+        degradation = DegradationReport()
+        degradation.record(
+            "partial-merge",
+            "campaign settled around quarantined leases; completed "
+            "cells merged byte-identical, holes reported")
+        degradation.quarantined = queue.counts()["quarantined"]
+        degradation.holes = stats.holes
     # repro: allow[R001] elapsed_seconds is reporting-only, never recorded
     elapsed = time.perf_counter() - start
-    return _result_set(plan, merged, stats.total, elapsed)
+    return _result_set(plan, merged, stats.total, elapsed,
+                       degradation=degradation)
 
 
 def run_study_worker(queue_root: str, spec: StudySpec, *,

@@ -58,7 +58,8 @@ class ResultSet:
     def __init__(self, records: Mapping[str, Sequence[RunRecord]],
                  info: Optional[Mapping[str, CellInfo]] = None,
                  fault_free_runs: int = 0, executed: Optional[int] = None,
-                 elapsed_seconds: float = 0.0) -> None:
+                 elapsed_seconds: float = 0.0,
+                 degradation: Optional[Any] = None) -> None:
         self._records: Dict[str, List[RunRecord]] = {
             key: list(cell) for key, cell in records.items()}
         self.info: Dict[str, CellInfo] = dict(info or {})
@@ -72,6 +73,11 @@ class ResultSet:
         #: then omits it rather than misreporting.
         self.executed = executed
         self.elapsed_seconds = elapsed_seconds
+        #: The distributed engine's
+        #: :class:`~repro.core.engine.dist.coordinator.DegradationReport`
+        #: when the campaign took any fallback (quarantine, shrunken
+        #: fleet, serial/direct drain); ``None`` on the normal path.
+        self.degradation = degradation
 
     # -- access -----------------------------------------------------------------
 
@@ -241,10 +247,13 @@ class ResultSet:
         if self.executed is not None:
             split = (f" ({self.executed} executed, "
                      f"{len(self) - self.executed} resumed)")
-        return (
+        line = (
             f"study: {len(self._records)} cells, {len(self)} records"
             f"{split}, {self.fault_free_runs} shared fault-free runs, "
             f"{self.elapsed_seconds:.1f}s")
+        if self.degradation is not None:
+            line += f"\n{self.degradation.describe()}"
+        return line
 
     def summary(self) -> str:
         """Per-cell one-liners plus the study's shared-work footer."""

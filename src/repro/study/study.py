@@ -98,7 +98,8 @@ class StudyPlan:
                 hosts: Optional[int] = None,
                 queue_root: Optional[str] = None,
                 lease_runs: Optional[int] = None,
-                lease_ttl: float = 30.0) -> ResultSet:
+                lease_ttl: float = 30.0,
+                quarantine_after: Optional[int] = None) -> ResultSet:
         """Run the study through one fused sweep execution.
 
         Keyword arguments override the spec's engine knobs; the study
@@ -115,12 +116,16 @@ class StudyPlan:
         if hosts is not None and hosts > 1:
             from repro.study.dist import run_distributed
 
+            dist_knobs = {}
+            if quarantine_after is not None:
+                dist_knobs["quarantine_after"] = quarantine_after
             return run_distributed(
                 self, hosts=hosts, queue_root=queue_root,
                 lease_runs=lease_runs, lease_ttl=lease_ttl,
                 results_path=spec.out if results_path is None
                 else results_path,
-                resume=spec.resume if resume is None else resume)
+                resume=spec.resume if resume is None else resume,
+                **dist_knobs)
         sweep = execute_sweep(
             self.sweep,
             executor=executor,
@@ -266,12 +271,14 @@ class Study:
             progress: Optional[Callable[[int, int], None]] = None,
             executor=None,
             hosts: Optional[int] = None,
-            queue_root: Optional[str] = None) -> ResultSet:
+            queue_root: Optional[str] = None,
+            quarantine_after: Optional[int] = None) -> ResultSet:
         """``plan().execute(...)`` in one call."""
         return self.plan().execute(workers=workers, results_path=results_path,
                                    resume=resume, progress=progress,
                                    executor=executor, hosts=hosts,
-                                   queue_root=queue_root)
+                                   queue_root=queue_root,
+                                   quarantine_after=quarantine_after)
 
 
 def run_study(spec: StudySpec, apps: Optional[Mapping[str, object]] = None,

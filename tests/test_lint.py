@@ -525,6 +525,81 @@ class TestR008QueueProtocol:
         assert not rule_hits(report, "R008")
         assert not rule_hits(report, PRAGMA_RULE_ID)
 
+    # -- the injectable QueueIO seam: same protocol, new spelling -----------
+
+    def test_seam_inplace_state_write_fires(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def post(io, root, payload):
+                f = io.open_w(os.path.join(root, "pending", "a.json"))
+                io.write(f, payload)
+        """)
+        (hit,) = rule_hits(report, "R008")
+        assert "pending" in hit.message
+
+    def test_seam_atomic_publish_is_clean(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def post(io, root, payload):
+                path = os.path.join(root, "pending", "a.json")
+                tmp = path + ".tmp"
+                f = io.open_w(tmp)
+                io.write(f, payload)
+                io.replace(tmp, path)
+        """)
+        assert not rule_hits(report, "R008")
+
+    def test_seam_rename_out_of_done_fires(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def rollback(io, root, name):
+                io.replace(os.path.join(root, "done", name),
+                           os.path.join(root, "pending", name))
+        """)
+        (hit,) = rule_hits(report, "R008")
+        assert "done/" in hit.message
+
+    def test_seam_quarantine_rename_is_clean(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def park(queue, name):
+                queue.io.replace(
+                    os.path.join(queue.leased_dir, name),
+                    os.path.join(queue.quarantine_dir, name))
+        """)
+        assert not rule_hits(report, "R008")
+
+    def test_seam_unguarded_unlink_fires(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def drop(io, root, name):
+                io.unlink(os.path.join(root, "pending", name))
+        """)
+        (hit,) = rule_hits(report, "R008")
+        assert "done/" in hit.message
+
+    def test_seam_done_guarded_unlink_is_clean(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+
+            def drop(io, root, name):
+                if io.exists(os.path.join(root, "done", name)):
+                    io.unlink(os.path.join(root, "pending", name))
+        """)
+        assert not rule_hits(report, "R008")
+
+    def test_str_replace_does_not_alias_the_seam(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def relabel(scenario, done_dir, pending_dir):
+                return scenario.replace(done_dir, pending_dir)
+        """)
+        assert not rule_hits(report, "R008")
+
 
 class TestR009ShutdownSoundness:
     VIOLATION = """
@@ -625,6 +700,23 @@ class TestR010SinkPlanOrder:
                 for _name in os.listdir(shards_dir):
                     total += 1
                 return total
+        """)
+        assert not rule_hits(report, "R010")
+
+    def test_fires_on_emission_in_seam_listdir_order(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def merge(io, shards_dir, sink):
+                for name in io.listdir(shards_dir):
+                    sink.emit(name)
+        """)
+        (hit,) = rule_hits(report, "R010")
+        assert "hash-arbitrary" in hit.message
+
+    def test_sorted_seam_enumeration_is_clean(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def merge(io, shards_dir, sink):
+                for name in sorted(io.listdir(shards_dir)):
+                    sink.emit(name)
         """)
         assert not rule_hits(report, "R010")
 
